@@ -1,0 +1,73 @@
+"""Micro-benchmarks of GQBE's pipeline stages (not tied to one paper figure).
+
+These time the individual components — neighborhood extraction, MQG
+discovery, lattice exploration, whole-query latency — so regressions in any
+stage are visible independently of the end-to-end experiments.  They also
+serve as the ablation harness for the design choices called out in
+DESIGN.md (e.g. running MQG discovery with and without the unimportant-edge
+reduction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GQBEConfig
+from repro.core.gqbe import GQBE
+from repro.discovery.mqg import discover_maximal_query_graph
+from repro.graph.neighborhood import neighborhood_graph
+
+
+@pytest.fixture(scope="module")
+def system(harness):
+    bundle = harness._bundle("freebase")
+    return bundle.gqbe, bundle.workload
+
+
+def test_bench_neighborhood_extraction(system, benchmark):
+    gqbe, workload = system
+    query = workload.query("F18")
+    result = benchmark(neighborhood_graph, gqbe.graph, query.query_tuple, 2)
+    assert result.num_edges > 0
+
+
+def test_bench_mqg_discovery_with_reduction(system, benchmark):
+    gqbe, workload = system
+    query = workload.query("F18")
+    neighborhood = neighborhood_graph(gqbe.graph, query.query_tuple, d=2)
+    mqg = benchmark(
+        discover_maximal_query_graph, neighborhood, gqbe.statistics, 10, True
+    )
+    assert mqg.num_edges > 0
+
+
+def test_bench_mqg_discovery_without_reduction(system, benchmark):
+    """Ablation: skip the Sec. III-C reduction before Algorithm 1."""
+    gqbe, workload = system
+    query = workload.query("F18")
+    neighborhood = neighborhood_graph(gqbe.graph, query.query_tuple, d=2)
+    mqg = benchmark(
+        discover_maximal_query_graph, neighborhood, gqbe.statistics, 10, False
+    )
+    assert mqg.num_edges > 0
+
+
+def test_bench_end_to_end_query(system, benchmark):
+    gqbe, workload = system
+    query = workload.query("F18")
+    result = benchmark(gqbe.query, query.query_tuple, 10)
+    assert result.answers
+
+
+def test_bench_multi_tuple_query(system, benchmark):
+    gqbe, workload = system
+    extended = workload.query("F18").with_extra_tuples(1)
+    result = benchmark(gqbe.query_multi, list(extended.query_tuples), 10)
+    assert result.answers
+
+
+def test_bench_offline_precomputation(harness, benchmark):
+    """Time to build statistics + vertical partition store for the data graph."""
+    graph = harness.freebase_workload().dataset.graph
+    system = benchmark(GQBE, graph, GQBEConfig(mqg_size=10))
+    assert system.store.num_rows == graph.num_edges

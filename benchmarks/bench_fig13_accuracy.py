@@ -1,0 +1,29 @@
+"""Figure 13 — accuracy of GQBE vs NESS on the Freebase-like workload.
+
+The paper reports P@k, MAP and nDCG for k in {10, 15, 20, 25}, with GQBE
+roughly twice as accurate as NESS on every measure.  The shape to check
+here: GQBE beats NESS on every metric at every k.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.reporting import format_table
+
+K_VALUES = (10, 15, 20, 25)
+
+
+def test_fig13_accuracy_gqbe_vs_ness(harness, benchmark):
+    rows = benchmark(harness.figure13_accuracy, K_VALUES)
+    print()
+    print(
+        format_table(
+            rows,
+            title="Figure 13 — GQBE vs NESS accuracy (averaged over F-queries)",
+        )
+    )
+    for row in rows:
+        assert row["gqbe_p_at_k"] >= row["ness_p_at_k"], row
+        assert row["gqbe_map"] >= row["ness_map"], row
+        assert row["gqbe_ndcg"] >= row["ness_ndcg"], row
+    # GQBE's headline accuracy is high (the paper reports P@25 > 0.8).
+    assert rows[0]["gqbe_p_at_k"] >= 0.6

@@ -1,0 +1,18 @@
+"""Table I — queries and ground-truth table sizes.
+
+Prints the analogue of the paper's Table I: every query of the Freebase-like
+and DBpedia-like workloads with its example tuple and ground-truth size.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.reporting import format_table
+
+
+def test_table1_workload_summary(harness, benchmark):
+    rows = benchmark(harness.table1_workload_summary)
+    print()
+    print(format_table(rows, columns=["query", "dataset", "tuple", "table_size"],
+                       title="Table I — queries and ground-truth table sizes"))
+    assert len(rows) == 28
+    assert all(row["table_size"] >= 1 for row in rows)

@@ -1,0 +1,20 @@
+"""Table III — GQBE accuracy on the DBpedia-like queries at k = 10.
+
+The paper reports high accuracy on all eight DBpedia queries, with perfect
+precision in several cases.  The shape to check: P@10 is high on average
+and at least one query reaches perfect precision.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.reporting import format_table
+
+
+def test_table3_dbpedia_accuracy(harness, benchmark):
+    rows = benchmark(harness.table3_dbpedia_accuracy, 10)
+    print()
+    print(format_table(rows, title="Table III — GQBE accuracy on DBpedia-like queries, k=10"))
+    assert len(rows) == 8
+    average_precision_at_10 = sum(row["p_at_k"] for row in rows) / len(rows)
+    assert average_precision_at_10 >= 0.5
+    assert any(row["p_at_k"] >= 0.99 for row in rows)

@@ -1,0 +1,28 @@
+"""Table IV — PCC between GQBE's ranking and (simulated) crowd workers.
+
+The paper crowdsourced pairwise preferences on Amazon Mechanical Turk and
+reports the Pearson correlation per Freebase query, finding strong or
+medium positive correlation for most queries (and undefined values where
+all answers tie).  The workers here are simulated (see
+``repro.evaluation.user_study``); the shape to check is that most queries
+show positive correlation.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.metrics import correlation_strength
+from repro.evaluation.reporting import format_table
+
+
+def test_table4_simulated_user_study(harness, benchmark):
+    rows = benchmark(harness.table4_user_study, 30)
+    for row in rows:
+        row["strength"] = correlation_strength(row["pcc"])
+    print()
+    print(format_table(rows, title="Table IV — PCC between GQBE and simulated workers, k=30"))
+    assert len(rows) == 20
+    defined = [row["pcc"] for row in rows if row["pcc"] is not None]
+    positive = [pcc for pcc in defined if pcc > 0.1]
+    # Most queries with a defined PCC should show at least a small positive
+    # correlation (the paper: 17 of 18 defined values).
+    assert len(positive) >= len(defined) // 2

@@ -1,0 +1,30 @@
+"""Table VI — time for discovering and merging MQGs (2-tuple queries).
+
+The paper reports, per query, the time to discover the MQG of each of the
+two example tuples and the time to merge them, observing that merging is
+negligible compared to discovery.  That is the shape asserted here.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.reporting import format_table
+
+QUERY_IDS = ("F2", "F8", "F10", "F12", "F14", "F16", "F18", "F19")
+
+
+def test_table6_mqg_discovery_and_merge_time(harness, benchmark):
+    rows = benchmark(harness.table6_fig16_multituple_efficiency, QUERY_IDS, 10)
+    print()
+    print(
+        format_table(
+            rows,
+            columns=["query", "mqg1_seconds", "mqg2_seconds", "merge_seconds"],
+            title="Table VI — MQG discovery and merge time (seconds)",
+            float_digits=4,
+        )
+    )
+    assert rows
+    total_discovery = sum(row["mqg1_seconds"] + row["mqg2_seconds"] for row in rows)
+    total_merge = sum(row["merge_seconds"] for row in rows)
+    # Merging is negligible compared to discovery (the paper's observation).
+    assert total_merge <= total_discovery

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark file regenerates one table or figure of the paper's
+evaluation section (Sec. VI): it prints the same rows/series the paper
+reports (so the shape can be compared side by side) and uses
+pytest-benchmark to time the underlying computation.
+
+The harness runs at a reduced scale by default so the whole suite finishes
+in minutes; set the environment variable ``GQBE_BENCH_SCALE`` to run larger
+graphs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.evaluation.harness import ExperimentHarness, HarnessConfig
+
+#: Scale factor of the synthetic datasets used by the benchmarks.
+BENCH_SCALE = float(os.environ.get("GQBE_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def harness() -> ExperimentHarness:
+    """One experiment harness shared by every benchmark."""
+    return ExperimentHarness(
+        HarnessConfig(
+            scale=BENCH_SCALE,
+            mqg_size=10,
+            k_prime=25,
+            node_budget=1000,
+            max_join_rows=100_000,
+        )
+    )

@@ -1,0 +1,74 @@
+"""Compare GQBE against NESS and the breadth-first Baseline on one query.
+
+Reproduces, for a single query, the comparison behind Figs. 13–15 of the
+paper: accuracy (P@k) of GQBE vs the adapted NESS matcher, and the number
+of lattice nodes evaluated by GQBE's best-first exploration vs the
+exhaustive breadth-first Baseline.
+
+Run with::
+
+    python examples/baseline_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import GQBE, GQBEConfig
+from repro.baselines.breadth_first import BreadthFirstExplorer
+from repro.baselines.ness import NESSMatcher
+from repro.datasets.workloads import build_freebase_workload
+from repro.evaluation.metrics import ndcg_at_k, precision_at_k
+from repro.lattice.query_graph import LatticeSpace
+
+K = 10
+QUERY_ID = "F16"  # programming-language designers, like <Dennis Ritchie, C>
+
+
+def main() -> None:
+    workload = build_freebase_workload(seed=7, scale=0.5)
+    graph = workload.dataset.graph
+    query = workload.query(QUERY_ID)
+    truth = query.ground_truth
+    print(f"Query {QUERY_ID}: <{', '.join(query.query_tuple)}> "
+          f"with {len(truth)} ground-truth tuples")
+
+    system = GQBE(graph, config=GQBEConfig(mqg_size=10, k_prime=K))
+
+    # --- GQBE -----------------------------------------------------------
+    gqbe_result = system.query(query.query_tuple, k=K)
+    gqbe_answers = gqbe_result.answer_tuples()
+
+    # --- NESS (fed the same MQG, per the paper's adaptation) -------------
+    mqg = system.discover_query_graph(query.query_tuple)
+    ness = NESSMatcher(graph)
+    ness_answers = ness.query(
+        mqg, k=K, excluded_tuples={query.query_tuple}
+    ).answer_tuples()
+
+    # --- breadth-first Baseline ------------------------------------------
+    baseline = BreadthFirstExplorer(
+        LatticeSpace(mqg),
+        system.store,
+        k=K,
+        excluded_tuples={query.query_tuple},
+    ).run()
+
+    print(f"\n{'method':<10} {'P@10':>6} {'nDCG':>6} {'lattice nodes':>14}")
+    print(f"{'GQBE':<10} {precision_at_k(gqbe_answers, truth, K):>6.2f} "
+          f"{ndcg_at_k(gqbe_answers, truth, K):>6.2f} "
+          f"{gqbe_result.statistics.nodes_evaluated:>14}")
+    print(f"{'NESS':<10} {precision_at_k(ness_answers, truth, K):>6.2f} "
+          f"{ndcg_at_k(ness_answers, truth, K):>6.2f} {'-':>14}")
+    print(f"{'Baseline':<10} {precision_at_k(baseline.answer_tuples(), truth, K):>6.2f} "
+          f"{ndcg_at_k(baseline.answer_tuples(), truth, K):>6.2f} "
+          f"{baseline.statistics.nodes_evaluated:>14}")
+
+    print("\nTop GQBE answers:")
+    for answer in gqbe_result.answers[:5]:
+        marker = "*" if answer.entities in set(map(tuple, truth)) else " "
+        print(f"  {answer.rank}. {marker} <{', '.join(answer.entities)}> "
+              f"score={answer.score:.3f}")
+    print("(* = in the ground truth)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Multi-tuple queries: merging MQGs to sharpen the query intent (Sec. III-D).
+
+A single example tuple can be ambiguous: ``<Jerry Yang, Yahoo!>`` could mean
+"founders of technology companies", "people educated at Stanford", or
+"people living in San Jose".  Providing a second example tuple lets GQBE
+up-weight the relationships the examples share.
+
+This script runs the same query with one and with two example tuples over
+the synthetic Freebase-like graph and compares the precision of the answers
+against the generator's ground truth.
+
+Run with::
+
+    python examples/multi_tuple_query.py
+"""
+
+from __future__ import annotations
+
+from repro import GQBE, GQBEConfig
+from repro.datasets.workloads import build_freebase_workload
+from repro.evaluation.metrics import precision_at_k
+
+K = 15
+
+
+def main() -> None:
+    workload = build_freebase_workload(seed=7, scale=0.5)
+    graph = workload.dataset.graph
+    print(f"Synthetic Freebase-like graph: {graph.num_nodes} nodes, "
+          f"{graph.num_edges} edges, {graph.num_labels} labels")
+
+    system = GQBE(graph, config=GQBEConfig(mqg_size=10, k_prime=25))
+
+    query = workload.query("F18").with_extra_tuples(1)
+    tuple1, tuple2 = query.query_tuples
+    truth = query.ground_truth
+
+    single = system.query(tuple1, k=K)
+    merged = system.query_multi([tuple1, tuple2], k=K)
+
+    print(f"\nExample tuple 1: <{', '.join(tuple1)}>")
+    print(f"Example tuple 2: <{', '.join(tuple2)}>")
+
+    for label, result in (("single tuple", single), ("merged 2-tuple", merged)):
+        answers = result.answer_tuples()
+        precision = precision_at_k(answers, truth, K)
+        print(f"\n{label}: MQG has {result.mqg.num_edges} edges, "
+              f"P@{K} = {precision:.2f}, "
+              f"processing time = {result.processing_seconds * 1000:.1f} ms")
+        for rank, answer in enumerate(answers[:5], start=1):
+            marker = "*" if answer in set(map(tuple, truth)) else " "
+            print(f"  {rank}. {marker} <{', '.join(answer)}>")
+
+    print("\n(* = answer appears in the ground-truth table)")
+    print(f"MQG merge time: {merged.merge_seconds * 1000:.2f} ms "
+          f"(negligible vs discovery, as in Table VI of the paper)")
+
+
+if __name__ == "__main__":
+    main()

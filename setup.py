@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 660 editable-install support.
+
+The canonical metadata lives in ``pyproject.toml``; this file only exists so
+``python setup.py develop`` keeps working on machines where the ``wheel``
+package is unavailable (offline build environments).
+"""
+
+from setuptools import setup
+
+setup()

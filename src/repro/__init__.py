@@ -1,0 +1,28 @@
+"""GQBE — Querying Knowledge Graphs by Example Entity Tuples.
+
+A reproduction of the ICDE paper by Jayaram, Khan, Li, Yan and Elmasri.
+The top-level package re-exports the public API:
+
+* :class:`~repro.core.gqbe.GQBE` — the system facade,
+* :class:`~repro.core.config.GQBEConfig` — configuration,
+* :class:`~repro.graph.knowledge_graph.KnowledgeGraph` — the data graph,
+* :class:`~repro.core.answer.AnswerTuple` / :class:`~repro.core.answer.QueryResult`
+  — query results.
+"""
+
+from repro.core.answer import AnswerTuple, QueryResult
+from repro.core.config import GQBEConfig
+from repro.core.gqbe import GQBE
+from repro.graph.knowledge_graph import Edge, KnowledgeGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GQBE",
+    "GQBEConfig",
+    "AnswerTuple",
+    "QueryResult",
+    "KnowledgeGraph",
+    "Edge",
+    "__version__",
+]

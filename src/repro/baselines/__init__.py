@@ -1,0 +1,16 @@
+"""Comparison methods used in the paper's evaluation (Sec. VI).
+
+* :mod:`repro.baselines.breadth_first` — the *Baseline*: the same query
+  lattice and hash-join evaluation as GQBE, but explored breadth-first with
+  no upper-bound ordering and no top-k early termination; only the
+  upward-closure pruning of null-node ancestors is applied.
+* :mod:`repro.baselines.ness` — an adaptation of NESS (neighborhood-based
+  approximate graph matching): candidate nodes filtered by incident edge
+  labels, scored by neighborhood label-vector similarity with iterative
+  refinement, and assembled into tuples around a pivot query node.
+"""
+
+from repro.baselines.breadth_first import BreadthFirstExplorer
+from repro.baselines.ness import NESSMatcher, NESSResult
+
+__all__ = ["BreadthFirstExplorer", "NESSMatcher", "NESSResult"]

@@ -1,0 +1,181 @@
+"""The paper's *Baseline*: breadth-first lattice evaluation (Sec. VI).
+
+Like GQBE's best-first algorithm, the baseline explores the query lattice
+bottom-up starting from the minimal query trees and prunes the ancestors of
+null nodes (Property 3).  Unlike GQBE it:
+
+* evaluates lattice nodes in breadth-first order (by number of edges)
+  instead of by upper-bound score, and
+* has no top-k early termination — it stops only when every lattice node is
+  either evaluated or pruned.
+
+The number of lattice nodes it evaluates is the quantity compared against
+GQBE in Fig. 15 of the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Iterable
+
+from repro.exceptions import LatticeError
+from repro.lattice.exploration import (
+    ExplorationResult,
+    ExplorationStatistics,
+    RankedAnswer,
+    _AnswerRecord,
+    drop_trivial_self_match,
+)
+from repro.lattice.minimal_trees import minimal_query_trees
+from repro.lattice.query_graph import LatticeSpace
+from repro.lattice.scoring import content_score, structure_score
+from repro.storage.join import Relation, evaluate_query_edges, extend_with_edge
+from repro.storage.store import VerticalPartitionStore
+
+
+class BreadthFirstExplorer:
+    """Exhaustive breadth-first lattice evaluation with null-ancestor pruning."""
+
+    def __init__(
+        self,
+        space: LatticeSpace,
+        store: VerticalPartitionStore,
+        k: int = 10,
+        excluded_tuples: Iterable[tuple[str, ...]] = (),
+        max_rows: int | None = None,
+        node_budget: int | None = None,
+    ) -> None:
+        if k < 1:
+            raise LatticeError(f"k must be positive, got {k}")
+        self.space = space
+        self.store = store
+        self.k = k
+        self.excluded_tuples = {tuple(t) for t in excluded_tuples}
+        self.max_rows = max_rows
+        self.node_budget = node_budget
+
+        self._evaluated: dict[int, Relation] = {}
+        self._null_masks: list[int] = []
+        self._answers: dict[tuple[str, ...], _AnswerRecord] = {}
+        self._stats = ExplorationStatistics()
+
+    def _is_pruned(self, mask: int) -> bool:
+        return any((mask & null) == null for null in self._null_masks)
+
+    def _evaluate_mask(self, mask: int) -> Relation | None:
+        best_child: tuple[int, int] | None = None
+        for i in range(self.space.num_edges):
+            bit = 1 << i
+            if not mask & bit:
+                continue
+            child = mask & ~bit
+            if child not in self._evaluated:
+                continue
+            child_relation = self._evaluated[child]
+            if child_relation.is_empty():
+                continue
+            edge = self.space.edge_list[i]
+            if child_relation.has_variable(edge.subject) or child_relation.has_variable(
+                edge.object
+            ):
+                if best_child is None or child_relation.num_rows < best_child[0]:
+                    best_child = (child_relation.num_rows, i)
+        try:
+            if best_child is not None:
+                i = best_child[1]
+                return extend_with_edge(
+                    self.store,
+                    self._evaluated[mask & ~(1 << i)],
+                    self.space.edge_list[i],
+                    max_rows=self.max_rows,
+                )
+            return evaluate_query_edges(
+                self.store, self.space.edges_of(mask), max_rows=self.max_rows
+            )
+        except LatticeError:
+            return None
+
+    def _record_answers(self, mask: int, relation: Relation) -> None:
+        entities = self.space.query_tuple
+        try:
+            entity_columns = [relation.column(entity) for entity in entities]
+        except KeyError:
+            return
+        mask_structure = structure_score(self.space, mask)
+        edges = self.space.edges_of(mask)
+        variables = relation.variables
+        for row in relation.rows:
+            answer = tuple(row[col] for col in entity_columns)
+            if answer in self.excluded_tuples:
+                continue
+            matched = {
+                variables[i] for i, value in enumerate(row) if value == variables[i]
+            }
+            content = (
+                content_score(self.space, edges, dict(zip(variables, row)))
+                if matched
+                else 0.0
+            )
+            record = self._answers.get(answer)
+            if record is None:
+                record = _AnswerRecord()
+                self._answers[answer] = record
+            record.update(mask_structure, content, mask)
+
+    def run(self) -> ExplorationResult:
+        """Evaluate every unpruned lattice node, breadth-first, and rank answers."""
+        start = time.perf_counter()
+        leaves = minimal_query_trees(self.space)
+        if not leaves:
+            raise LatticeError("the query lattice has no minimal query trees")
+
+        queue: deque[int] = deque(sorted(leaves))
+        enqueued: set[int] = set(queue)
+
+        while queue:
+            if self.node_budget is not None and self._stats.nodes_evaluated >= self.node_budget:
+                self._stats.node_budget_exhausted = True
+                break
+            mask = queue.popleft()
+            if mask in self._evaluated or self._is_pruned(mask):
+                continue
+            relation = self._evaluate_mask(mask)
+            self._stats.nodes_evaluated += 1
+            if relation is None:
+                self._stats.nodes_skipped += 1
+                continue
+            effective = drop_trivial_self_match(relation)
+            if effective.is_empty():
+                self._stats.null_nodes += 1
+                self._null_masks.append(mask)
+                continue
+            self._evaluated[mask] = relation
+            self._record_answers(mask, effective)
+            for parent in self.space.parents_of(mask):
+                if parent not in enqueued and not self._is_pruned(parent):
+                    enqueued.add(parent)
+                    queue.append(parent)
+
+        self._stats.answers_found = len(self._answers)
+        self._stats.elapsed_seconds = time.perf_counter() - start
+        return ExplorationResult(
+            answers=self._final_ranking(),
+            statistics=self._stats,
+            lattice_size_hint=2 ** self.space.num_edges,
+        )
+
+    def _final_ranking(self) -> list[RankedAnswer]:
+        ranked = sorted(
+            self._answers.items(), key=lambda item: (-item[1].best_full, item[0])
+        )[: self.k]
+        return [
+            RankedAnswer(
+                entities=answer,
+                score=record.best_full,
+                structure_score=record.best_structure,
+                content_score=record.best_content,
+                query_graph_mask=record.best_mask,
+            )
+            for answer, record in ranked
+        ]

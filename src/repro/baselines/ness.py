@@ -1,0 +1,246 @@
+"""Adapted NESS baseline: neighborhood-based approximate graph matching.
+
+The paper compares GQBE against NESS (Khan et al., SIGMOD'11) by feeding it
+the MQG discovered by GQBE as a query graph whose query-entity nodes are
+unlabeled.  Sec. VI describes the adaptation used; this module implements
+that description:
+
+1. **Candidate generation** — for every unlabeled query node, the candidate
+   data nodes are those with at least one incident edge bearing the same
+   label (and orientation) as an edge incident on the query node in the MQG.
+2. **Candidate scoring** — a candidate is scored by how well its
+   neighborhood label-frequency vector covers the query node's neighborhood
+   vector, and the score is refined iteratively by requiring the
+   candidate's neighbors to support the query node's neighbors (a
+   lightweight stand-in for NESS's neighborhood-vector propagation).
+3. **Tuple assembly** — one unlabeled query node is chosen as the *pivot*
+   (the one with the fewest candidates).  Top candidates of the other
+   unlabeled nodes are combined with each pivot candidate if they lie within
+   the pivot candidate's neighborhood, and the tuples are ranked by the sum
+   of candidate scores.
+
+Unlike GQBE, NESS gives equal importance to all nodes and edges (except the
+pivot) and does not require answer entities to be connected by the same
+paths between query entities — which is exactly why it is less accurate on
+this task (the finding Fig. 13 reports).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.discovery.mqg import MaximalQueryGraph
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+@dataclass(frozen=True)
+class NESSAnswer:
+    """One answer tuple produced by the NESS baseline."""
+
+    entities: tuple[str, ...]
+    score: float
+
+
+@dataclass
+class NESSStatistics:
+    """Counters describing one NESS query run."""
+
+    candidates_considered: int = 0
+    pivot: str = ""
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class NESSResult:
+    """Ranked NESS answers plus run statistics."""
+
+    answers: list[NESSAnswer]
+    statistics: NESSStatistics = field(default_factory=NESSStatistics)
+
+    def answer_tuples(self) -> list[tuple[str, ...]]:
+        """Just the entity tuples, in rank order."""
+        return [answer.entities for answer in self.answers]
+
+
+#: Feature of a neighborhood vector: (direction, label) with direction
+#: "out" for outgoing and "in" for incoming edges.
+_Feature = tuple[str, str]
+
+
+class NESSMatcher:
+    """Approximate matcher for MQGs with unlabeled query-entity nodes."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        iterations: int = 2,
+        max_candidates_per_node: int = 2000,
+        assembly_breadth: int = 200,
+        neighborhood_radius: int = 2,
+    ) -> None:
+        self.graph = graph
+        self.iterations = iterations
+        self.max_candidates_per_node = max_candidates_per_node
+        self.assembly_breadth = assembly_breadth
+        self.neighborhood_radius = neighborhood_radius
+        # label -> nodes with an outgoing / incoming edge of that label
+        self._nodes_with_out_label: dict[str, set[str]] = {}
+        self._nodes_with_in_label: dict[str, set[str]] = {}
+        for edge in graph.edges:
+            self._nodes_with_out_label.setdefault(edge.label, set()).add(edge.subject)
+            self._nodes_with_in_label.setdefault(edge.label, set()).add(edge.object)
+
+    # ------------------------------------------------------------------
+    # neighborhood vectors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _vector_of(graph: KnowledgeGraph, node: str) -> dict[_Feature, int]:
+        vector: dict[_Feature, int] = {}
+        for edge in graph.out_edges(node):
+            key = ("out", edge.label)
+            vector[key] = vector.get(key, 0) + 1
+        for edge in graph.in_edges(node):
+            key = ("in", edge.label)
+            vector[key] = vector.get(key, 0) + 1
+        return vector
+
+    @staticmethod
+    def _coverage(query_vector: dict[_Feature, int], data_vector: dict[_Feature, int]) -> float:
+        """Fraction of the query node's neighborhood features matched."""
+        total = sum(query_vector.values())
+        if total == 0:
+            return 0.0
+        covered = sum(
+            min(count, data_vector.get(feature, 0))
+            for feature, count in query_vector.items()
+        )
+        return covered / total
+
+    # ------------------------------------------------------------------
+    # candidates
+    # ------------------------------------------------------------------
+    def _candidates_for(self, mqg: MaximalQueryGraph, node: str) -> dict[str, float]:
+        query_vector = self._vector_of(mqg.graph, node)
+        pool: set[str] = set()
+        for (direction, label), _count in query_vector.items():
+            if direction == "out":
+                pool |= self._nodes_with_out_label.get(label, set())
+            else:
+                pool |= self._nodes_with_in_label.get(label, set())
+        scored = {
+            candidate: self._coverage(query_vector, self._vector_of(self.graph, candidate))
+            for candidate in pool
+        }
+        scored = {c: s for c, s in scored.items() if s > 0.0}
+        if len(scored) > self.max_candidates_per_node:
+            top = sorted(scored.items(), key=lambda item: -item[1])[
+                : self.max_candidates_per_node
+            ]
+            scored = dict(top)
+        return scored
+
+    def _refine(
+        self,
+        mqg: MaximalQueryGraph,
+        candidates: dict[str, dict[str, float]],
+    ) -> dict[str, dict[str, float]]:
+        """Iterative refinement: neighbors of a candidate must support the
+        query node's neighbors (both query entities and labeled nodes)."""
+        query_nodes = list(candidates)
+        for _ in range(self.iterations):
+            updated: dict[str, dict[str, float]] = {}
+            for query_node in query_nodes:
+                neighbor_query_nodes = mqg.graph.neighbors(query_node)
+                refined: dict[str, float] = {}
+                for candidate, score in candidates[query_node].items():
+                    if not neighbor_query_nodes:
+                        refined[candidate] = score
+                        continue
+                    candidate_neighbors = self.graph.neighbors(candidate)
+                    supported = 0
+                    for neighbor in neighbor_query_nodes:
+                        if neighbor in candidates:
+                            # unlabeled neighbor: any of its candidates will do
+                            if candidate_neighbors & set(candidates[neighbor]):
+                                supported += 1
+                        else:
+                            # labeled neighbor: the identical entity must be adjacent
+                            if neighbor in candidate_neighbors:
+                                supported += 1
+                    support_fraction = supported / len(neighbor_query_nodes)
+                    refined[candidate] = score * (0.5 + 0.5 * support_fraction)
+                updated[query_node] = refined
+            candidates = updated
+        return candidates
+
+    # ------------------------------------------------------------------
+    # query
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        mqg: MaximalQueryGraph,
+        k: int = 10,
+        excluded_tuples: Iterable[tuple[str, ...]] = (),
+    ) -> NESSResult:
+        """Answer the MQG with unlabeled query-entity nodes; return top-k tuples."""
+        start = time.perf_counter()
+        excluded = {tuple(t) for t in excluded_tuples}
+        stats = NESSStatistics()
+
+        query_nodes = [node for node in mqg.query_tuple if mqg.graph.has_node(node)]
+        candidates = {node: self._candidates_for(mqg, node) for node in query_nodes}
+        candidates = self._refine(mqg, candidates)
+        stats.candidates_considered = sum(len(c) for c in candidates.values())
+
+        if not query_nodes or any(not candidates[node] for node in query_nodes):
+            stats.elapsed_seconds = time.perf_counter() - start
+            return NESSResult(answers=[], statistics=stats)
+
+        pivot = min(query_nodes, key=lambda node: len(candidates[node]))
+        stats.pivot = pivot
+        others = [node for node in query_nodes if node != pivot]
+
+        pivot_ranked = sorted(candidates[pivot].items(), key=lambda item: -item[1])[
+            : self.assembly_breadth
+        ]
+
+        answers: dict[tuple[str, ...], float] = {}
+        for pivot_candidate, pivot_score in pivot_ranked:
+            neighborhood = set(
+                self.graph.undirected_distances(
+                    pivot_candidate, cutoff=self.neighborhood_radius
+                )
+            )
+            assignment: dict[str, tuple[str, float]] = {pivot: (pivot_candidate, pivot_score)}
+            feasible = True
+            for node in others:
+                in_range = [
+                    (candidate, score)
+                    for candidate, score in candidates[node].items()
+                    if candidate in neighborhood and candidate != pivot_candidate
+                ]
+                if not in_range:
+                    feasible = False
+                    break
+                assignment[node] = max(in_range, key=lambda item: item[1])
+            if not feasible:
+                continue
+            tuple_entities = tuple(
+                assignment[node][0] for node in mqg.query_tuple if node in assignment
+            )
+            if len(tuple_entities) != len(mqg.query_tuple) or tuple_entities in excluded:
+                continue
+            if len(set(tuple_entities)) != len(tuple_entities):
+                continue
+            score = sum(value for _, value in assignment.values())
+            if tuple_entities not in answers or score > answers[tuple_entities]:
+                answers[tuple_entities] = score
+
+        ranked = sorted(answers.items(), key=lambda item: (-item[1], item[0]))[:k]
+        stats.elapsed_seconds = time.perf_counter() - start
+        return NESSResult(
+            answers=[NESSAnswer(entities=entities, score=score) for entities, score in ranked],
+            statistics=stats,
+        )

@@ -1,0 +1,154 @@
+"""Command-line interface: ``gqbe`` — query, generate and benchmark.
+
+Subcommands
+-----------
+``gqbe query``
+    Load a triple file, run a query tuple and print the ranked answers.
+``gqbe generate``
+    Generate a synthetic Freebase-like or DBpedia-like dataset to a TSV file.
+``gqbe experiment``
+    Run one of the paper's experiments (fig13, table3, table4, ...) and
+    print its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.config import GQBEConfig
+from repro.core.gqbe import GQBE
+from repro.datasets.synthetic import DBpediaLikeGenerator, FreebaseLikeGenerator
+from repro.evaluation.harness import ExperimentHarness, HarnessConfig
+from repro.evaluation.reporting import format_answer_list, format_table
+from repro.graph.triples import load_graph, write_triples
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    config = GQBEConfig(d=args.d, mqg_size=args.mqg_size)
+    system = GQBE(graph, config=config)
+    tuples = [tuple(t.split(",")) for t in args.tuple]
+    if len(tuples) == 1:
+        result = system.query(tuples[0], k=args.k)
+    else:
+        result = system.query_multi(tuples, k=args.k)
+    rows = [
+        {
+            "rank": answer.rank,
+            "answer": answer.entities,
+            "score": answer.score,
+        }
+        for answer in result.answers
+    ]
+    print(format_table(rows, title=f"Top-{args.k} answers"))
+    print(
+        f"\nMQG edges: {result.mqg.num_edges}  "
+        f"lattice nodes evaluated: {result.statistics.nodes_evaluated}  "
+        f"total time: {result.total_seconds:.3f}s"
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "freebase":
+        generator = FreebaseLikeGenerator(seed=args.seed, scale=args.scale)
+    else:
+        generator = DBpediaLikeGenerator(seed=args.seed, scale=args.scale)
+    dataset = generator.generate()
+    count = write_triples(sorted(dataset.graph.edges), args.output)
+    print(
+        f"wrote {count} triples ({dataset.graph.num_nodes} nodes, "
+        f"{dataset.graph.num_labels} labels) to {args.output}"
+    )
+    return 0
+
+
+_EXPERIMENTS = (
+    "table1",
+    "table2",
+    "fig13",
+    "table3",
+    "table4",
+    "table5",
+    "fig14",
+    "table6",
+)
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    harness = ExperimentHarness(HarnessConfig(scale=args.scale))
+    name = args.name
+    if name == "table1":
+        print(format_table(harness.table1_workload_summary(), title="Table I"))
+    elif name == "table2":
+        for query_id, answers in harness.table2_case_study().items():
+            print(format_answer_list(query_id, answers))
+    elif name == "fig13":
+        print(format_table(harness.figure13_accuracy(), title="Figure 13"))
+    elif name == "table3":
+        print(format_table(harness.table3_dbpedia_accuracy(), title="Table III"))
+    elif name == "table4":
+        print(format_table(harness.table4_user_study(), title="Table IV"))
+    elif name == "table5":
+        print(format_table(harness.table5_multi_tuple(), title="Table V"))
+    elif name == "fig14":
+        print(format_table(harness.figure14_15_efficiency(), title="Figures 14-15"))
+    elif name == "table6":
+        print(
+            format_table(
+                harness.table6_fig16_multituple_efficiency(),
+                title="Table VI / Figure 16",
+            )
+        )
+    else:
+        print(f"unknown experiment {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="gqbe", description="Query knowledge graphs by example entity tuples."
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    query = subparsers.add_parser("query", help="run a query over a triple file")
+    query.add_argument("graph", help="path to a TSV or NT triple file")
+    query.add_argument(
+        "--tuple",
+        action="append",
+        required=True,
+        help="comma-separated entity tuple; repeat for multi-tuple queries",
+    )
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument("--d", type=int, default=2)
+    query.add_argument("--mqg-size", type=int, default=15, dest="mqg_size")
+    query.set_defaults(func=_cmd_query)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("dataset", choices=("freebase", "dbpedia"))
+    generate.add_argument("output", help="output TSV path")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.set_defaults(func=_cmd_generate)
+
+    experiment = subparsers.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("name", choices=_EXPERIMENTS)
+    experiment.add_argument("--scale", type=float, default=0.5)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Public API of the GQBE reproduction: the system facade and result types.
+
+Typical usage::
+
+    from repro import GQBE, GQBEConfig
+    from repro.graph import KnowledgeGraph
+
+    graph = KnowledgeGraph(triples)
+    system = GQBE(graph)
+    result = system.query(("Jerry Yang", "Yahoo!"), k=10)
+    for answer in result.answers:
+        print(answer.entities, answer.score)
+"""
+
+from repro.core.answer import AnswerTuple, QueryResult
+from repro.core.config import GQBEConfig
+from repro.core.gqbe import GQBE
+
+__all__ = ["GQBE", "GQBEConfig", "AnswerTuple", "QueryResult"]

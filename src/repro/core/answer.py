@@ -1,0 +1,88 @@
+"""Result types returned by the GQBE facade."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.discovery.mqg import MaximalQueryGraph
+from repro.lattice.exploration import ExplorationStatistics
+
+
+@dataclass(frozen=True)
+class AnswerTuple:
+    """One ranked answer tuple.
+
+    Attributes
+    ----------
+    entities:
+        The answer entities, positionally aligned with the query tuple.
+    score:
+        The full Eq. 5 score (structure + content) of the best answer graph
+        projecting to this tuple.
+    structure_score:
+        The structure-only component (used for stage-one ranking).
+    content_score:
+        The content component of the best-scoring answer graph.
+    rank:
+        1-based rank in the returned answer list.
+    """
+
+    entities: tuple[str, ...]
+    score: float
+    structure_score: float
+    content_score: float
+    rank: int
+
+    def __iter__(self):
+        return iter(self.entities)
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+
+@dataclass
+class QueryResult:
+    """Everything produced by one GQBE query.
+
+    Attributes
+    ----------
+    query_tuples:
+        The input example tuple(s).
+    answers:
+        Ranked answer tuples (best first).
+    mqg:
+        The (possibly merged) maximal query graph the query was evaluated
+        against.
+    statistics:
+        Lattice exploration counters (nodes evaluated, null nodes, ...).
+    discovery_seconds:
+        Wall-clock time spent discovering (and merging) the MQG(s).
+    processing_seconds:
+        Wall-clock time spent exploring the lattice.
+    per_tuple_discovery_seconds:
+        For multi-tuple queries, the MQG discovery time of each input tuple.
+    merge_seconds:
+        Time spent merging per-tuple MQGs (0 for single-tuple queries).
+    """
+
+    query_tuples: tuple[tuple[str, ...], ...]
+    answers: list[AnswerTuple]
+    mqg: MaximalQueryGraph
+    statistics: ExplorationStatistics
+    discovery_seconds: float = 0.0
+    processing_seconds: float = 0.0
+    per_tuple_discovery_seconds: list[float] = field(default_factory=list)
+    merge_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock time (discovery + processing)."""
+        return self.discovery_seconds + self.processing_seconds
+
+    def answer_tuples(self) -> list[tuple[str, ...]]:
+        """Just the entity tuples, in rank order."""
+        return [answer.entities for answer in self.answers]
+
+    def top(self, n: int) -> list[AnswerTuple]:
+        """The first ``n`` answers."""
+        return self.answers[:n]

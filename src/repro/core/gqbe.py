@@ -1,0 +1,175 @@
+"""The GQBE system facade: query a knowledge graph by example entity tuples.
+
+:class:`GQBE` wires the pipeline of the paper together:
+
+1. offline precomputation — graph statistics (Sec. III-B) and the
+   vertical-partition store (Sec. V-A) are built once per data graph;
+2. per query — neighborhood extraction (Def. 1), unimportant-edge
+   reduction (Sec. III-C), MQG discovery (Alg. 1), optional multi-tuple
+   merging (Sec. III-D), lattice construction (Sec. IV) and best-first
+   exploration (Alg. 2/3), followed by the two-stage ranking (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+from repro.core.answer import AnswerTuple, QueryResult
+from repro.core.config import GQBEConfig
+from repro.discovery.merge import merge_maximal_query_graphs
+from repro.discovery.mqg import MaximalQueryGraph, discover_maximal_query_graph
+from repro.exceptions import QueryError
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.neighborhood import neighborhood_graph
+from repro.graph.statistics import GraphStatistics
+from repro.lattice.exploration import BestFirstExplorer, ExplorationResult
+from repro.lattice.query_graph import LatticeSpace
+from repro.storage.store import VerticalPartitionStore
+
+
+class GQBE:
+    """Query-by-example over a knowledge graph (the system of the paper)."""
+
+    def __init__(self, graph: KnowledgeGraph, config: GQBEConfig | None = None) -> None:
+        self.graph = graph
+        self.config = config or GQBEConfig()
+        #: Offline, query-independent statistics (ief / participation degree).
+        self.statistics = GraphStatistics(graph)
+        #: The in-memory vertical-partition store used by the join engine.
+        self.store = VerticalPartitionStore(graph)
+
+    # ------------------------------------------------------------------
+    # query graph discovery
+    # ------------------------------------------------------------------
+    def discover_query_graph(self, query_tuple: Sequence[str]) -> MaximalQueryGraph:
+        """Discover the maximal query graph of one example tuple."""
+        neighborhood = neighborhood_graph(self.graph, query_tuple, d=self.config.d)
+        return discover_maximal_query_graph(
+            neighborhood,
+            self.statistics,
+            r=self.config.mqg_size,
+            reduce_first=self.config.reduce_neighborhood,
+        )
+
+    def discover_merged_query_graph(
+        self, query_tuples: Sequence[Sequence[str]]
+    ) -> tuple[MaximalQueryGraph, list[MaximalQueryGraph], list[float], float]:
+        """Discover per-tuple MQGs and merge them (Sec. III-D).
+
+        Returns ``(merged_mqg, per_tuple_mqgs, per_tuple_seconds, merge_seconds)``.
+        """
+        per_tuple_mqgs: list[MaximalQueryGraph] = []
+        per_tuple_seconds: list[float] = []
+        for query_tuple in query_tuples:
+            started = time.perf_counter()
+            per_tuple_mqgs.append(self.discover_query_graph(query_tuple))
+            per_tuple_seconds.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        merged = merge_maximal_query_graphs(per_tuple_mqgs, r=self.config.mqg_size)
+        merge_seconds = time.perf_counter() - started
+        return merged, per_tuple_mqgs, per_tuple_seconds, merge_seconds
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+    def _explore(
+        self,
+        mqg: MaximalQueryGraph,
+        k: int,
+        excluded_tuples: set[tuple[str, ...]],
+        k_prime: int | None = None,
+    ) -> ExplorationResult:
+        space = LatticeSpace(mqg)
+        explorer = BestFirstExplorer(
+            space,
+            self.store,
+            k=k,
+            k_prime=k_prime if k_prime is not None else self.config.k_prime,
+            excluded_tuples=excluded_tuples,
+            max_rows=self.config.max_join_rows,
+            node_budget=self.config.node_budget,
+        )
+        return explorer.run()
+
+    @staticmethod
+    def _to_answer_tuples(result: ExplorationResult) -> list[AnswerTuple]:
+        return [
+            AnswerTuple(
+                entities=answer.entities,
+                score=answer.score,
+                structure_score=answer.structure_score,
+                content_score=answer.content_score,
+                rank=rank,
+            )
+            for rank, answer in enumerate(result.answers, start=1)
+        ]
+
+    def query(
+        self, query_tuple: Sequence[str], k: int = 10, k_prime: int | None = None
+    ) -> QueryResult:
+        """Answer a single-tuple query: the top-k most similar entity tuples.
+
+        ``k_prime`` overrides the configured stage-one oversampling for this
+        query only (the efficiency experiments use ``k_prime = k``).
+        """
+        entities = tuple(query_tuple)
+        if not entities:
+            raise QueryError("query tuples must contain at least one entity")
+
+        started = time.perf_counter()
+        mqg = self.discover_query_graph(entities)
+        discovery_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        exploration = self._explore(mqg, k, excluded_tuples={entities}, k_prime=k_prime)
+        processing_seconds = time.perf_counter() - started
+
+        return QueryResult(
+            query_tuples=(entities,),
+            answers=self._to_answer_tuples(exploration),
+            mqg=mqg,
+            statistics=exploration.statistics,
+            discovery_seconds=discovery_seconds,
+            processing_seconds=processing_seconds,
+            per_tuple_discovery_seconds=[discovery_seconds],
+            merge_seconds=0.0,
+        )
+
+    def query_multi(
+        self,
+        query_tuples: Sequence[Sequence[str]],
+        k: int = 10,
+        k_prime: int | None = None,
+    ) -> QueryResult:
+        """Answer a multi-tuple query using the merged MQG (Sec. III-D)."""
+        tuples = tuple(tuple(t) for t in query_tuples)
+        if not tuples:
+            raise QueryError("multi-tuple queries need at least one example tuple")
+        if len({len(t) for t in tuples}) != 1:
+            raise QueryError("all example tuples must have the same number of entities")
+        if len(tuples) == 1:
+            return self.query(tuples[0], k=k, k_prime=k_prime)
+
+        started = time.perf_counter()
+        merged, _per_tuple, per_tuple_seconds, merge_seconds = (
+            self.discover_merged_query_graph(tuples)
+        )
+        discovery_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        exploration = self._explore(
+            merged, k, excluded_tuples=set(tuples), k_prime=k_prime
+        )
+        processing_seconds = time.perf_counter() - started
+
+        return QueryResult(
+            query_tuples=tuples,
+            answers=self._to_answer_tuples(exploration),
+            mqg=merged,
+            statistics=exploration.statistics,
+            discovery_seconds=discovery_seconds,
+            processing_seconds=processing_seconds,
+            per_tuple_discovery_seconds=per_tuple_seconds,
+            merge_seconds=merge_seconds,
+        )

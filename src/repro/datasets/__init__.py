@@ -1,0 +1,37 @@
+"""Datasets: synthetic knowledge graphs, example excerpts and query workloads.
+
+The paper evaluates GQBE on Freebase and DBpedia.  Those dumps are not
+available offline, so this package generates *synthetic* knowledge graphs
+whose topology exercises the same code paths (multi-domain schemas,
+skewed label frequencies, hub nodes, noise relationships) and whose ground
+truth answer tables are known by construction — mirroring how the paper
+derives ground truth from Freebase/Wikipedia/DBpedia tables.
+
+* :mod:`repro.datasets.domains` — the individual domain generators
+  (technology founders, awards, sports, languages, films, ...).
+* :mod:`repro.datasets.synthetic` — the Freebase-like and DBpedia-like
+  graph generators that assemble domains plus noise.
+* :mod:`repro.datasets.workloads` — the query workloads analogous to the
+  paper's Table I (F1–F20 and D1–D8), each with its ground-truth table.
+* :mod:`repro.datasets.example_graph` — the small excerpt of Fig. 1 used in
+  examples and unit tests.
+"""
+
+from repro.datasets.example_graph import figure1_excerpt
+from repro.datasets.synthetic import (
+    DBpediaLikeGenerator,
+    FreebaseLikeGenerator,
+    SyntheticDataset,
+)
+from repro.datasets.workloads import Query, Workload, build_dbpedia_workload, build_freebase_workload
+
+__all__ = [
+    "figure1_excerpt",
+    "FreebaseLikeGenerator",
+    "DBpediaLikeGenerator",
+    "SyntheticDataset",
+    "Query",
+    "Workload",
+    "build_freebase_workload",
+    "build_dbpedia_workload",
+]

@@ -1,0 +1,512 @@
+"""Domain generators for the synthetic knowledge graphs.
+
+Each domain mirrors one of the subject areas behind the paper's Table I
+queries (technology founders, academic awards, automobiles, sports,
+programming languages, films, ...).  A domain generator produces:
+
+* **triples** — the edges contributed to the knowledge graph, including
+  realistic *noise* (nationalities, genders, industries, distractor
+  entities such as employees who did not found the company), and
+* **tables** — the ground-truth answer tables, i.e. the sets of entity
+  tuples that genuinely satisfy the relational pattern the corresponding
+  query asks for.  The workload builder turns each table into a query
+  (first row = example tuple, remaining rows = ground truth), exactly like
+  the paper derives queries from Freebase/Wikipedia/DBpedia tables.
+
+The generators are deterministic given the :class:`random.Random` instance
+they receive, so datasets are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+Triple = tuple[str, str, str]
+
+
+@dataclass
+class DomainData:
+    """Triples and ground-truth tables produced by one domain generator."""
+
+    name: str
+    triples: list[Triple] = field(default_factory=list)
+    tables: dict[str, list[tuple[str, ...]]] = field(default_factory=dict)
+
+    def add(self, subject: str, label: str, obj: str) -> None:
+        """Append one triple."""
+        self.triples.append((subject, label, obj))
+
+    def table(self, name: str) -> list[tuple[str, ...]]:
+        """Get (creating if needed) a ground-truth table."""
+        return self.tables.setdefault(name, [])
+
+
+@dataclass
+class SharedContext:
+    """Entities shared across domains: places, countries, genders.
+
+    Sharing them creates the hub nodes and high-frequency labels (e.g.
+    ``nationality``) that make edge weighting meaningful.
+    """
+
+    countries: list[str]
+    states: list[str]
+    cities: list[str]
+    city_state: dict[str, str]
+    universities: list[str]
+    genders: list[str]
+    label_prefix: str = ""
+
+    def lab(self, label: str) -> str:
+        """Apply the dataset-specific label prefix (DBpedia-like graphs use one)."""
+        return f"{self.label_prefix}{label}" if self.label_prefix else label
+
+    @classmethod
+    def build(cls, rng: random.Random, label_prefix: str = "") -> "SharedContext":
+        """Create the shared context entities."""
+        countries = [f"Country_{i}" for i in range(8)]
+        states = [f"State_{i}" for i in range(10)]
+        cities = [f"City_{i}" for i in range(40)]
+        city_state = {city: rng.choice(states) for city in cities}
+        universities = [f"University_{i}" for i in range(12)]
+        genders = ["Male", "Female"]
+        return cls(
+            countries=countries,
+            states=states,
+            cities=cities,
+            city_state=city_state,
+            universities=universities,
+            genders=genders,
+            label_prefix=label_prefix,
+        )
+
+    def context_triples(self) -> list[Triple]:
+        """Triples describing the shared context itself (city → state)."""
+        lab = self.lab
+        triples = [(city, lab("in_state"), state) for city, state in self.city_state.items()]
+        triples.extend((state, lab("in_country"), self.countries[0]) for state in self.states)
+        return triples
+
+
+#: Rare person attributes: each is present on only a small fraction of
+#: entities, so maximal query graphs built around an entity that has one
+#: include edges whose label combinations do not co-occur for most other
+#: entities — the source of the null lattice nodes that drive GQBE's
+#: pruning and early termination (Sec. V-B).
+_RARE_PERSON_LABELS: list[str] = [
+    "authored_book",
+    "military_service",
+    "honorary_degree",
+    "honored_with",
+    "hobby",
+    "member_of",
+]
+
+#: Rare organisation attribute labels, for the same reason.
+_RARE_ORG_LABELS: list[str] = [
+    "listed_on",
+    "acquired",
+    "subsidiary_of",
+    "operates_in",
+]
+
+
+def _rare_object(rng: random.Random, label: str) -> str:
+    """A diverse object for a rare attribute edge.
+
+    The objects are drawn from a per-label pool of ~25 values so that rare
+    edges keep a *low participation degree* (Eq. 4) — pointing every
+    ``authored_book`` edge at one shared node would turn that node into a
+    hub and the weighting scheme would (correctly) discount the edges.
+    """
+    return f"{label.title()}_{rng.randint(0, 24)}"
+
+
+def _add_person_noise(
+    domain: DomainData,
+    ctx: SharedContext,
+    rng: random.Random,
+    person: str,
+    instance: int | None = None,
+) -> None:
+    """High-frequency context edges plus occasional rare attributes.
+
+    When ``instance`` is one of the first few instances of a domain (the
+    rows later promoted to example tuples by the workload builder), a pair
+    of rare attributes is attached deterministically.  Their *combination*
+    is unlikely to recur on other entities, so the query's MQG contains
+    lattice nodes with no answers — the null nodes that let the best-first
+    exploration prune and terminate early, as on the real datasets.
+    """
+    lab = ctx.lab
+    domain.add(person, lab("nationality"), rng.choice(ctx.countries))
+    domain.add(person, lab("gender"), rng.choice(ctx.genders))
+    if rng.random() < 0.6:
+        domain.add(person, lab("places_lived"), rng.choice(ctx.cities))
+    if instance is not None and instance < 3:
+        first = _RARE_PERSON_LABELS[instance % len(_RARE_PERSON_LABELS)]
+        second = _RARE_PERSON_LABELS[(instance + 2) % len(_RARE_PERSON_LABELS)]
+        domain.add(person, lab(first), _rare_object(rng, first))
+        domain.add(person, lab(second), _rare_object(rng, second))
+    for label in _RARE_PERSON_LABELS:
+        if rng.random() < 0.12:
+            domain.add(person, lab(label), _rare_object(rng, label))
+
+
+def _add_org_noise(
+    domain: DomainData, ctx: SharedContext, rng: random.Random, organisation: str
+) -> None:
+    """Occasional rare attributes for companies / clubs / studios."""
+    lab = ctx.lab
+    for label in _RARE_ORG_LABELS:
+        if rng.random() < 0.15:
+            domain.add(organisation, lab(label), _rare_object(rng, label))
+
+
+# ----------------------------------------------------------------------
+# individual domains
+# ----------------------------------------------------------------------
+def tech_companies(rng: random.Random, count: int, ctx: SharedContext) -> DomainData:
+    """Founders, companies, headquarters, investors, employees (F12, F18)."""
+    domain = DomainData("tech_companies")
+    lab = ctx.lab
+    founders = domain.table("tech_founders")
+    founders_city = domain.table("tech_founders_city")
+    investors_table = domain.table("company_investors")
+    investors = [f"Investor_{i}" for i in range(max(count // 4, 3))]
+    for i in range(count):
+        person = f"TechFounder_{i}"
+        company = f"TechCompany_{i}"
+        city = rng.choice(ctx.cities)
+        domain.add(person, lab("founded"), company)
+        domain.add(company, lab("headquartered_in"), city)
+        domain.add(company, lab("industry"), "Technology")
+        domain.add(person, lab("education"), rng.choice(ctx.universities))
+        _add_person_noise(domain, ctx, rng, person, instance=i)
+        _add_org_noise(domain, ctx, rng, company)
+        founders.append((person, company))
+        founders_city.append((person, company, city))
+        investor = rng.choice(investors)
+        domain.add(investor, lab("invested_in"), company)
+        investors_table.append((company, investor))
+        # distractors: employees and board members who are not founders
+        for j in range(rng.randint(1, 3)):
+            employee = f"TechEmployee_{i}_{j}"
+            domain.add(employee, lab("employment"), company)
+            _add_person_noise(domain, ctx, rng, employee)
+        if rng.random() < 0.5:
+            board = f"BoardMember_{i}"
+            domain.add(board, lab("board_member"), company)
+            _add_person_noise(domain, ctx, rng, board)
+    return domain
+
+
+def software_products(rng: random.Random, count: int, ctx: SharedContext) -> DomainData:
+    """Companies and the software they develop; implementation languages (F10, F15, D3)."""
+    domain = DomainData("software_products")
+    lab = ctx.lab
+    company_software = domain.table("company_software")
+    software_language = domain.table("software_language")
+    languages = [f"Language_{i}" for i in range(max(count // 3, 4))]
+    for i in range(count):
+        company = f"SoftwareVendor_{i}"
+        domain.add(company, lab("industry"), "Software")
+        domain.add(company, lab("headquartered_in"), rng.choice(ctx.cities))
+        for j in range(rng.randint(1, 3)):
+            product = f"SoftwareProduct_{i}_{j}"
+            language = rng.choice(languages)
+            domain.add(company, lab("developed"), product)
+            domain.add(product, lab("written_in"), language)
+            domain.add(product, lab("software_genre"), rng.choice(["Office", "Game", "Database"]))
+            company_software.append((company, product))
+            software_language.append((product, language))
+    return domain
+
+
+def programming_languages(rng: random.Random, count: int, ctx: SharedContext) -> DomainData:
+    """Programming languages, their designers and influences (F16, F19, D8)."""
+    domain = DomainData("programming_languages")
+    lab = ctx.lab
+    designers = domain.table("language_designers")
+    languages_table = domain.table("programming_languages")
+    language_names = [f"ProgLang_{i}" for i in range(count)]
+    for i, language in enumerate(language_names):
+        designer = f"LanguageDesigner_{i}"
+        domain.add(designer, lab("designed"), language)
+        domain.add(language, lab("paradigm"), rng.choice(["Imperative", "Functional", "ObjectOriented"]))
+        domain.add(language, lab("typed"), rng.choice(["Static", "Dynamic"]))
+        if i > 0 and rng.random() < 0.7:
+            domain.add(language, lab("influenced_by"), rng.choice(language_names[:i]))
+        _add_person_noise(domain, ctx, rng, designer, instance=i)
+        designers.append((designer, language))
+        languages_table.append((language,))
+    return domain
+
+
+def academia(rng: random.Random, count: int, ctx: SharedContext) -> DomainData:
+    """Researchers, their universities and academic awards (F1, D1)."""
+    domain = DomainData("academia")
+    lab = ctx.lab
+    scholars = domain.table("award_scholars")
+    computer_scientists = domain.table("computer_scientists")
+    awards = ["Turing_Award", "Von_Neumann_Medal", "Fields_Medal"]
+    for i in range(count):
+        person = f"Researcher_{i}"
+        university = rng.choice(ctx.universities)
+        # Round-robin keeps the Turing_Award table non-trivial at any scale
+        # (at least a third of the researchers), with instance 0 in it so the
+        # F1-style query tuple can be drawn from that table.
+        award = awards[i % len(awards)]
+        domain.add(person, lab("education"), university)
+        domain.add(person, lab("employed_by"), university)
+        domain.add(person, lab("won_award"), award)
+        domain.add(person, lab("profession"), "Computer_Scientist")
+        _add_person_noise(domain, ctx, rng, person, instance=i)
+        if award == "Turing_Award":
+            scholars.append((person, university, award))
+        computer_scientists.append((person, "Computer_Scientist"))
+        # distractor: students at the same university without awards
+        student = f"Student_{i}"
+        domain.add(student, lab("education"), university)
+        _add_person_noise(domain, ctx, rng, student)
+    return domain
+
+
+def automobiles(rng: random.Random, count: int, ctx: SharedContext) -> DomainData:
+    """Car manufacturers, brands and models (F2)."""
+    domain = DomainData("automobiles")
+    lab = ctx.lab
+    models = domain.table("car_models")
+    for i in range(count):
+        manufacturer = f"CarMaker_{i}"
+        brand = f"CarBrand_{i}"
+        domain.add(manufacturer, lab("owns_brand"), brand)
+        domain.add(manufacturer, lab("industry"), "Automotive")
+        domain.add(manufacturer, lab("headquartered_in"), rng.choice(ctx.cities))
+        for j in range(rng.randint(1, 3)):
+            model = f"CarModel_{i}_{j}"
+            domain.add(brand, lab("makes_model"), model)
+            domain.add(model, lab("vehicle_class"), rng.choice(["Sedan", "SUV", "Truck"]))
+            models.append((manufacturer, brand, model))
+    return domain
+
+
+def sports_clubs(rng: random.Random, count: int, ctx: SharedContext) -> DomainData:
+    """Football clubs, owners, leagues and players (F6, F8, D2, D7)."""
+    domain = DomainData("sports_clubs")
+    lab = ctx.lab
+    owners_table = domain.table("club_owners")
+    player_table = domain.table("player_clubs")
+    leagues = [f"League_{i}" for i in range(3)]
+    for i in range(count):
+        club = f"FootballClub_{i}"
+        owner = f"ClubOwner_{i}"
+        league = rng.choice(leagues)
+        domain.add(club, lab("owned_by"), owner)
+        domain.add(club, lab("plays_in_league"), league)
+        domain.add(club, lab("based_in"), rng.choice(ctx.cities))
+        _add_person_noise(domain, ctx, rng, owner, instance=i)
+        _add_org_noise(domain, ctx, rng, club)
+        owners_table.append((club, owner))
+        for j in range(rng.randint(1, 3)):
+            player = f"FootballPlayer_{i}_{j}"
+            domain.add(player, lab("plays_for"), club)
+            domain.add(player, lab("position"), rng.choice(["Forward", "Midfielder", "Defender"]))
+            _add_person_noise(domain, ctx, rng, player)
+            player_table.append((player, club))
+        # distractor: club staff
+        coach = f"Coach_{i}"
+        domain.add(coach, lab("coaches"), club)
+        _add_person_noise(domain, ctx, rng, coach)
+    return domain
+
+
+def athlete_awards(rng: random.Random, count: int, ctx: SharedContext) -> DomainData:
+    """Athletes and sports awards (F4, D6)."""
+    domain = DomainData("athlete_awards")
+    lab = ctx.lab
+    winners = domain.table("sports_award_winners")
+    sports = ["Swimming", "Golf", "Tennis", "Athletics"]
+    for i in range(count):
+        athlete = f"Athlete_{i}"
+        domain.add(athlete, lab("competes_in"), rng.choice(sports))
+        _add_person_noise(domain, ctx, rng, athlete, instance=i)
+        if rng.random() < 0.7:
+            domain.add(athlete, lab("won_award"), "Sportsman_of_the_Year")
+            winners.append((athlete, "Sportsman_of_the_Year"))
+        else:
+            domain.add(athlete, lab("won_award"), "Rookie_of_the_Year")
+    return domain
+
+
+def sponsorships(rng: random.Random, count: int, ctx: SharedContext) -> DomainData:
+    """Companies sponsoring athletes (F3)."""
+    domain = DomainData("sponsorships")
+    lab = ctx.lab
+    table = domain.table("sponsorships")
+    for i in range(count):
+        company = f"SportsBrand_{i}"
+        athlete = f"SponsoredAthlete_{i}"
+        domain.add(company, lab("sponsors"), athlete)
+        domain.add(company, lab("industry"), "Apparel")
+        domain.add(company, lab("headquartered_in"), rng.choice(ctx.cities))
+        domain.add(athlete, lab("competes_in"), rng.choice(["Golf", "Basketball", "Football"]))
+        _add_person_noise(domain, ctx, rng, athlete, instance=i)
+        table.append((company, athlete))
+    return domain
+
+
+def aircraft(rng: random.Random, count: int, ctx: SharedContext) -> DomainData:
+    """Aircraft manufacturers and their models (F7, D5)."""
+    domain = DomainData("aircraft")
+    lab = ctx.lab
+    table = domain.table("aircraft_models")
+    for i in range(count):
+        manufacturer = f"AircraftMaker_{i}"
+        domain.add(manufacturer, lab("industry"), "Aerospace")
+        domain.add(manufacturer, lab("headquartered_in"), rng.choice(ctx.cities))
+        for j in range(rng.randint(1, 3)):
+            model = f"Aircraft_{i}_{j}"
+            domain.add(manufacturer, lab("developed"), model)
+            domain.add(model, lab("aircraft_type"), rng.choice(["Transport", "Fighter", "Airliner"]))
+            table.append((manufacturer, model))
+    return domain
+
+
+def olympic_games(rng: random.Random, count: int, ctx: SharedContext) -> DomainData:
+    """Host cities and editions of the games (F9)."""
+    domain = DomainData("olympic_games")
+    lab = ctx.lab
+    table = domain.table("olympic_hosts")
+    for i in range(count):
+        city = rng.choice(ctx.cities)
+        games = f"Olympics_{1960 + 4 * i}"
+        domain.add(city, lab("hosted"), games)
+        domain.add(games, lab("sport_event_type"), "Summer_Olympics")
+        table.append((city, games))
+    return domain
+
+
+def films(rng: random.Random, count: int, ctx: SharedContext) -> DomainData:
+    """Directors, films, actors and studios (F17, D4)."""
+    domain = DomainData("films")
+    lab = ctx.lab
+    director_films = domain.table("director_films")
+    for i in range(count):
+        director = f"Director_{i}"
+        _add_person_noise(domain, ctx, rng, director, instance=i)
+        for j in range(rng.randint(1, 3)):
+            film = f"Film_{i}_{j}"
+            studio = f"Studio_{i % max(count // 4, 1)}"
+            domain.add(director, lab("directed"), film)
+            domain.add(studio, lab("produced"), film)
+            domain.add(film, lab("film_genre"), rng.choice(["Drama", "SciFi", "Comedy"]))
+            director_films.append((director, film))
+            actor = f"Actor_{i}_{j}"
+            domain.add(actor, lab("starred_in"), film)
+            _add_person_noise(domain, ctx, rng, actor)
+    return domain
+
+
+def classical_music(rng: random.Random, count: int, ctx: SharedContext) -> DomainData:
+    """Composers and their works (F13)."""
+    domain = DomainData("classical_music")
+    lab = ctx.lab
+    table = domain.table("composer_works")
+    for i in range(count):
+        composer = f"Composer_{i}"
+        _add_person_noise(domain, ctx, rng, composer, instance=i)
+        for j in range(rng.randint(1, 4)):
+            work = f"Symphony_{i}_{j}"
+            domain.add(composer, lab("composed"), work)
+            domain.add(work, lab("musical_form"), rng.choice(["Symphony", "Concerto", "Sonata"]))
+            table.append((composer, work))
+    return domain
+
+
+def comics(rng: random.Random, count: int, ctx: SharedContext) -> DomainData:
+    """Comic creators and their characters (F11)."""
+    domain = DomainData("comics")
+    lab = ctx.lab
+    table = domain.table("creator_characters")
+    publishers = ["ComicHouse_A", "ComicHouse_B"]
+    for i in range(count):
+        creator = f"ComicCreator_{i}"
+        character = f"ComicCharacter_{i}"
+        publisher = rng.choice(publishers)
+        domain.add(creator, lab("created"), character)
+        domain.add(character, lab("published_by"), publisher)
+        _add_person_noise(domain, ctx, rng, creator, instance=i)
+        table.append((creator, character))
+    return domain
+
+
+def religions(rng: random.Random, count: int, ctx: SharedContext) -> DomainData:
+    """Religious traditions and their founders (F5)."""
+    domain = DomainData("religions")
+    lab = ctx.lab
+    table = domain.table("religion_founders")
+    for i in range(count):
+        founder = f"ReligiousFigure_{i}"
+        religion = f"Religion_{i}"
+        domain.add(founder, lab("founded_religion"), religion)
+        domain.add(religion, lab("belief_system"), rng.choice(["Monotheistic", "Polytheistic", "NonTheistic"]))
+        _add_person_noise(domain, ctx, rng, founder, instance=i)
+        table.append((founder, religion))
+    return domain
+
+
+def chemistry(rng: random.Random, count: int, ctx: SharedContext) -> DomainData:
+    """Chemical elements and their isotopes (F14)."""
+    domain = DomainData("chemistry")
+    lab = ctx.lab
+    table = domain.table("element_isotopes")
+    for i in range(count):
+        element = f"Element_{i}"
+        domain.add(element, lab("element_category"), rng.choice(["Metal", "Nonmetal", "Metalloid"]))
+        for j in range(rng.randint(1, 3)):
+            isotope = f"Element_{i}_isotope_{j}"
+            domain.add(element, lab("has_isotope"), isotope)
+            domain.add(isotope, lab("decay_mode"), rng.choice(["Stable", "Alpha", "Beta"]))
+            table.append((element, isotope))
+    return domain
+
+
+def celebrity_couples(rng: random.Random, count: int, ctx: SharedContext) -> DomainData:
+    """Celebrity couples as single entities with member edges (F20)."""
+    domain = DomainData("celebrity_couples")
+    lab = ctx.lab
+    table = domain.table("celebrity_couples")
+    for i in range(count):
+        couple = f"CelebrityCouple_{i}"
+        member_a = f"Celebrity_{i}_a"
+        member_b = f"Celebrity_{i}_b"
+        domain.add(couple, lab("couple_member"), member_a)
+        domain.add(couple, lab("couple_member"), member_b)
+        domain.add(member_a, lab("married_to"), member_b)
+        _add_person_noise(domain, ctx, rng, member_a)
+        _add_person_noise(domain, ctx, rng, member_b)
+        table.append((couple,))
+    return domain
+
+
+#: Registry of every domain generator, in a deterministic order.
+ALL_DOMAINS = [
+    tech_companies,
+    software_products,
+    programming_languages,
+    academia,
+    automobiles,
+    sports_clubs,
+    athlete_awards,
+    sponsorships,
+    aircraft,
+    olympic_games,
+    films,
+    classical_music,
+    comics,
+    religions,
+    chemistry,
+    celebrity_couples,
+]

@@ -1,0 +1,80 @@
+"""The small knowledge-graph excerpt of Fig. 1 of the paper.
+
+This hand-built graph contains the founders of Yahoo!, Apple, Google and
+Microsoft with their companies, cities, universities and a few distractor
+relationships.  It is intentionally tiny: unit tests and the quickstart
+example use it to exercise the whole pipeline deterministically, and its
+expected answers (``<Steve Wozniak, Apple Inc.>``, ``<Sergey Brin, Google>``,
+``<Bill Gates, Microsoft>`` for the query ``<Jerry Yang, Yahoo!>``) match the
+paper's running example.
+"""
+
+from __future__ import annotations
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+_TRIPLES: list[tuple[str, str, str]] = [
+    # Jerry Yang / Yahoo!
+    ("Jerry Yang", "founded", "Yahoo!"),
+    ("Jerry Yang", "places_lived", "San Jose"),
+    ("Jerry Yang", "education", "Stanford"),
+    ("Jerry Yang", "nationality", "USA"),
+    ("Yahoo!", "headquartered_in", "Sunnyvale"),
+    ("Yahoo!", "industry", "Technology"),
+    ("Sunnyvale", "in_state", "California"),
+    ("San Jose", "in_state", "California"),
+    # Steve Wozniak / Apple Inc.
+    ("Steve Wozniak", "founded", "Apple Inc."),
+    ("Steve Wozniak", "places_lived", "San Jose"),
+    ("Steve Wozniak", "education", "UC Berkeley"),
+    ("Steve Wozniak", "nationality", "USA"),
+    ("Apple Inc.", "headquartered_in", "Cupertino"),
+    ("Apple Inc.", "industry", "Technology"),
+    ("Cupertino", "in_state", "California"),
+    # Sergey Brin / Google
+    ("Sergey Brin", "founded", "Google"),
+    ("Sergey Brin", "places_lived", "Palo Alto"),
+    ("Sergey Brin", "education", "Stanford"),
+    ("Sergey Brin", "nationality", "USA"),
+    ("Google", "headquartered_in", "Mountain View"),
+    ("Google", "industry", "Technology"),
+    ("Mountain View", "in_state", "California"),
+    ("Palo Alto", "in_state", "California"),
+    # Bill Gates / Microsoft (headquartered outside California)
+    ("Bill Gates", "founded", "Microsoft"),
+    ("Bill Gates", "places_lived", "Medina"),
+    ("Bill Gates", "education", "Harvard"),
+    ("Bill Gates", "nationality", "USA"),
+    ("Microsoft", "headquartered_in", "Redmond"),
+    ("Microsoft", "industry", "Technology"),
+    ("Redmond", "in_state", "Washington"),
+    ("Medina", "in_state", "Washington"),
+    # Distractors: employees, other Stanford alumni, board members
+    ("Marissa Mayer", "employment", "Yahoo!"),
+    ("Marissa Mayer", "education", "Stanford"),
+    ("Marissa Mayer", "nationality", "USA"),
+    ("Tim Cook", "employment", "Apple Inc."),
+    ("Tim Cook", "nationality", "USA"),
+    ("Sundar Pichai", "employment", "Google"),
+    ("Sundar Pichai", "education", "Stanford"),
+    ("John Doerr", "board_member", "Google"),
+    ("David Filo", "founded", "Yahoo!"),
+    ("David Filo", "education", "Stanford"),
+    ("David Filo", "nationality", "USA"),
+    ("David Filo", "places_lived", "Palo Alto"),
+]
+
+
+def figure1_excerpt() -> KnowledgeGraph:
+    """Return the Fig. 1 excerpt as a :class:`KnowledgeGraph`."""
+    return KnowledgeGraph(_TRIPLES)
+
+
+def figure1_ground_truth() -> list[tuple[str, str]]:
+    """Founder–company pairs other than ``<Jerry Yang, Yahoo!>``."""
+    return [
+        ("Steve Wozniak", "Apple Inc."),
+        ("Sergey Brin", "Google"),
+        ("Bill Gates", "Microsoft"),
+        ("David Filo", "Yahoo!"),
+    ]

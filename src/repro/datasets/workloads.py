@@ -1,0 +1,165 @@
+"""Query workloads analogous to the paper's Table I.
+
+The paper's 28 queries (F1–F20 on Freebase, D1–D8 on DBpedia) were derived
+from Freebase/Wikipedia/DBpedia tables: one or more rows serve as example
+tuples and the remaining rows are the ground truth.  We mirror the process
+against the synthetic datasets' ground-truth tables, mapping each query id
+to the domain its real-world counterpart came from (F1 = academic awards,
+F2 = car models, F18 = technology founders, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import DatasetError
+from repro.datasets.synthetic import (
+    DBpediaLikeGenerator,
+    FreebaseLikeGenerator,
+    SyntheticDataset,
+)
+
+#: Mapping of Freebase-workload query ids to ground-truth tables (analogous
+#: to the subject areas of the paper's F1–F20).
+FREEBASE_QUERY_TABLES: list[tuple[str, str]] = [
+    ("F1", "award_scholars"),        # <Donald Knuth, Stanford, Turing Award>
+    ("F2", "car_models"),            # <Ford Motor, Lincoln, Lincoln MKS>
+    ("F3", "sponsorships"),          # <Nike, Tiger Woods>
+    ("F4", "sports_award_winners"),  # <Michael Phelps, Sportsman of the Year>
+    ("F5", "religion_founders"),     # <Gautam Buddha, Buddhism>
+    ("F6", "club_owners"),           # <Manchester United, Malcolm Glazer>
+    ("F7", "aircraft_models"),       # <Boeing, Boeing C-22>
+    ("F8", "player_clubs"),          # <David Beckham, A.C. Milan>
+    ("F9", "olympic_hosts"),         # <Beijing, 2008 Summer Olympics>
+    ("F10", "company_software"),     # <Microsoft, Microsoft Office>
+    ("F11", "creator_characters"),   # <Jack Kirby, Ironman>
+    ("F12", "company_investors"),    # <Apple Inc, Sequoia Capital>
+    ("F13", "composer_works"),       # <Beethoven, Symphony No. 5>
+    ("F14", "element_isotopes"),     # <Uranium, Uranium-238>
+    ("F15", "software_language"),    # <Microsoft Office, C++>
+    ("F16", "language_designers"),   # <Dennis Ritchie, C>
+    ("F17", "director_films"),       # <Steven Spielberg, Minority Report>
+    ("F18", "tech_founders"),        # <Jerry Yang, Yahoo!>
+    ("F19", "programming_languages"),  # <C> (single-entity)
+    ("F20", "celebrity_couples"),    # <TomKat> (single-entity)
+]
+
+#: Mapping of DBpedia-workload query ids to ground-truth tables (D1–D8).
+DBPEDIA_QUERY_TABLES: list[tuple[str, str]] = [
+    ("D1", "computer_scientists"),   # <Alan Turing, Computer Scientist>
+    ("D2", "player_clubs"),          # <David Beckham, Manchester United>
+    ("D3", "company_software"),      # <Microsoft, Microsoft Excel>
+    ("D4", "director_films"),        # <Steven Spielberg, Catch Me If You Can>
+    ("D5", "aircraft_models"),       # <Boeing C-40 Clipper, Boeing>
+    ("D6", "sports_award_winners"),  # <Arnold Palmer, Sportsman of the year>
+    ("D7", "club_owners"),           # <Manchester City FC, Mansour bin Zayed>
+    ("D8", "language_designers"),    # <Bjarne Stroustrup, C++>
+]
+
+
+@dataclass
+class Query:
+    """One workload query: example tuple(s) plus its ground truth."""
+
+    query_id: str
+    table_name: str
+    query_tuples: tuple[tuple[str, ...], ...]
+    ground_truth: list[tuple[str, ...]] = field(default_factory=list)
+
+    @property
+    def query_tuple(self) -> tuple[str, ...]:
+        """The primary (first) example tuple."""
+        return self.query_tuples[0]
+
+    @property
+    def arity(self) -> int:
+        """Number of entities per tuple."""
+        return len(self.query_tuple)
+
+    @property
+    def ground_truth_size(self) -> int:
+        """Size of the ground-truth table (excluding the example tuples)."""
+        return len(self.ground_truth)
+
+    def with_extra_tuples(self, extra: int) -> "Query":
+        """Promote ``extra`` more ground-truth rows to example tuples.
+
+        Used by the multi-tuple experiments (Table V): ``Tuple2`` and
+        ``Tuple3`` are rows taken from the ground truth.
+        """
+        if extra < 0:
+            raise DatasetError("extra must be non-negative")
+        if extra > len(self.ground_truth):
+            raise DatasetError(
+                f"query {self.query_id} has only {len(self.ground_truth)} "
+                f"ground-truth rows; cannot promote {extra}"
+            )
+        promoted = tuple(tuple(row) for row in self.ground_truth[:extra])
+        return Query(
+            query_id=self.query_id,
+            table_name=self.table_name,
+            query_tuples=self.query_tuples + promoted,
+            ground_truth=[tuple(row) for row in self.ground_truth[extra:]],
+        )
+
+
+@dataclass
+class Workload:
+    """A dataset plus the queries defined over it."""
+
+    name: str
+    dataset: SyntheticDataset
+    queries: list[Query] = field(default_factory=list)
+
+    def query(self, query_id: str) -> Query:
+        """Look a query up by id."""
+        for query in self.queries:
+            if query.query_id == query_id:
+                return query
+        raise DatasetError(f"workload {self.name!r} has no query {query_id!r}")
+
+    def query_ids(self) -> list[str]:
+        """All query ids, in workload order."""
+        return [query.query_id for query in self.queries]
+
+
+def _build_queries(
+    dataset: SyntheticDataset, table_map: list[tuple[str, str]]
+) -> list[Query]:
+    queries: list[Query] = []
+    for query_id, table_name in table_map:
+        rows = [tuple(row) for row in dataset.table(table_name)]
+        if len(rows) < 2:
+            raise DatasetError(
+                f"table {table_name!r} has {len(rows)} rows; need at least 2 "
+                f"to build query {query_id}"
+            )
+        queries.append(
+            Query(
+                query_id=query_id,
+                table_name=table_name,
+                query_tuples=(rows[0],),
+                ground_truth=rows[1:],
+            )
+        )
+    return queries
+
+
+def build_freebase_workload(seed: int = 7, scale: float = 1.0) -> Workload:
+    """Generate the Freebase-like dataset and its F1–F20 analogue queries."""
+    dataset = FreebaseLikeGenerator(seed=seed, scale=scale).generate()
+    return Workload(
+        name="freebase-like",
+        dataset=dataset,
+        queries=_build_queries(dataset, FREEBASE_QUERY_TABLES),
+    )
+
+
+def build_dbpedia_workload(seed: int = 11, scale: float = 1.0) -> Workload:
+    """Generate the DBpedia-like dataset and its D1–D8 analogue queries."""
+    dataset = DBpediaLikeGenerator(seed=seed, scale=scale).generate()
+    return Workload(
+        name="dbpedia-like",
+        dataset=dataset,
+        queries=_build_queries(dataset, DBPEDIA_QUERY_TABLES),
+    )

@@ -1,0 +1,121 @@
+"""Unimportant-edge removal: the reduced neighborhood graph (Sec. III-C).
+
+The neighborhood graph ``H_t`` can contain many edges that clearly do not
+matter for the query — e.g. the thousands of ``education`` edges into
+*Stanford* from people unrelated to the query tuple.  GQBE removes them
+before running MQG discovery.
+
+For a node ``v`` of ``H_t`` the incident edges are partitioned into:
+
+* ``IE(v)`` — *important* edges: those lying on an undirected path of
+  length ≤ d between ``v`` and some query entity.  We implement this with
+  the distance rule: an edge incident on ``v`` whose other endpoint is
+  within ``d − 1`` undirected hops of a query entity (distance measured from
+  the query entities over the whole neighborhood graph) is important from
+  ``v``'s perspective.
+* ``UE(v)`` — *unimportant* edges: not in ``IE(v)`` but sharing a label and
+  an orientation (both incoming to ``v`` or both outgoing from ``v``) with
+  some edge of ``IE(v)``.
+* the rest, which is neither important nor unimportant.
+
+An edge is removed when it is unimportant from the perspective of either of
+its endpoints.  Theorem 2 of the paper guarantees that after removal a
+weakly connected component containing all query entities still exists; the
+*reduced neighborhood graph* is that component.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import DiscoveryError
+from repro.graph.knowledge_graph import Edge, KnowledgeGraph
+from repro.graph.neighborhood import NeighborhoodGraph
+
+
+def _important_edges(
+    neighborhood: NeighborhoodGraph, node: str
+) -> tuple[set[Edge], list[Edge]]:
+    """Return (IE(node), all incident edges) for ``node`` in ``H_t``."""
+    graph = neighborhood.graph
+    d = neighborhood.d
+    distances = neighborhood.distances
+    incident = graph.incident_edges(node)
+    important: set[Edge] = set()
+    for edge in incident:
+        other = edge.other(node)
+        other_distance = distances.get(other)
+        if other_distance is not None and other_distance <= d - 1:
+            important.add(edge)
+    return important, incident
+
+
+def _unimportant_edges(
+    neighborhood: NeighborhoodGraph, node: str
+) -> set[Edge]:
+    """UE(node): same-label, same-orientation siblings of important edges."""
+    important, incident = _important_edges(neighborhood, node)
+    if not important:
+        return set()
+    outgoing_labels = {e.label for e in important if e.subject == node}
+    incoming_labels = {e.label for e in important if e.object == node}
+    unimportant: set[Edge] = set()
+    for edge in incident:
+        if edge in important:
+            continue
+        if edge.subject == node and edge.label in outgoing_labels:
+            unimportant.add(edge)
+        elif edge.object == node and edge.label in incoming_labels:
+            unimportant.add(edge)
+    return unimportant
+
+
+def reduce_neighborhood_graph(neighborhood: NeighborhoodGraph) -> NeighborhoodGraph:
+    """Remove unimportant edges and return the reduced neighborhood graph.
+
+    The result is the weakly connected component (after removal) that
+    contains all query entities; Theorem 2 guarantees it exists.
+    """
+    graph = neighborhood.graph
+    removed: set[Edge] = set()
+    for node in graph.nodes:
+        removed |= _unimportant_edges(neighborhood, node)
+
+    reduced = KnowledgeGraph()
+    for entity in neighborhood.query_tuple:
+        reduced.add_node(entity)
+    for edge in graph.edges:
+        if edge not in removed:
+            reduced.add_edge(*edge)
+
+    # Keep only the component containing the query entities.
+    components = reduced.weakly_connected_components()
+    entity_set = set(neighborhood.query_tuple)
+    keeper: set[str] | None = None
+    for component in components:
+        if entity_set <= component:
+            keeper = component
+            break
+    if keeper is None:
+        raise DiscoveryError(
+            "reduced neighborhood graph lost the connection between query "
+            "entities; this contradicts Theorem 2 and indicates the input "
+            "neighborhood graph was not weakly connected to begin with"
+        )
+
+    component_graph = KnowledgeGraph()
+    for entity in neighborhood.query_tuple:
+        component_graph.add_node(entity)
+    for edge in reduced.edges:
+        if edge.subject in keeper and edge.object in keeper:
+            component_graph.add_edge(*edge)
+
+    distances = {
+        node: neighborhood.distances[node]
+        for node in component_graph.nodes
+        if node in neighborhood.distances
+    }
+    return NeighborhoodGraph(
+        graph=component_graph,
+        query_tuple=neighborhood.query_tuple,
+        d=neighborhood.d,
+        distances=distances,
+    )

@@ -1,0 +1,31 @@
+"""Evaluation: accuracy metrics, simulated user study, experiment harness.
+
+* :mod:`repro.evaluation.metrics` — P@k, average precision / MAP, nDCG and
+  the Pearson correlation coefficient, as defined in Sec. VI.
+* :mod:`repro.evaluation.user_study` — a simulated Mechanical-Turk worker
+  pool that produces the pairwise preferences behind Table IV's PCC values.
+* :mod:`repro.evaluation.harness` — runs GQBE / NESS / Baseline over the
+  workloads and regenerates every table and figure of the evaluation.
+* :mod:`repro.evaluation.reporting` — plain-text rendering of the tables.
+"""
+
+from repro.evaluation.metrics import (
+    average_precision,
+    mean_average_precision,
+    ndcg_at_k,
+    pearson_correlation,
+    precision_at_k,
+)
+from repro.evaluation.user_study import SimulatedWorkerPool, pcc_for_ranking
+from repro.evaluation.harness import ExperimentHarness
+
+__all__ = [
+    "precision_at_k",
+    "average_precision",
+    "mean_average_precision",
+    "ndcg_at_k",
+    "pearson_correlation",
+    "SimulatedWorkerPool",
+    "pcc_for_ranking",
+    "ExperimentHarness",
+]

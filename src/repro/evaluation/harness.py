@@ -1,0 +1,383 @@
+"""Experiment harness: regenerates every table and figure of Sec. VI.
+
+The harness wires the datasets, the GQBE system, the NESS and Baseline
+comparators and the metrics together.  Each ``table*_...`` / ``figure*_...``
+method returns plain data structures (lists of dictionaries) that the
+benchmark scripts print in the same layout as the paper, and that tests can
+assert qualitative properties on (who wins, by roughly what factor).
+
+Scaling note: the harness runs against the synthetic datasets, whose
+ground-truth tables are one to two orders of magnitude smaller than the
+Freebase tables behind the original queries.  The stage-one oversampling
+``k'`` is therefore scaled down (default 40 instead of 100) and the MQG size
+is slightly smaller (default 10 instead of 15) so the Baseline's exhaustive
+lattice evaluation stays tractable; both are configurable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.breadth_first import BreadthFirstExplorer
+from repro.baselines.ness import NESSMatcher, NESSResult
+from repro.core.answer import QueryResult
+from repro.core.config import GQBEConfig
+from repro.core.gqbe import GQBE
+from repro.datasets.workloads import (
+    Query,
+    Workload,
+    build_dbpedia_workload,
+    build_freebase_workload,
+)
+from repro.evaluation.metrics import (
+    average_precision,
+    ndcg_at_k,
+    precision_at_k,
+)
+from repro.evaluation.user_study import SimulatedWorkerPool, pcc_for_ranking
+from repro.lattice.query_graph import LatticeSpace
+
+#: Queries used by the paper for the multi-tuple study (Table V): the seven
+#: Freebase queries that did not reach perfect P@25 with a single tuple.
+MULTI_TUPLE_QUERY_IDS = ("F1", "F2", "F4", "F6", "F8", "F9", "F17")
+
+#: Queries used in the paper's Table II case study.
+CASE_STUDY_QUERY_IDS = ("F1", "F18", "F19")
+
+
+@dataclass
+class HarnessConfig:
+    """Knobs of the experiment harness."""
+
+    scale: float = 1.0
+    freebase_seed: int = 7
+    dbpedia_seed: int = 11
+    mqg_size: int = 10
+    k_prime: int = 25
+    d: int = 2
+    node_budget: int | None = 1500
+    max_join_rows: int | None = 100_000
+    worker_noise: float = 0.15
+    worker_seed: int = 17
+    workers_per_pair: int = 20
+    user_study_pairs: int = 50
+
+    def gqbe_config(self) -> GQBEConfig:
+        """The GQBE configuration implied by the harness settings."""
+        return GQBEConfig(
+            d=self.d,
+            mqg_size=self.mqg_size,
+            k_prime=self.k_prime,
+            node_budget=self.node_budget,
+            max_join_rows=self.max_join_rows,
+        )
+
+
+@dataclass
+class _SystemBundle:
+    """One dataset with its GQBE instance and NESS matcher."""
+
+    workload: Workload
+    gqbe: GQBE
+    ness: NESSMatcher
+    query_cache: dict[tuple[str, int], QueryResult] = field(default_factory=dict)
+    ness_cache: dict[tuple[str, int], NESSResult] = field(default_factory=dict)
+
+
+class ExperimentHarness:
+    """Runs the paper's experiments against the synthetic datasets."""
+
+    def __init__(self, config: HarnessConfig | None = None) -> None:
+        self.config = config or HarnessConfig()
+        self._bundles: dict[str, _SystemBundle] = {}
+
+    # ------------------------------------------------------------------
+    # dataset / system management
+    # ------------------------------------------------------------------
+    def _bundle(self, dataset: str) -> _SystemBundle:
+        if dataset not in self._bundles:
+            if dataset == "freebase":
+                workload = build_freebase_workload(
+                    seed=self.config.freebase_seed, scale=self.config.scale
+                )
+            elif dataset == "dbpedia":
+                workload = build_dbpedia_workload(
+                    seed=self.config.dbpedia_seed, scale=self.config.scale
+                )
+            else:
+                raise ValueError(f"unknown dataset {dataset!r}")
+            gqbe = GQBE(workload.dataset.graph, config=self.config.gqbe_config())
+            ness = NESSMatcher(workload.dataset.graph)
+            self._bundles[dataset] = _SystemBundle(
+                workload=workload, gqbe=gqbe, ness=ness
+            )
+        return self._bundles[dataset]
+
+    def freebase_workload(self) -> Workload:
+        """The Freebase-like workload (built lazily, cached)."""
+        return self._bundle("freebase").workload
+
+    def dbpedia_workload(self) -> Workload:
+        """The DBpedia-like workload (built lazily, cached)."""
+        return self._bundle("dbpedia").workload
+
+    # ------------------------------------------------------------------
+    # cached per-query runs
+    # ------------------------------------------------------------------
+    def run_gqbe(self, dataset: str, query_id: str, k: int = 30) -> QueryResult:
+        """Run (or fetch the cached) GQBE query for ``query_id``."""
+        bundle = self._bundle(dataset)
+        key = (query_id, k)
+        if key not in bundle.query_cache:
+            query = bundle.workload.query(query_id)
+            bundle.query_cache[key] = bundle.gqbe.query(query.query_tuple, k=k)
+        return bundle.query_cache[key]
+
+    def run_ness(self, dataset: str, query_id: str, k: int = 30) -> NESSResult:
+        """Run (or fetch the cached) NESS query for ``query_id``."""
+        bundle = self._bundle(dataset)
+        key = (query_id, k)
+        if key not in bundle.ness_cache:
+            query = bundle.workload.query(query_id)
+            mqg = bundle.gqbe.discover_query_graph(query.query_tuple)
+            bundle.ness_cache[key] = bundle.ness.query(
+                mqg, k=k, excluded_tuples={query.query_tuple}
+            )
+        return bundle.ness_cache[key]
+
+    def run_baseline(self, dataset: str, query_id: str, k: int = 30):
+        """Run the breadth-first Baseline for ``query_id`` (not cached)."""
+        bundle = self._bundle(dataset)
+        query = bundle.workload.query(query_id)
+        mqg = bundle.gqbe.discover_query_graph(query.query_tuple)
+        explorer = BreadthFirstExplorer(
+            LatticeSpace(mqg),
+            bundle.gqbe.store,
+            k=k,
+            excluded_tuples={query.query_tuple},
+            max_rows=self.config.max_join_rows,
+            node_budget=self.config.node_budget,
+        )
+        return explorer.run()
+
+    # ------------------------------------------------------------------
+    # Table I — queries and ground-truth table sizes
+    # ------------------------------------------------------------------
+    def table1_workload_summary(self) -> list[dict]:
+        """Query id, example tuple and ground-truth table size (Table I)."""
+        rows: list[dict] = []
+        for dataset in ("freebase", "dbpedia"):
+            for query in self._bundle(dataset).workload.queries:
+                rows.append(
+                    {
+                        "query": query.query_id,
+                        "dataset": dataset,
+                        "tuple": query.query_tuple,
+                        "table_size": query.ground_truth_size,
+                    }
+                )
+        return rows
+
+    # ------------------------------------------------------------------
+    # Table II — case study: top-3 answers for selected queries
+    # ------------------------------------------------------------------
+    def table2_case_study(
+        self, query_ids: tuple[str, ...] = CASE_STUDY_QUERY_IDS, k: int = 3
+    ) -> dict[str, list[tuple[str, ...]]]:
+        """Top-k answer tuples for the case-study queries (Table II)."""
+        results: dict[str, list[tuple[str, ...]]] = {}
+        for query_id in query_ids:
+            result = self.run_gqbe("freebase", query_id, k=30)
+            results[query_id] = result.answer_tuples()[:k]
+        return results
+
+    # ------------------------------------------------------------------
+    # Fig. 13 — accuracy of GQBE vs NESS on the Freebase workload
+    # ------------------------------------------------------------------
+    def figure13_accuracy(
+        self, k_values: tuple[int, ...] = (10, 15, 20, 25)
+    ) -> list[dict]:
+        """P@k / MAP / nDCG of GQBE and NESS averaged over F-queries."""
+        workload = self.freebase_workload()
+        rows: list[dict] = []
+        for k in k_values:
+            gqbe_p, gqbe_map, gqbe_ndcg = [], [], []
+            ness_p, ness_map, ness_ndcg = [], [], []
+            for query in workload.queries:
+                truth = query.ground_truth
+                gqbe_answers = self.run_gqbe("freebase", query.query_id).answer_tuples()
+                ness_answers = self.run_ness("freebase", query.query_id).answer_tuples()
+                gqbe_p.append(precision_at_k(gqbe_answers, truth, k))
+                gqbe_map.append(average_precision(gqbe_answers, truth, k))
+                gqbe_ndcg.append(ndcg_at_k(gqbe_answers, truth, k))
+                ness_p.append(precision_at_k(ness_answers, truth, k))
+                ness_map.append(average_precision(ness_answers, truth, k))
+                ness_ndcg.append(ndcg_at_k(ness_answers, truth, k))
+            count = len(workload.queries)
+            rows.append(
+                {
+                    "k": k,
+                    "gqbe_p_at_k": sum(gqbe_p) / count,
+                    "ness_p_at_k": sum(ness_p) / count,
+                    "gqbe_map": sum(gqbe_map) / count,
+                    "ness_map": sum(ness_map) / count,
+                    "gqbe_ndcg": sum(gqbe_ndcg) / count,
+                    "ness_ndcg": sum(ness_ndcg) / count,
+                }
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # Table III — per-query accuracy of GQBE on the DBpedia workload
+    # ------------------------------------------------------------------
+    def table3_dbpedia_accuracy(self, k: int = 10) -> list[dict]:
+        """P@k / nDCG / AvgP for each DBpedia query (Table III)."""
+        workload = self.dbpedia_workload()
+        rows: list[dict] = []
+        for query in workload.queries:
+            answers = self.run_gqbe("dbpedia", query.query_id).answer_tuples()
+            rows.append(
+                {
+                    "query": query.query_id,
+                    "p_at_k": precision_at_k(answers, query.ground_truth, k),
+                    "ndcg": ndcg_at_k(answers, query.ground_truth, k),
+                    "avg_p": average_precision(answers, query.ground_truth, k),
+                }
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # Table IV — simulated user study (PCC per Freebase query)
+    # ------------------------------------------------------------------
+    def table4_user_study(self, k: int = 30) -> list[dict]:
+        """PCC between GQBE's ranking and simulated workers (Table IV)."""
+        workload = self.freebase_workload()
+        rows: list[dict] = []
+        for query in workload.queries:
+            answers = self.run_gqbe("freebase", query.query_id, k=k).answer_tuples()[:k]
+            pool = SimulatedWorkerPool(
+                workers_per_pair=self.config.workers_per_pair,
+                noise=self.config.worker_noise,
+                seed=self.config.worker_seed,
+            )
+            pcc = pcc_for_ranking(
+                answers,
+                query.ground_truth,
+                pool=pool,
+                num_pairs=self.config.user_study_pairs,
+            )
+            rows.append({"query": query.query_id, "pcc": pcc})
+        return rows
+
+    # ------------------------------------------------------------------
+    # Table V — multi-tuple accuracy
+    # ------------------------------------------------------------------
+    def table5_multi_tuple(
+        self,
+        query_ids: tuple[str, ...] = MULTI_TUPLE_QUERY_IDS,
+        k: int = 25,
+    ) -> list[dict]:
+        """Accuracy of single tuples vs merged multi-tuple MQGs (Table V)."""
+        bundle = self._bundle("freebase")
+        rows: list[dict] = []
+        for query_id in query_ids:
+            query = bundle.workload.query(query_id)
+            extended = query.with_extra_tuples(2)
+            tuples = extended.query_tuples
+            truth = extended.ground_truth
+            row: dict = {"query": query_id}
+            for label, example in (("tuple1", tuples[0]), ("tuple2", tuples[1]), ("tuple3", tuples[2])):
+                result = bundle.gqbe.query(example, k=k)
+                answers = [a for a in result.answer_tuples() if a not in set(tuples)]
+                row[f"{label}_p_at_k"] = precision_at_k(answers, truth, k)
+                row[f"{label}_ndcg"] = ndcg_at_k(answers, truth, k)
+                row[f"{label}_avg_p"] = average_precision(answers, truth, k)
+            for label, examples in (
+                ("combined12", tuples[:2]),
+                ("combined123", tuples[:3]),
+            ):
+                result = bundle.gqbe.query_multi(list(examples), k=k)
+                answers = [a for a in result.answer_tuples() if a not in set(tuples)]
+                row[f"{label}_p_at_k"] = precision_at_k(answers, truth, k)
+                row[f"{label}_ndcg"] = ndcg_at_k(answers, truth, k)
+                row[f"{label}_avg_p"] = average_precision(answers, truth, k)
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------
+    # Fig. 14 / Fig. 15 — efficiency: query time and lattice nodes
+    # ------------------------------------------------------------------
+    def figure14_15_efficiency(self, k: int = 10) -> list[dict]:
+        """Per-query processing time and lattice nodes for GQBE / NESS / Baseline.
+
+        Matches the paper's top-k retrieval scenario: the stage-one
+        oversampling is set to ``k`` itself so the early-termination
+        criterion (Theorem 4) is exercised, which is where GQBE's advantage
+        over the exhaustive Baseline comes from.
+        """
+        bundle = self._bundle("freebase")
+        workload = bundle.workload
+        rows: list[dict] = []
+        for query in workload.queries:
+            gqbe_result = bundle.gqbe.query(query.query_tuple, k=k, k_prime=k)
+
+            started = time.perf_counter()
+            ness_result = self.run_ness("freebase", query.query_id, k=k)
+            ness_seconds = ness_result.statistics.elapsed_seconds or (
+                time.perf_counter() - started
+            )
+
+            baseline_result = self.run_baseline("freebase", query.query_id, k=k)
+            rows.append(
+                {
+                    "query": query.query_id,
+                    "mqg_edges": gqbe_result.mqg.num_edges,
+                    "gqbe_seconds": gqbe_result.processing_seconds,
+                    "ness_seconds": ness_seconds,
+                    "baseline_seconds": baseline_result.statistics.elapsed_seconds,
+                    "gqbe_nodes_evaluated": gqbe_result.statistics.nodes_evaluated,
+                    "baseline_nodes_evaluated": baseline_result.statistics.nodes_evaluated,
+                }
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # Table VI / Fig. 16 — MQG discovery & merge time, 2-tuple query time
+    # ------------------------------------------------------------------
+    def table6_fig16_multituple_efficiency(
+        self,
+        query_ids: tuple[str, ...] | None = None,
+        k: int = 25,
+    ) -> list[dict]:
+        """Per-query MQG discovery/merge times and combined vs separate query time."""
+        bundle = self._bundle("freebase")
+        workload = bundle.workload
+        ids = query_ids or tuple(
+            q.query_id for q in workload.queries if q.ground_truth_size >= 1
+        )
+        rows: list[dict] = []
+        for query_id in ids:
+            query = workload.query(query_id)
+            if query.ground_truth_size < 1:
+                continue
+            extended = query.with_extra_tuples(1)
+            tuple1, tuple2 = extended.query_tuples
+
+            result1 = bundle.gqbe.query(tuple1, k=k)
+            result2 = bundle.gqbe.query(tuple2, k=k)
+            combined = bundle.gqbe.query_multi([tuple1, tuple2], k=k)
+
+            rows.append(
+                {
+                    "query": query_id,
+                    "mqg1_seconds": result1.discovery_seconds,
+                    "mqg2_seconds": result2.discovery_seconds,
+                    "merge_seconds": combined.merge_seconds,
+                    "combined_processing_seconds": combined.processing_seconds,
+                    "separate_processing_seconds": (
+                        result1.processing_seconds + result2.processing_seconds
+                    ),
+                }
+            )
+        return rows

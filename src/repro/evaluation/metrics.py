@@ -1,0 +1,133 @@
+"""Accuracy measures used in the paper's evaluation (Sec. VI-A/B).
+
+* **Precision-at-k** — fraction of the top-k results that belong to the
+  ground truth.
+* **Average precision / MAP** — the paper's variant normalizes by the size
+  of the ground truth (not by the number of relevant results retrieved),
+  which is why its absolute MAP values look low when the ground-truth
+  tables are much larger than k.
+* **nDCG** — discounted cumulative gain of the binary relevance vector,
+  normalized by the ideal ranking of the same top-k results.
+* **Pearson correlation coefficient (PCC)** — used for the user study:
+  correlation between GQBE's pairwise rank differences and the workers'
+  pairwise vote differences.  Undefined (``None``) when either list is
+  constant, as the paper notes for F12/F13.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def _relevance(
+    results: Sequence[tuple[str, ...]], ground_truth: Iterable[tuple[str, ...]]
+) -> list[int]:
+    truth = {tuple(row) for row in ground_truth}
+    return [1 if tuple(result) in truth else 0 for result in results]
+
+
+def precision_at_k(
+    results: Sequence[tuple[str, ...]],
+    ground_truth: Iterable[tuple[str, ...]],
+    k: int,
+) -> float:
+    """P@k: fraction of the top-k results that are in the ground truth."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    relevance = _relevance(results[:k], ground_truth)
+    if not relevance:
+        return 0.0
+    return sum(relevance) / k
+
+
+def average_precision(
+    results: Sequence[tuple[str, ...]],
+    ground_truth: Sequence[tuple[str, ...]],
+    k: int,
+) -> float:
+    """AvgP as defined in the paper: sum of P@i · rel_i over the ground-truth size."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    truth = {tuple(row) for row in ground_truth}
+    if not truth:
+        return 0.0
+    top = [tuple(result) for result in results[:k]]
+    cumulative = 0.0
+    hits = 0
+    for i, result in enumerate(top, start=1):
+        if result in truth:
+            hits += 1
+            cumulative += hits / i
+    return cumulative / len(truth)
+
+
+def mean_average_precision(
+    runs: Sequence[tuple[Sequence[tuple[str, ...]], Sequence[tuple[str, ...]]]],
+    k: int,
+) -> float:
+    """MAP: mean AvgP over ``(results, ground_truth)`` pairs."""
+    if not runs:
+        return 0.0
+    return sum(average_precision(results, truth, k) for results, truth in runs) / len(runs)
+
+
+def dcg_at_k(relevance: Sequence[float], k: int) -> float:
+    """DCG_k = rel_1 + Σ_{i≥2} rel_i / log2(i)."""
+    top = list(relevance[:k])
+    if not top:
+        return 0.0
+    total = float(top[0])
+    for i, rel in enumerate(top[1:], start=2):
+        total += rel / math.log2(i)
+    return total
+
+
+def ndcg_at_k(
+    results: Sequence[tuple[str, ...]],
+    ground_truth: Iterable[tuple[str, ...]],
+    k: int,
+) -> float:
+    """nDCG_k of the binary relevance vector of the top-k results."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    relevance = _relevance(results[:k], ground_truth)
+    ideal = sorted(relevance, reverse=True)
+    ideal_dcg = dcg_at_k(ideal, k)
+    if ideal_dcg == 0.0:
+        return 0.0
+    return dcg_at_k(relevance, k) / ideal_dcg
+
+
+def pearson_correlation(
+    xs: Sequence[float], ys: Sequence[float]
+) -> float | None:
+    """PCC between two equal-length value lists; ``None`` when undefined."""
+    if len(xs) != len(ys):
+        raise ValueError(
+            f"value lists must have equal length, got {len(xs)} and {len(ys)}"
+        )
+    n = len(xs)
+    if n == 0:
+        return None
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0.0 or var_y == 0.0:
+        return None
+    covariance = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return covariance / math.sqrt(var_x * var_y)
+
+
+def correlation_strength(pcc: float | None) -> str:
+    """Cohen's qualitative bands used by the paper to discuss Table IV."""
+    if pcc is None:
+        return "undefined"
+    if pcc >= 0.5:
+        return "strong"
+    if pcc >= 0.3:
+        return "medium"
+    if pcc >= 0.1:
+        return "small"
+    return "none"

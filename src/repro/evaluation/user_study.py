@@ -1,0 +1,117 @@
+"""Simulated Mechanical-Turk user study (Sec. VI-B, Table IV).
+
+The paper crowdsourced pairwise preferences: for each query, 50 random
+pairs of GQBE's top-30 answers were shown to 20 workers each, and the PCC
+between GQBE's rank differences and the workers' vote differences was
+reported.
+
+We cannot crowdsource offline, so :class:`SimulatedWorkerPool` stands in
+for the workers.  Each simulated worker prefers the answer that is closer
+to the ground truth (in the ground truth beats not in it; ties are broken
+by a latent per-answer quality score), and flips its preference with a
+configurable noise probability.  The PCC computation that consumes the
+votes is exactly the paper's: ``X`` holds rank differences, ``Y`` holds
+vote-count differences, one entry per sampled pair.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.evaluation.metrics import pearson_correlation
+
+
+@dataclass
+class PairwiseJudgment:
+    """One sampled answer pair with the aggregated worker votes."""
+
+    first_rank: int
+    second_rank: int
+    votes_for_first: int
+    votes_for_second: int
+
+
+class SimulatedWorkerPool:
+    """A pool of noisy simulated crowd workers."""
+
+    def __init__(
+        self,
+        workers_per_pair: int = 20,
+        noise: float = 0.15,
+        seed: int = 17,
+    ) -> None:
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError(f"noise must be in [0, 1], got {noise}")
+        self.workers_per_pair = workers_per_pair
+        self.noise = noise
+        self._rng = random.Random(seed)
+
+    def _latent_quality(self, answer: tuple[str, ...], in_truth: bool) -> float:
+        base = 1.0 if in_truth else 0.0
+        jitter = self._rng.random() * 0.5
+        return base + jitter
+
+    def judge_pairs(
+        self,
+        ranked_answers: Sequence[tuple[str, ...]],
+        ground_truth: Sequence[tuple[str, ...]],
+        num_pairs: int = 50,
+    ) -> list[PairwiseJudgment]:
+        """Sample answer pairs and collect simulated worker votes."""
+        if len(ranked_answers) < 2:
+            return []
+        truth = {tuple(row) for row in ground_truth}
+        qualities = {
+            answer: self._latent_quality(answer, answer in truth)
+            for answer in ranked_answers
+        }
+        judgments: list[PairwiseJudgment] = []
+        indexes = list(range(len(ranked_answers)))
+        for _ in range(num_pairs):
+            first_index, second_index = self._rng.sample(indexes, 2)
+            first = ranked_answers[first_index]
+            second = ranked_answers[second_index]
+            votes_first = 0
+            votes_second = 0
+            for _ in range(self.workers_per_pair):
+                prefers_first = qualities[first] >= qualities[second]
+                if self._rng.random() < self.noise:
+                    prefers_first = not prefers_first
+                if prefers_first:
+                    votes_first += 1
+                else:
+                    votes_second += 1
+            judgments.append(
+                PairwiseJudgment(
+                    first_rank=first_index + 1,
+                    second_rank=second_index + 1,
+                    votes_for_first=votes_first,
+                    votes_for_second=votes_second,
+                )
+            )
+        return judgments
+
+
+def pcc_for_ranking(
+    ranked_answers: Sequence[tuple[str, ...]],
+    ground_truth: Sequence[tuple[str, ...]],
+    pool: SimulatedWorkerPool | None = None,
+    num_pairs: int = 50,
+) -> float | None:
+    """PCC between the ranking and simulated worker preferences (Table IV).
+
+    ``X`` is the rank difference of each sampled pair (second − first, so a
+    positive value means the first answer is ranked better), ``Y`` the
+    difference in worker votes favouring the first answer.  ``None`` is
+    returned when the PCC is undefined (e.g. all answers tie), matching the
+    paper's treatment of F12/F13.
+    """
+    pool = pool or SimulatedWorkerPool()
+    judgments = pool.judge_pairs(ranked_answers, ground_truth, num_pairs=num_pairs)
+    if not judgments:
+        return None
+    xs = [float(j.second_rank - j.first_rank) for j in judgments]
+    ys = [float(j.votes_for_first - j.votes_for_second) for j in judgments]
+    return pearson_correlation(xs, ys)

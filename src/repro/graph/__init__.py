@@ -1,0 +1,37 @@
+"""Knowledge-graph substrate: graph model, triple I/O, statistics, neighborhoods.
+
+This package provides the data-graph layer that every other GQBE component
+builds on:
+
+* :class:`~repro.graph.knowledge_graph.KnowledgeGraph` — a directed,
+  edge-labeled multigraph of entities.
+* :class:`~repro.graph.triples.Triple` and the TSV/N-Triples-like readers
+  and writers in :mod:`repro.graph.triples`.
+* :class:`~repro.graph.statistics.GraphStatistics` — the offline,
+  query-independent statistics (inverse edge-label frequency and
+  participation degree) used by the edge-weighting scheme of the paper.
+* :func:`~repro.graph.neighborhood.neighborhood_graph` — Definition 1 of
+  the paper: the subgraph within ``d`` undirected hops of the query tuple.
+"""
+
+from repro.graph.knowledge_graph import Edge, KnowledgeGraph
+from repro.graph.neighborhood import NeighborhoodGraph, neighborhood_graph
+from repro.graph.statistics import GraphStatistics
+from repro.graph.triples import (
+    Triple,
+    read_triples,
+    triples_from_strings,
+    write_triples,
+)
+
+__all__ = [
+    "Edge",
+    "KnowledgeGraph",
+    "NeighborhoodGraph",
+    "neighborhood_graph",
+    "GraphStatistics",
+    "Triple",
+    "read_triples",
+    "triples_from_strings",
+    "write_triples",
+]

@@ -1,0 +1,311 @@
+"""Directed, edge-labeled multigraph of entities (the GQBE *data graph*).
+
+The paper (Sec. II) models a knowledge graph as a directed multigraph whose
+nodes are entities with unique identifiers and whose edges carry labels
+(relationship names).  Multiple edges may share a label, and a pair of nodes
+may be connected by several edges with different labels.  Duplicate triples
+(same subject, label and object) are stored once.
+
+:class:`KnowledgeGraph` is an in-memory adjacency-map implementation tuned
+for the access patterns GQBE needs:
+
+* iterate the out-edges / in-edges / all incident edges of a node,
+* iterate undirected neighbours (for the BFS of Definition 1),
+* count edges per label (for inverse edge-label frequency),
+* count edges per (node, label, direction) (for participation degree),
+* build vertex-induced or edge-induced subgraphs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import NamedTuple
+
+from repro.exceptions import GraphError
+
+
+class Edge(NamedTuple):
+    """A single directed, labeled edge ``subject --label--> object``."""
+
+    subject: str
+    label: str
+    object: str
+
+    def endpoints(self) -> frozenset[str]:
+        """Return the unordered pair of endpoint identifiers."""
+        return frozenset((self.subject, self.object))
+
+    def other(self, node: str) -> str:
+        """Return the endpoint that is not ``node``.
+
+        For a self-loop the same node is returned.  Raises
+        :class:`~repro.exceptions.GraphError` if ``node`` is not an endpoint.
+        """
+        if node == self.subject:
+            return self.object
+        if node == self.object:
+            return self.subject
+        raise GraphError(f"{node!r} is not an endpoint of {self!r}")
+
+    def touches(self, node: str) -> bool:
+        """Return whether ``node`` is one of the two endpoints."""
+        return node == self.subject or node == self.object
+
+
+class KnowledgeGraph:
+    """An in-memory directed multigraph with labeled edges.
+
+    Nodes are identified by strings (the paper uses entity names as
+    identifiers).  Edges are :class:`Edge` triples.  The graph stores each
+    distinct triple exactly once.
+    """
+
+    def __init__(self, edges: Iterable[Edge | tuple[str, str, str]] = ()) -> None:
+        self._out: dict[str, list[Edge]] = {}
+        self._in: dict[str, list[Edge]] = {}
+        self._edges: set[Edge] = set()
+        self._label_counts: dict[str, int] = {}
+        for edge in edges:
+            self.add_edge(*edge)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: str) -> None:
+        """Add an isolated node (a no-op if the node already exists)."""
+        if not isinstance(node, str) or not node:
+            raise GraphError(f"node identifiers must be non-empty strings, got {node!r}")
+        self._out.setdefault(node, [])
+        self._in.setdefault(node, [])
+
+    def add_edge(self, subject: str, label: str, object: str) -> Edge:
+        """Add the edge ``subject --label--> object``; return the Edge.
+
+        Adding an edge that is already present is a no-op (the existing
+        edge is returned), matching the set-of-triples data model.
+        """
+        if not label:
+            raise GraphError("edge labels must be non-empty strings")
+        edge = Edge(subject, label, object)
+        if edge in self._edges:
+            return edge
+        self.add_node(subject)
+        self.add_node(object)
+        self._edges.add(edge)
+        self._out[subject].append(edge)
+        self._in[object].append(edge)
+        self._label_counts[label] = self._label_counts.get(label, 0) + 1
+        return edge
+
+    def add_edges(self, edges: Iterable[Edge | tuple[str, str, str]]) -> None:
+        """Add every edge in ``edges``."""
+        for edge in edges:
+            self.add_edge(*edge)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Iterator[str]:
+        """Iterate over all node identifiers."""
+        return iter(self._out)
+
+    @property
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges (in no particular order)."""
+        return iter(self._edges)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the graph."""
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct edges (triples) in the graph."""
+        return len(self._edges)
+
+    @property
+    def labels(self) -> Iterator[str]:
+        """Iterate over the distinct edge labels present in the graph."""
+        return iter(self._label_counts)
+
+    @property
+    def num_labels(self) -> int:
+        """Number of distinct edge labels."""
+        return len(self._label_counts)
+
+    def has_node(self, node: str) -> bool:
+        """Return whether ``node`` is present."""
+        return node in self._out
+
+    def has_edge(self, subject: str, label: str, object: str) -> bool:
+        """Return whether the exact triple is present."""
+        return Edge(subject, label, object) in self._edges
+
+    def label_count(self, label: str) -> int:
+        """Number of edges in the graph bearing ``label`` (0 if unknown)."""
+        return self._label_counts.get(label, 0)
+
+    def label_counts(self) -> dict[str, int]:
+        """Return a copy of the per-label edge counts."""
+        return dict(self._label_counts)
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def out_edges(self, node: str) -> list[Edge]:
+        """Edges whose subject is ``node`` (empty list for unknown nodes)."""
+        return list(self._out.get(node, ()))
+
+    def in_edges(self, node: str) -> list[Edge]:
+        """Edges whose object is ``node`` (empty list for unknown nodes)."""
+        return list(self._in.get(node, ()))
+
+    def incident_edges(self, node: str) -> list[Edge]:
+        """All edges incident on ``node`` regardless of direction.
+
+        A self-loop appears only once in the returned list.
+        """
+        out = self._out.get(node, ())
+        incoming = self._in.get(node, ())
+        incident = list(out)
+        incident.extend(e for e in incoming if e.subject != e.object)
+        return incident
+
+    def degree(self, node: str) -> int:
+        """Total number of incident edges (self-loops counted once)."""
+        return len(self.incident_edges(node))
+
+    def out_degree(self, node: str) -> int:
+        """Number of outgoing edges."""
+        return len(self._out.get(node, ()))
+
+    def in_degree(self, node: str) -> int:
+        """Number of incoming edges."""
+        return len(self._in.get(node, ()))
+
+    def neighbors(self, node: str) -> set[str]:
+        """Undirected neighbours of ``node`` (excluding ``node`` itself)."""
+        adjacent: set[str] = set()
+        for edge in self._out.get(node, ()):
+            adjacent.add(edge.object)
+        for edge in self._in.get(node, ()):
+            adjacent.add(edge.subject)
+        adjacent.discard(node)
+        return adjacent
+
+    def edges_with_label(self, label: str) -> list[Edge]:
+        """All edges bearing ``label`` (linear scan; used only in tests/tools)."""
+        return [edge for edge in self._edges if edge.label == label]
+
+    # ------------------------------------------------------------------
+    # subgraphs and connectivity
+    # ------------------------------------------------------------------
+    def edge_subgraph(self, edges: Iterable[Edge]) -> "KnowledgeGraph":
+        """Return the subgraph induced by ``edges`` (their endpoints included)."""
+        subgraph = KnowledgeGraph()
+        for edge in edges:
+            if edge not in self._edges:
+                raise GraphError(f"edge {edge!r} is not part of this graph")
+            subgraph.add_edge(*edge)
+        return subgraph
+
+    def node_subgraph(self, nodes: Iterable[str]) -> "KnowledgeGraph":
+        """Return the subgraph induced by ``nodes`` and the edges among them."""
+        keep = set(nodes)
+        subgraph = KnowledgeGraph()
+        for node in keep:
+            if self.has_node(node):
+                subgraph.add_node(node)
+        for edge in self._edges:
+            if edge.subject in keep and edge.object in keep:
+                subgraph.add_edge(*edge)
+        return subgraph
+
+    def is_weakly_connected(self) -> bool:
+        """Return whether the graph is weakly connected (empty graph: True)."""
+        if self.num_nodes <= 1:
+            return True
+        start = next(iter(self._out))
+        return len(self._undirected_reachable(start)) == self.num_nodes
+
+    def weakly_connected_components(self) -> list[set[str]]:
+        """Return the node sets of all weakly connected components."""
+        seen: set[str] = set()
+        components: list[set[str]] = []
+        for node in self._out:
+            if node in seen:
+                continue
+            component = self._undirected_reachable(node)
+            seen.update(component)
+            components.append(component)
+        return components
+
+    def _undirected_reachable(self, start: str) -> set[str]:
+        """All nodes reachable from ``start`` ignoring edge direction."""
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbor in self.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return seen
+
+    def undirected_distances(self, source: str, cutoff: int | None = None) -> dict[str, int]:
+        """BFS distances from ``source`` over undirected edges.
+
+        ``cutoff`` bounds the search radius; nodes farther than ``cutoff``
+        are omitted from the result.  The source itself maps to 0.
+        """
+        if not self.has_node(source):
+            raise GraphError(f"unknown node {source!r}")
+        distances = {source: 0}
+        frontier = [source]
+        depth = 0
+        while frontier and (cutoff is None or depth < cutoff):
+            depth += 1
+            next_frontier: list[str] = []
+            for node in frontier:
+                for neighbor in self.neighbors(node):
+                    if neighbor not in distances:
+                        distances[neighbor] = depth
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return distances
+
+    # ------------------------------------------------------------------
+    # dunder conveniences
+    # ------------------------------------------------------------------
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Edge):
+            return item in self._edges
+        if isinstance(item, str):
+            return item in self._out
+        return False
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[Edge]:
+        return iter(self._edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KnowledgeGraph):
+            return NotImplemented
+        return self._edges == other._edges and set(self._out) == set(other._out)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, labels={self.num_labels})"
+        )
+
+    def copy(self) -> "KnowledgeGraph":
+        """Return a deep copy of this graph."""
+        duplicate = KnowledgeGraph(self._edges)
+        for node in self._out:
+            duplicate.add_node(node)
+        return duplicate

@@ -1,0 +1,141 @@
+"""Neighborhood graph extraction (Definition 1 of the paper).
+
+The *neighborhood graph* ``H_t`` of a query tuple ``t`` is the subgraph of
+the data graph ``G`` consisting of every node reachable from at least one
+query entity by an undirected path of at most ``d`` edges, together with the
+edges of all such paths.  It captures how query entities relate to the
+entities around them and serves as the raw material from which the maximal
+query graph is discovered.
+
+Implementation: a multi-source BFS over undirected adjacency gives the
+minimum undirected distance ``dist_q(v)`` from any query entity to each
+node.  Then
+
+* ``v ∈ V(H_t)``   iff ``dist_q(v) ≤ d``
+* ``e=(u,v) ∈ E(H_t)`` iff ``min(dist_q(u), dist_q(v)) ≤ d − 1``
+
+because an edge one of whose endpoints lies within ``d − 1`` hops of a query
+entity lies on an undirected path of length ≤ ``d`` starting at that entity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryError, UnknownEntityError
+from repro.graph.knowledge_graph import Edge, KnowledgeGraph
+
+
+@dataclass
+class NeighborhoodGraph:
+    """The neighborhood graph ``H_t`` plus the bookkeeping GQBE needs later.
+
+    Attributes
+    ----------
+    graph:
+        The subgraph ``H_t`` of the data graph.
+    query_tuple:
+        The query entities the neighborhood was grown from.
+    d:
+        The path-length threshold used.
+    distances:
+        ``dist_q(v)`` — minimum undirected distance from any query entity,
+        for every node of ``H_t``.
+    """
+
+    graph: KnowledgeGraph
+    query_tuple: tuple[str, ...]
+    d: int
+    distances: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in ``H_t``."""
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in ``H_t``."""
+        return self.graph.num_edges
+
+    def distance(self, node: str) -> int:
+        """``dist_q(node)``; raises ``KeyError`` for nodes outside ``H_t``."""
+        return self.distances[node]
+
+    def contains_query_entities(self) -> bool:
+        """Whether every query entity is a node of ``H_t`` (always true)."""
+        return all(self.graph.has_node(entity) for entity in self.query_tuple)
+
+
+def _validate_query_tuple(graph: KnowledgeGraph, query_tuple: Sequence[str]) -> tuple[str, ...]:
+    entities = tuple(query_tuple)
+    if not entities:
+        raise QueryError("query tuples must contain at least one entity")
+    if len(set(entities)) != len(entities):
+        raise QueryError(f"query tuple {entities!r} contains duplicate entities")
+    for entity in entities:
+        if not graph.has_node(entity):
+            raise UnknownEntityError(entity)
+    return entities
+
+
+def query_entity_distances(
+    graph: KnowledgeGraph, query_tuple: Sequence[str], cutoff: int | None = None
+) -> dict[str, int]:
+    """Multi-source undirected BFS distance from the nearest query entity.
+
+    Only nodes within ``cutoff`` hops are returned (all nodes if ``None``).
+    """
+    entities = _validate_query_tuple(graph, query_tuple)
+    distances = {entity: 0 for entity in entities}
+    frontier = list(entities)
+    depth = 0
+    while frontier and (cutoff is None or depth < cutoff):
+        depth += 1
+        next_frontier: list[str] = []
+        for node in frontier:
+            for neighbor in graph.neighbors(node):
+                if neighbor not in distances:
+                    distances[neighbor] = depth
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return distances
+
+
+def neighborhood_graph(
+    graph: KnowledgeGraph, query_tuple: Sequence[str], d: int = 2
+) -> NeighborhoodGraph:
+    """Extract the neighborhood graph ``H_t`` of ``query_tuple`` (Def. 1).
+
+    Parameters
+    ----------
+    graph:
+        The data graph ``G``.
+    query_tuple:
+        Ordered entity identifiers; all must exist in ``graph``.
+    d:
+        The undirected path-length threshold (the paper uses ``d = 2``).
+    """
+    if d < 1:
+        raise QueryError(f"path length threshold d must be >= 1, got {d}")
+    entities = _validate_query_tuple(graph, query_tuple)
+    distances = query_entity_distances(graph, entities, cutoff=d)
+
+    subgraph = KnowledgeGraph()
+    for node in distances:
+        subgraph.add_node(node)
+    for node, dist in distances.items():
+        if dist > d - 1:
+            continue
+        # Every edge incident on a node within d-1 hops lies on a path of
+        # length <= d from a query entity, so it belongs to H_t.
+        for edge in graph.incident_edges(node):
+            other = edge.other(node)
+            if other in distances:
+                subgraph.add_edge(*edge)
+
+    kept_distances = {node: distances[node] for node in subgraph.nodes}
+    return NeighborhoodGraph(
+        graph=subgraph, query_tuple=entities, d=d, distances=kept_distances
+    )

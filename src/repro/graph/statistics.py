@@ -1,0 +1,119 @@
+"""Offline, query-independent graph statistics (Sec. III-B of the paper).
+
+Two statistics drive GQBE's edge weighting and are precomputed once per
+data graph because they do not depend on the query:
+
+* **Inverse edge-label frequency** (Eq. 3)::
+
+      ief(e) = log(|E(G)| / #label(e))
+
+  Labels that appear rarely in the whole graph (e.g. ``founded``) receive a
+  larger weight than ubiquitous ones (e.g. ``nationality``).
+
+* **Participation degree** (Eq. 4)::
+
+      p(e) = |{e' = (u', v') : label(e') = label(e) and (u' = u or v' = v)}|
+
+  An edge is locally less important if many edges with the same label share
+  one of its endpoints on the same side (e.g. the ``employment`` edges of a
+  large company).  Note the asymmetry in Eq. 4: the *subject* of ``e'`` is
+  compared against the subject of ``e`` and the *object* against the object;
+  an edge with the same label that merely touches an endpoint on the other
+  side does not count.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.exceptions import GraphError
+from repro.graph.knowledge_graph import Edge, KnowledgeGraph
+
+
+class GraphStatistics:
+    """Precomputed label-frequency and participation statistics for a graph.
+
+    Parameters
+    ----------
+    graph:
+        The data graph ``G``.  The statistics refer to the *whole* data
+        graph even when weights are later assigned to edges of a
+        neighborhood subgraph, exactly as the paper prescribes.
+    """
+
+    def __init__(self, graph: KnowledgeGraph) -> None:
+        if graph.num_edges == 0:
+            raise GraphError("cannot compute statistics of an empty graph")
+        self._graph = graph
+        self._total_edges = graph.num_edges
+        self._label_counts: dict[str, int] = graph.label_counts()
+        # (subject, label) -> number of edges from that subject with that label
+        self._out_label_counts: dict[tuple[str, str], int] = {}
+        # (object, label) -> number of edges into that object with that label
+        self._in_label_counts: dict[tuple[str, str], int] = {}
+        for edge in graph.edges:
+            out_key = (edge.subject, edge.label)
+            in_key = (edge.object, edge.label)
+            self._out_label_counts[out_key] = self._out_label_counts.get(out_key, 0) + 1
+            self._in_label_counts[in_key] = self._in_label_counts.get(in_key, 0) + 1
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> KnowledgeGraph:
+        """The data graph these statistics were computed from."""
+        return self._graph
+
+    @property
+    def total_edges(self) -> int:
+        """|E(G)| — the total number of edges in the data graph."""
+        return self._total_edges
+
+    def label_frequency(self, label: str) -> int:
+        """#label(e) — number of edges in G bearing ``label``."""
+        return self._label_counts.get(label, 0)
+
+    def inverse_edge_label_frequency(self, edge: Edge | str) -> float:
+        """ief(e) per Eq. 3; accepts an :class:`Edge` or a bare label.
+
+        Unknown labels are treated as having frequency 1 (the rarest
+        possible), which keeps the function total and monotone.
+        """
+        label = edge.label if isinstance(edge, Edge) else edge
+        frequency = max(self._label_counts.get(label, 1), 1)
+        return math.log(self._total_edges / frequency)
+
+    # Short aliases mirroring the paper's notation -----------------------
+    def ief(self, edge: Edge | str) -> float:
+        """Alias for :meth:`inverse_edge_label_frequency`."""
+        return self.inverse_edge_label_frequency(edge)
+
+    def participation_degree(self, edge: Edge) -> int:
+        """p(e) per Eq. 4 (at least 1, since ``e`` itself participates)."""
+        same_subject = self._out_label_counts.get((edge.subject, edge.label), 0)
+        same_object = self._in_label_counts.get((edge.object, edge.label), 0)
+        # Edges counted by both terms are exactly those with the same
+        # subject *and* object and the same label; in a set-of-triples
+        # multigraph that is just the edge itself (if present).
+        overlap = 1 if self._graph.has_edge(*edge) else 0
+        degree = same_subject + same_object - overlap
+        return max(degree, 1)
+
+    def p(self, edge: Edge) -> int:
+        """Alias for :meth:`participation_degree`."""
+        return self.participation_degree(edge)
+
+    # ------------------------------------------------------------------
+    def base_edge_weight(self, edge: Edge) -> float:
+        """w(e) = ief(e) / p(e) — Eq. 2, used for MQG discovery."""
+        return self.inverse_edge_label_frequency(edge) / self.participation_degree(edge)
+
+    def weights_for(self, edges: Iterable[Edge]) -> dict[Edge, float]:
+        """Convenience: Eq. 2 weights for every edge in ``edges``."""
+        return {edge: self.base_edge_weight(edge) for edge in edges}
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(edges={self._total_edges}, "
+            f"labels={len(self._label_counts)})"
+        )

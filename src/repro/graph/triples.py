@@ -1,0 +1,130 @@
+"""Triple (RDF-style) parsing and serialization.
+
+GQBE stores knowledge graphs as sets of ``(subject, property, object)``
+triples (Sec. V-A of the paper).  This module supports two plain-text
+formats:
+
+* **TSV** — one triple per line, tab-separated: ``subject<TAB>label<TAB>object``.
+* **NT-like** — a simplified N-Triples syntax:
+  ``<subject> <label> <object> .`` with angle-bracketed terms.
+
+Both readers skip blank lines and ``#`` comments and report precise line
+numbers on malformed input via :class:`~repro.exceptions.TripleParseError`.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.exceptions import TripleParseError
+from repro.graph.knowledge_graph import Edge, KnowledgeGraph
+
+#: A triple is just an Edge; the alias documents intent at call sites that
+#: deal with files rather than graphs.
+Triple = Edge
+
+
+def _parse_tsv_line(line: str, line_number: int) -> Triple:
+    parts = line.rstrip("\n").split("\t")
+    if len(parts) != 3:
+        raise TripleParseError(line_number, line, "expected 3 tab-separated fields")
+    subject, label, obj = (part.strip() for part in parts)
+    if not subject or not label or not obj:
+        raise TripleParseError(line_number, line, "empty field")
+    return Triple(subject, label, obj)
+
+
+def _parse_nt_line(line: str, line_number: int) -> Triple:
+    stripped = line.strip()
+    if not stripped.endswith("."):
+        raise TripleParseError(line_number, line, "missing trailing '.'")
+    body = stripped[:-1].strip()
+    terms: list[str] = []
+    rest = body
+    for _ in range(3):
+        rest = rest.lstrip()
+        if not rest.startswith("<"):
+            raise TripleParseError(line_number, line, "terms must be <bracketed>")
+        end = rest.find(">")
+        if end < 0:
+            raise TripleParseError(line_number, line, "unterminated term")
+        terms.append(rest[1:end])
+        rest = rest[end + 1:]
+    if rest.strip():
+        raise TripleParseError(line_number, line, "trailing content after 3 terms")
+    subject, label, obj = terms
+    if not subject or not label or not obj:
+        raise TripleParseError(line_number, line, "empty term")
+    return Triple(subject, label, obj)
+
+
+def _detect_format(first_line: str) -> str:
+    return "nt" if first_line.lstrip().startswith("<") else "tsv"
+
+
+def iter_triples(lines: Iterable[str], fmt: str = "auto") -> Iterator[Triple]:
+    """Yield triples parsed from an iterable of text lines.
+
+    ``fmt`` is one of ``"tsv"``, ``"nt"`` or ``"auto"`` (detected from the
+    first non-comment line).
+    """
+    parser = None
+    if fmt == "tsv":
+        parser = _parse_tsv_line
+    elif fmt == "nt":
+        parser = _parse_nt_line
+    elif fmt != "auto":
+        raise ValueError(f"unknown triple format {fmt!r}")
+
+    for line_number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if parser is None:
+            parser = _parse_nt_line if _detect_format(line) == "nt" else _parse_tsv_line
+        yield parser(line, line_number)
+
+
+def triples_from_strings(text: str, fmt: str = "auto") -> list[Triple]:
+    """Parse triples out of a multi-line string."""
+    return list(iter_triples(io.StringIO(text), fmt=fmt))
+
+
+def read_triples(path: str | Path, fmt: str = "auto") -> list[Triple]:
+    """Read all triples from a file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return list(iter_triples(handle, fmt=fmt))
+
+
+def load_graph(path: str | Path, fmt: str = "auto") -> KnowledgeGraph:
+    """Read a triple file and return it as a :class:`KnowledgeGraph`."""
+    return KnowledgeGraph(read_triples(path, fmt=fmt))
+
+
+def write_triples(
+    triples: Iterable[Triple], path: str | Path, fmt: str = "tsv"
+) -> int:
+    """Write triples to ``path`` in the requested format; return the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for triple in triples:
+            handle.write(format_triple(triple, fmt=fmt))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def format_triple(triple: Triple, fmt: str = "tsv") -> str:
+    """Render one triple as a line of text in the requested format."""
+    if fmt == "tsv":
+        return f"{triple.subject}\t{triple.label}\t{triple.object}"
+    if fmt == "nt":
+        return f"<{triple.subject}> <{triple.label}> <{triple.object}> ."
+    raise ValueError(f"unknown triple format {fmt!r}")
+
+
+def graph_to_triples(graph: KnowledgeGraph) -> list[Triple]:
+    """Return the graph's edges as a sorted, deterministic list of triples."""
+    return sorted(graph.edges)

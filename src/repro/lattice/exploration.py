@@ -1,0 +1,404 @@
+"""Best-first exploration of the query lattice (Algorithms 2 and 3).
+
+The exploration keeps three mutually exclusive sets of lattice nodes —
+evaluated, pruned and unevaluated — plus two frontiers:
+
+* the **lower frontier** ``LF``: unevaluated, unpruned candidates that are
+  either minimal query trees or have an evaluated child; the next node to
+  evaluate (``Q_best``) is the LF node with the highest upper-bound score;
+* the **upper frontier** ``UF``: maximal unpruned nodes; the upper bound of
+  an LF node is the best structure score among the UF nodes that subsume it
+  (Definitions 8–9).
+
+Evaluating a node reuses the materialized answers of one of its already
+evaluated children as the probe relation of a single hash join (Sec. V-A/B).
+When a node turns out to have no answers (a *null node*) it and all its
+ancestors are pruned (Property 3), the UF is recomputed by the equivalent of
+Algorithm 3, and upper bounds of dirty LF nodes are refreshed.
+
+The exploration runs in two stages (Sec. V-B): stage one ranks answer
+tuples by the structure score only and stops once the current k'-th best
+answer beats every remaining upper bound (Theorem 4); stage two re-ranks the
+top-k' answers with the full scoring function (structure + content, Eq. 5)
+and returns the top-k.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.exceptions import LatticeError
+from repro.lattice.minimal_trees import minimal_query_trees
+from repro.lattice.query_graph import LatticeSpace
+from repro.lattice.scoring import content_score, structure_score
+from repro.storage.join import Relation, evaluate_query_edges, extend_with_edge
+from repro.storage.store import VerticalPartitionStore
+
+#: Default stage-one oversampling: the paper reports best accuracy with
+#: k' ≈ 100 for k between 10 and 25.
+DEFAULT_K_PRIME = 100
+
+
+@dataclass(frozen=True)
+class RankedAnswer:
+    """One answer tuple with its scores and provenance."""
+
+    entities: tuple[str, ...]
+    score: float
+    structure_score: float
+    content_score: float
+    query_graph_mask: int
+
+    def __iter__(self):
+        return iter(self.entities)
+
+
+@dataclass
+class ExplorationStatistics:
+    """Counters describing one lattice exploration run."""
+
+    nodes_evaluated: int = 0
+    null_nodes: int = 0
+    nodes_skipped: int = 0
+    upper_frontier_recomputations: int = 0
+    answers_found: int = 0
+    terminated_early: bool = False
+    node_budget_exhausted: bool = False
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class ExplorationResult:
+    """Top-k answers plus the statistics of the run that produced them."""
+
+    answers: list[RankedAnswer]
+    statistics: ExplorationStatistics
+    lattice_size_hint: int = 0
+
+    def answer_tuples(self) -> list[tuple[str, ...]]:
+        """Just the entity tuples, in rank order."""
+        return [answer.entities for answer in self.answers]
+
+
+def drop_trivial_self_match(relation: Relation) -> Relation:
+    """Remove the identity match (the query graph matching itself).
+
+    Definition 3 of the paper excludes the trivial answer graph in which
+    every query-graph node is mapped to itself; a lattice node whose only
+    match is that identity mapping is therefore a *null* node.
+    """
+    variables = relation.variables
+    kept = [
+        row
+        for row in relation.rows
+        if any(value != variables[i] for i, value in enumerate(row))
+    ]
+    if len(kept) == len(relation.rows):
+        return relation
+    return Relation(variables=variables, rows=kept)
+
+
+@dataclass
+class _AnswerRecord:
+    best_structure: float = 0.0
+    best_full: float = 0.0
+    best_content: float = 0.0
+    best_mask: int = 0
+
+    def update(self, structure: float, content: float, mask: int) -> None:
+        if structure > self.best_structure:
+            self.best_structure = structure
+        full = structure + content
+        if full > self.best_full:
+            self.best_full = full
+            self.best_content = content
+            self.best_mask = mask
+
+
+class BestFirstExplorer:
+    """Algorithm 2 (with Algorithm 3 pruning bookkeeping) over one lattice."""
+
+    def __init__(
+        self,
+        space: LatticeSpace,
+        store: VerticalPartitionStore,
+        k: int = 10,
+        k_prime: int | None = None,
+        excluded_tuples: Iterable[tuple[str, ...]] = (),
+        max_rows: int | None = None,
+        node_budget: int | None = None,
+    ) -> None:
+        if k < 1:
+            raise LatticeError(f"k must be positive, got {k}")
+        self.space = space
+        self.store = store
+        self.k = k
+        self.k_prime = k_prime if k_prime is not None else max(DEFAULT_K_PRIME, 4 * k)
+        self.excluded_tuples = {tuple(t) for t in excluded_tuples}
+        self.max_rows = max_rows
+        self.node_budget = node_budget
+
+        self._evaluated: dict[int, Relation] = {}
+        self._null_masks: list[int] = []
+        self._upper_frontier: set[int] = {space.full_mask}
+        self._lower_frontier: dict[int, float] = {}
+        self._answers: dict[tuple[str, ...], _AnswerRecord] = {}
+        self._stats = ExplorationStatistics()
+
+    # ------------------------------------------------------------------
+    # pruning / upper bounds
+    # ------------------------------------------------------------------
+    def _is_pruned(self, mask: int) -> bool:
+        """Whether ``mask`` subsumes some null node (Property 3)."""
+        return any((mask & null) == null for null in self._null_masks)
+
+    def _upper_bound(self, mask: int) -> float | None:
+        """U(Q): best structure score among UF nodes subsuming ``mask``."""
+        best: float | None = None
+        for frontier_mask in self._upper_frontier:
+            if (frontier_mask & mask) == mask:
+                score = structure_score(self.space, frontier_mask)
+                if best is None or score > best:
+                    best = score
+        return best
+
+    def _add_to_lower_frontier(self, mask: int) -> None:
+        if mask in self._evaluated or mask in self._lower_frontier:
+            return
+        if self._is_pruned(mask):
+            return
+        bound = self._upper_bound(mask)
+        if bound is None:
+            return
+        self._lower_frontier[mask] = bound
+
+    def _recompute_upper_frontier(self, null_mask: int) -> None:
+        """Algorithm 3: rebuild the UF after pruning ``null_mask``'s ancestors."""
+        self._stats.upper_frontier_recomputations += 1
+        pruned_frontier = [
+            frontier_mask
+            for frontier_mask in self._upper_frontier
+            if (frontier_mask & null_mask) == null_mask
+        ]
+        for frontier_mask in pruned_frontier:
+            self._upper_frontier.discard(frontier_mask)
+
+        candidates: set[int] = set()
+        null_bits = [1 << i for i in range(self.space.num_edges) if null_mask & (1 << i)]
+        for frontier_mask in pruned_frontier:
+            for bit in null_bits:
+                candidate = frontier_mask & ~bit
+                if candidate == 0:
+                    continue
+                component = self.space.connected_component_mask(candidate)
+                if component == 0 or self._is_pruned(component):
+                    continue
+                candidates.add(component)
+
+        for candidate in sorted(candidates, key=lambda m: -bin(m).count("1")):
+            subsumed = any(
+                (other | candidate) == other and other != candidate
+                for other in self._upper_frontier
+            )
+            if not subsumed:
+                self._upper_frontier.add(candidate)
+
+        # Refresh the (possibly dirty) lower-frontier upper bounds.
+        for mask in list(self._lower_frontier):
+            if self._is_pruned(mask):
+                del self._lower_frontier[mask]
+                continue
+            bound = self._upper_bound(mask)
+            if bound is None:
+                del self._lower_frontier[mask]
+            else:
+                self._lower_frontier[mask] = bound
+
+    # ------------------------------------------------------------------
+    # evaluation of one lattice node
+    # ------------------------------------------------------------------
+    def _evaluate_mask(self, mask: int) -> Relation | None:
+        """Materialize the answers of ``mask``, reusing an evaluated child.
+
+        Among the already evaluated children the one with the fewest rows is
+        used as the probe relation (smallest intermediate result).  When the
+        join blows past ``max_rows`` the node is reported as too expensive
+        (``None``) so the caller can skip it without (incorrectly) treating
+        it as a null node.
+        """
+        best_child: tuple[int, int] | None = None  # (rows, edge bit index)
+        for i in range(self.space.num_edges):
+            bit = 1 << i
+            if not mask & bit:
+                continue
+            child = mask & ~bit
+            if child not in self._evaluated:
+                continue
+            child_relation = self._evaluated[child]
+            if child_relation.is_empty():
+                continue
+            edge = self.space.edge_list[i]
+            if child_relation.has_variable(edge.subject) or child_relation.has_variable(
+                edge.object
+            ):
+                if best_child is None or child_relation.num_rows < best_child[0]:
+                    best_child = (child_relation.num_rows, i)
+        try:
+            if best_child is not None:
+                i = best_child[1]
+                child_relation = self._evaluated[mask & ~(1 << i)]
+                relation = extend_with_edge(
+                    self.store,
+                    child_relation,
+                    self.space.edge_list[i],
+                    max_rows=self.max_rows,
+                )
+            else:
+                relation = evaluate_query_edges(
+                    self.store, self.space.edges_of(mask), max_rows=self.max_rows
+                )
+            return relation
+        except LatticeError:
+            return None
+
+    def _record_answers(self, mask: int, relation: Relation) -> None:
+        entities = self.space.query_tuple
+        try:
+            entity_columns = [relation.column(entity) for entity in entities]
+        except KeyError:
+            # A valid query graph always covers the query entities; missing
+            # columns mean the relation is degenerate (empty schema).
+            return
+        mask_structure = structure_score(self.space, mask)
+        edges = self.space.edges_of(mask)
+        variables = relation.variables
+
+        for row in relation.rows:
+            answer = tuple(row[col] for col in entity_columns)
+            if answer in self.excluded_tuples:
+                continue
+            matched = {
+                variables[i]
+                for i, value in enumerate(row)
+                if value == variables[i]
+            }
+            if matched:
+                binding = dict(zip(variables, row))
+                content = content_score(self.space, edges, binding)
+            else:
+                content = 0.0
+            record = self._answers.get(answer)
+            if record is None:
+                record = _AnswerRecord()
+                self._answers[answer] = record
+            record.update(mask_structure, content, mask)
+
+    # ------------------------------------------------------------------
+    # termination
+    # ------------------------------------------------------------------
+    def _stage_one_threshold(self) -> float | None:
+        """Structure score of the current k'-th best answer (None if too few)."""
+        if len(self._answers) < self.k_prime:
+            return None
+        scores = sorted(
+            (record.best_structure for record in self._answers.values()), reverse=True
+        )
+        return scores[self.k_prime - 1]
+
+    def _should_terminate(self) -> bool:
+        if not self._lower_frontier:
+            return True
+        threshold = self._stage_one_threshold()
+        if threshold is None:
+            return False
+        best_remaining = max(self._lower_frontier.values())
+        # Theorem 4 uses a strict inequality; we also stop on equality,
+        # which preserves the top-k guarantee up to ties (an unevaluated
+        # node whose upper bound equals the k'-th score can at best tie it,
+        # never beat it).  This matters on graphs where the full MQG itself
+        # has k' exact matches and the strict bound would force an
+        # exhaustive sweep.
+        return threshold >= best_remaining
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> ExplorationResult:
+        """Execute the best-first exploration and return the top-k answers."""
+        start = time.perf_counter()
+        leaves = minimal_query_trees(self.space)
+        if not leaves:
+            raise LatticeError("the query lattice has no minimal query trees")
+        for leaf in leaves:
+            self._add_to_lower_frontier(leaf)
+
+        while self._lower_frontier:
+            if self.node_budget is not None and self._stats.nodes_evaluated >= self.node_budget:
+                self._stats.node_budget_exhausted = True
+                break
+            # Highest upper bound first; among ties prefer the smaller query
+            # graph — it is cheaper to join and, if null, prunes more.
+            best_mask = max(
+                self._lower_frontier,
+                key=lambda m: (self._lower_frontier[m], -bin(m).count("1"), m),
+            )
+            del self._lower_frontier[best_mask]
+            if self._is_pruned(best_mask):
+                continue
+
+            relation = self._evaluate_mask(best_mask)
+            self._stats.nodes_evaluated += 1
+            if relation is None:
+                # Too expensive to materialize under the row cap; skip it
+                # without pruning (it may still have answers).
+                self._stats.nodes_skipped += 1
+                continue
+
+            # The trivial self-match does not count as an answer graph
+            # (Definition 3), so a node whose only match is the identity
+            # mapping is a null node.  The unfiltered relation is still kept
+            # for extending parents (Property 1 works on all matches).
+            effective = drop_trivial_self_match(relation)
+            if effective.is_empty():
+                self._stats.null_nodes += 1
+                self._null_masks.append(best_mask)
+                self._recompute_upper_frontier(best_mask)
+            else:
+                self._evaluated[best_mask] = relation
+                self._record_answers(best_mask, effective)
+                for parent in self.space.parents_of(best_mask):
+                    self._add_to_lower_frontier(parent)
+
+            if self._should_terminate():
+                self._stats.terminated_early = bool(self._lower_frontier)
+                break
+
+        self._stats.answers_found = len(self._answers)
+        self._stats.elapsed_seconds = time.perf_counter() - start
+        return ExplorationResult(
+            answers=self._final_ranking(),
+            statistics=self._stats,
+            lattice_size_hint=2 ** self.space.num_edges,
+        )
+
+    def _final_ranking(self) -> list[RankedAnswer]:
+        """Stage two: re-rank the top-k' answers by the full score, keep top-k."""
+        by_structure = sorted(
+            self._answers.items(),
+            key=lambda item: (-item[1].best_structure, item[0]),
+        )[: self.k_prime]
+        by_full = sorted(
+            by_structure, key=lambda item: (-item[1].best_full, item[0])
+        )[: self.k]
+        return [
+            RankedAnswer(
+                entities=answer,
+                score=record.best_full,
+                structure_score=record.best_structure,
+                content_score=record.best_content,
+                query_graph_mask=record.best_mask,
+            )
+            for answer, record in by_full
+        ]

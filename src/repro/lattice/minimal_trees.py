@@ -1,0 +1,137 @@
+"""Minimal query trees — the leaf nodes of the query lattice (Definition 7).
+
+A minimal query tree is a query graph none of whose subgraphs is still a
+query graph: removing any edge either disconnects it or drops a query
+entity.  Such a graph is necessarily a tree, and it can only use edges that
+lie on undirected paths between query entities — i.e. edges of the MQG's
+*core component* (Sec. IV-A).
+
+The paper enumerates all spanning trees of the core component and trims
+them: repeatedly delete non-query nodes of degree one together with their
+edges; distinct results are the minimal query trees.  Because the MQG is
+small (r ≈ 15 edges) exhaustive enumeration is cheap; we enumerate edge
+subsets of the right cardinality and keep those that form spanning trees.
+
+Single-entity query tuples are a degenerate case the paper does not spell
+out: the core component has no edges, so we take each MQG edge incident on
+the query entity as a (single-edge) minimal query tree, which keeps the
+lattice's bottom level non-trivial and matches how queries like
+``<C>`` behave in the evaluation.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.graph.knowledge_graph import Edge
+from repro.lattice.query_graph import LatticeSpace
+
+
+def _spanning_trees(edges: list[Edge]) -> list[frozenset[Edge]]:
+    """All spanning trees of the (small) graph formed by ``edges``."""
+    nodes: set[str] = set()
+    for edge in edges:
+        nodes.add(edge.subject)
+        nodes.add(edge.object)
+    tree_size = len(nodes) - 1
+    if tree_size <= 0:
+        return []
+
+    trees: list[frozenset[Edge]] = []
+    for subset in combinations(edges, tree_size):
+        adjacency: dict[str, list[str]] = {node: [] for node in nodes}
+        for edge in subset:
+            adjacency[edge.subject].append(edge.object)
+            adjacency[edge.object].append(edge.subject)
+        start = next(iter(nodes))
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbor in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        if len(seen) == len(nodes):
+            trees.append(frozenset(subset))
+    return trees
+
+
+def _trim_tree(tree: frozenset[Edge], query_entities: set[str]) -> frozenset[Edge]:
+    """Iteratively remove degree-1 non-query nodes and their edges."""
+    edges = set(tree)
+    changed = True
+    while changed and edges:
+        changed = False
+        degree: dict[str, int] = {}
+        for edge in edges:
+            degree[edge.subject] = degree.get(edge.subject, 0) + 1
+            degree[edge.object] = degree.get(edge.object, 0) + 1
+        removable_nodes = {
+            node
+            for node, count in degree.items()
+            if count == 1 and node not in query_entities
+        }
+        if not removable_nodes:
+            break
+        for edge in list(edges):
+            if edge.subject in removable_nodes or edge.object in removable_nodes:
+                edges.discard(edge)
+                changed = True
+    return frozenset(edges)
+
+
+def _minimal_masks_from(
+    space: LatticeSpace, edges: list[Edge], entities: set[str]
+) -> set[int]:
+    """Spanning trees of ``edges`` trimmed down to minimal query trees."""
+    minimal: set[int] = set()
+    for tree in _spanning_trees(edges):
+        trimmed = _trim_tree(tree, entities)
+        if not trimmed:
+            continue
+        mask = space.mask_of(trimmed)
+        if space.is_valid_query_graph(mask):
+            minimal.add(mask)
+    return minimal
+
+
+def minimal_query_trees(space: LatticeSpace) -> list[int]:
+    """Enumerate the masks of all minimal query trees of the lattice.
+
+    The result is deduplicated and deterministic (sorted by mask value).
+    """
+    entities = set(space.query_tuple)
+
+    if len(entities) == 1:
+        entity = next(iter(entities))
+        leaves = {
+            1 << i
+            for i, edge in enumerate(space.edge_list)
+            if edge.subject == entity or edge.object == entity
+        }
+        return sorted(leaves)
+
+    core_edges = [
+        edge
+        for i, edge in enumerate(space.edge_list)
+        if (1 << i) & space.core_mask
+    ]
+    if not core_edges:
+        # Fall back to the whole MQG if the core bookkeeping is missing.
+        core_edges = list(space.edge_list)
+
+    minimal = _minimal_masks_from(space, core_edges, entities)
+    if not minimal and len(core_edges) != len(space.edge_list):
+        # The recorded core was too small to connect all query entities
+        # (possible after aggressive trimming of merged MQGs); retry with
+        # the whole MQG, which is weakly connected by construction.
+        minimal = _minimal_masks_from(space, list(space.edge_list), entities)
+
+    # Remove non-minimal duplicates: a leaf must not subsume another leaf.
+    masks = sorted(minimal, key=lambda m: (bin(m).count("1"), m))
+    leaves: list[int] = []
+    for mask in masks:
+        if not any((mask | kept) == mask and kept != mask for kept in leaves):
+            leaves.append(mask)
+    return sorted(leaves)

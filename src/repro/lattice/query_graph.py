@@ -1,0 +1,228 @@
+"""The lattice space: query graphs as bitmasks over the MQG's edge list.
+
+The query lattice (Definition 6) is the poset of all query graphs — weakly
+connected subgraphs of the MQG containing every query entity — ordered by
+the subgraph relation.  Following the paper (Sec. V-C complexity analysis),
+each query graph is represented as a **bit vector** over the MQG's edges:
+bit ``i`` is set when edge ``i`` belongs to the query graph.  Subsumption
+tests, children/parents generation and the pruning bookkeeping of
+Algorithm 3 then reduce to integer bit operations.
+
+:class:`LatticeSpace` holds everything that is shared by all query graphs of
+one query: the ordered MQG edge list, the scoring weights, the query
+entities and the per-node incident-edge counts used by the content score.
+:class:`QueryGraph` is a lightweight handle (space + mask).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.exceptions import LatticeError
+from repro.graph.knowledge_graph import Edge
+from repro.discovery.mqg import MaximalQueryGraph
+
+
+class LatticeSpace:
+    """Shared context for every query graph in one query's lattice."""
+
+    def __init__(self, mqg: MaximalQueryGraph) -> None:
+        if mqg.num_edges == 0:
+            raise LatticeError("cannot build a lattice over an MQG with no edges")
+        self.mqg = mqg
+        self.query_tuple: tuple[str, ...] = tuple(mqg.query_tuple)
+        #: Deterministic edge order; bit i of a mask refers to edge_list[i].
+        self.edge_list: tuple[Edge, ...] = tuple(mqg.edges())
+        self.edge_index: dict[Edge, int] = {
+            edge: i for i, edge in enumerate(self.edge_list)
+        }
+        self.weights: tuple[float, ...] = tuple(
+            mqg.edge_weights.get(edge, 0.0) for edge in self.edge_list
+        )
+        #: |E(v)| in the MQG for every node v (content score denominator).
+        self.incident_counts: dict[str, int] = {
+            node: mqg.graph.degree(node) for node in mqg.graph.nodes
+        }
+        self.full_mask: int = (1 << len(self.edge_list)) - 1
+        self.core_mask: int = self.mask_of(mqg.core_edges)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of MQG edges (bit width of masks)."""
+        return len(self.edge_list)
+
+    def mask_of(self, edges: Iterable[Edge]) -> int:
+        """Bitmask for a collection of MQG edges."""
+        mask = 0
+        for edge in edges:
+            try:
+                mask |= 1 << self.edge_index[edge]
+            except KeyError:
+                raise LatticeError(f"edge {edge!r} is not part of the MQG") from None
+        return mask
+
+    def edges_of(self, mask: int) -> list[Edge]:
+        """The MQG edges selected by ``mask``."""
+        return [self.edge_list[i] for i in self._bit_positions(mask)]
+
+    def weight_of_mask(self, mask: int) -> float:
+        """Sum of edge weights selected by ``mask`` (the structure score)."""
+        return sum(self.weights[i] for i in self._bit_positions(mask))
+
+    def nodes_of(self, mask: int) -> set[str]:
+        """The nodes touched by the edges of ``mask``."""
+        nodes: set[str] = set()
+        for i in self._bit_positions(mask):
+            edge = self.edge_list[i]
+            nodes.add(edge.subject)
+            nodes.add(edge.object)
+        return nodes
+
+    @staticmethod
+    def _bit_positions(mask: int) -> Iterator[int]:
+        position = 0
+        while mask:
+            if mask & 1:
+                yield position
+            mask >>= 1
+            position += 1
+
+    # ------------------------------------------------------------------
+    def is_weakly_connected_mask(self, mask: int) -> bool:
+        """Whether the edges of ``mask`` form a weakly connected graph."""
+        edges = self.edges_of(mask)
+        if not edges:
+            return False
+        adjacency: dict[str, list[str]] = {}
+        for edge in edges:
+            adjacency.setdefault(edge.subject, []).append(edge.object)
+            adjacency.setdefault(edge.object, []).append(edge.subject)
+        start = edges[0].subject
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbor in adjacency.get(node, ()):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return len(seen) == len(adjacency)
+
+    def contains_query_entities(self, mask: int) -> bool:
+        """Whether every query entity is an endpoint of some edge in ``mask``."""
+        nodes = self.nodes_of(mask)
+        return all(entity in nodes for entity in self.query_tuple)
+
+    def is_valid_query_graph(self, mask: int) -> bool:
+        """Definition 2: weakly connected and containing all query entities."""
+        if mask == 0:
+            return False
+        return self.contains_query_entities(mask) and self.is_weakly_connected_mask(mask)
+
+    def query_graph(self, mask: int) -> "QueryGraph":
+        """Wrap ``mask`` into a :class:`QueryGraph` handle."""
+        return QueryGraph(space=self, mask=mask)
+
+    def connected_component_mask(self, mask: int) -> int:
+        """Mask of the weakly connected component of ``mask`` containing the query entities.
+
+        Returns 0 when the query entities are not all inside one component of
+        the edge-induced subgraph.  This is the ``Q_sub`` construction used
+        by Algorithm 3.
+        """
+        edges = [(i, self.edge_list[i]) for i in self._bit_positions(mask)]
+        if not edges:
+            return 0
+        adjacency: dict[str, list[tuple[int, str]]] = {}
+        for index, edge in edges:
+            adjacency.setdefault(edge.subject, []).append((index, edge.object))
+            adjacency.setdefault(edge.object, []).append((index, edge.subject))
+        entities = self.query_tuple
+        for entity in entities:
+            if entity not in adjacency:
+                return 0
+        start = entities[0]
+        seen_nodes = {start}
+        component_mask = 0
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for index, other in adjacency.get(node, ()):
+                component_mask |= 1 << index
+                if other not in seen_nodes:
+                    seen_nodes.add(other)
+                    stack.append(other)
+        if not all(entity in seen_nodes for entity in entities):
+            return 0
+        return component_mask
+
+    # ------------------------------------------------------------------
+    def parents_of(self, mask: int) -> list[int]:
+        """Masks of the query graphs with exactly one more edge (Definition 6)."""
+        nodes = self.nodes_of(mask)
+        parents: list[int] = []
+        for i, edge in enumerate(self.edge_list):
+            bit = 1 << i
+            if mask & bit:
+                continue
+            if edge.subject in nodes or edge.object in nodes:
+                parents.append(mask | bit)
+        return parents
+
+    def children_of(self, mask: int) -> list[int]:
+        """Masks of the valid query graphs with exactly one less edge."""
+        children: list[int] = []
+        for i in self._bit_positions(mask):
+            candidate = mask & ~(1 << i)
+            if candidate and self.is_valid_query_graph(candidate):
+                children.append(candidate)
+        return children
+
+
+@dataclass(frozen=True)
+class QueryGraph:
+    """A query graph: a bitmask over its :class:`LatticeSpace`'s edge list."""
+
+    space: LatticeSpace
+    mask: int
+
+    @property
+    def edges(self) -> list[Edge]:
+        """The MQG edges belonging to this query graph."""
+        return self.space.edges_of(self.mask)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in this query graph."""
+        return bin(self.mask).count("1")
+
+    @property
+    def nodes(self) -> set[str]:
+        """The nodes of this query graph."""
+        return self.space.nodes_of(self.mask)
+
+    @property
+    def structure_score(self) -> float:
+        """s_score(Q): total edge weight (Eq. 5)."""
+        return self.space.weight_of_mask(self.mask)
+
+    def is_valid(self) -> bool:
+        """Definition 2 check."""
+        return self.space.is_valid_query_graph(self.mask)
+
+    def subsumes(self, other: "QueryGraph") -> bool:
+        """Whether ``other`` is a subgraph of (or equal to) this query graph."""
+        return (self.mask | other.mask) == self.mask
+
+    def __hash__(self) -> int:
+        return hash(self.mask)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryGraph):
+            return NotImplemented
+        return self.mask == other.mask and self.space is other.space
+
+    def __repr__(self) -> str:
+        return f"QueryGraph(mask={self.mask:b}, edges={self.num_edges})"

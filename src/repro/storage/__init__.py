@@ -1,0 +1,35 @@
+"""Relational-style storage and join engine for query graph evaluation.
+
+GQBE stores the data graph with the *vertical partitioning* scheme
+(Sec. V-A): one two-column ``(subj, obj)`` table per distinct edge label,
+hash-indexed on both columns and kept in memory.  Evaluating a query graph
+is then a multi-way join over these tables; this package provides:
+
+* :class:`~repro.storage.table.EdgeTable` — a single per-label table with
+  subject and object hash indexes,
+* :class:`~repro.storage.store.VerticalPartitionStore` — the collection of
+  all per-label tables for a data graph,
+* :mod:`repro.storage.plan` — join-order planning for a query graph,
+* :mod:`repro.storage.join` — the hash-join evaluator, including the
+  one-edge *extension* step used by the lattice exploration to reuse a
+  child query graph's materialized answers.
+"""
+
+from repro.storage.join import (
+    Relation,
+    evaluate_query_edges,
+    extend_with_edge,
+)
+from repro.storage.plan import JoinPlan, plan_join_order
+from repro.storage.store import VerticalPartitionStore
+from repro.storage.table import EdgeTable
+
+__all__ = [
+    "EdgeTable",
+    "VerticalPartitionStore",
+    "JoinPlan",
+    "plan_join_order",
+    "Relation",
+    "evaluate_query_edges",
+    "extend_with_edge",
+]

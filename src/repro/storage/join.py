@@ -1,0 +1,213 @@
+"""Hash-join evaluation of query graphs over the vertical-partition store.
+
+A query graph's nodes act as join variables; its edges are lookups into the
+per-label tables.  The evaluator materializes *relations*: sets of variable
+bindings (one row per candidate answer graph).  Definition 3 of the paper
+requires the node mapping to be a bijection, so rows never bind two distinct
+query nodes to the same data entity when ``injective=True`` (the default).
+
+Two entry points are provided:
+
+* :func:`evaluate_query_edges` — evaluate a whole query graph from scratch
+  using a right-deep chain of hash joins in a planned order.
+* :func:`extend_with_edge` — the incremental step used by the lattice
+  exploration (Sec. V-B): take the materialized answers of a child query
+  graph ``Q' = Q − e`` as the probe relation and join one more edge ``e``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import LatticeError
+from repro.graph.knowledge_graph import Edge
+from repro.storage.plan import plan_join_order
+from repro.storage.store import VerticalPartitionStore
+
+
+@dataclass
+class Relation:
+    """A set of variable bindings produced by joining query-graph edges.
+
+    Attributes
+    ----------
+    variables:
+        Query-graph node names, in column order.
+    rows:
+        Data-entity tuples aligned with ``variables``.
+    """
+
+    variables: tuple[str, ...]
+    rows: list[tuple[str, ...]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._index = {var: i for i, var in enumerate(self.variables)}
+
+    @property
+    def num_rows(self) -> int:
+        """Number of binding rows."""
+        return len(self.rows)
+
+    def is_empty(self) -> bool:
+        """Whether the relation has no rows."""
+        return not self.rows
+
+    def has_variable(self, variable: str) -> bool:
+        """Whether ``variable`` is one of the columns."""
+        return variable in self._index
+
+    def column(self, variable: str) -> int:
+        """Column index of ``variable``; raises ``KeyError`` if absent."""
+        return self._index[variable]
+
+    def bindings(self) -> Iterable[dict[str, str]]:
+        """Yield each row as a ``{variable: entity}`` mapping."""
+        for row in self.rows:
+            yield dict(zip(self.variables, row))
+
+    def project(self, variables: Sequence[str]) -> list[tuple[str, ...]]:
+        """Project rows onto ``variables`` (order preserved, duplicates kept)."""
+        indexes = [self._index[var] for var in variables]
+        return [tuple(row[i] for i in indexes) for row in self.rows]
+
+    def distinct_projection(self, variables: Sequence[str]) -> set[tuple[str, ...]]:
+        """Distinct projection of rows onto ``variables``."""
+        return set(self.project(variables))
+
+
+def _empty_relation() -> Relation:
+    return Relation(variables=(), rows=[])
+
+
+def _row_violates_injectivity(row: tuple[str, ...]) -> bool:
+    return len(set(row)) != len(row)
+
+
+def extend_with_edge(
+    store: VerticalPartitionStore,
+    relation: Relation,
+    edge: Edge,
+    injective: bool = True,
+    max_rows: int | None = None,
+) -> Relation:
+    """Join one more query-graph ``edge`` onto an existing ``relation``.
+
+    The edge's subject/object are query-graph node names.  Whichever of the
+    two is already a column of ``relation`` is used to probe the hash index
+    of the edge's label table; unbound endpoints become new columns.
+
+    Parameters
+    ----------
+    store:
+        The vertical-partition store of the data graph.
+    relation:
+        Materialized bindings of the query graph evaluated so far.  Must be
+        non-degenerate: at least one endpoint of ``edge`` must already be a
+        column, unless ``relation`` has no columns at all (first edge).
+    injective:
+        Enforce the Definition-3 bijection (no two query nodes bound to the
+        same entity).
+    max_rows:
+        Optional cap on the size of the output; exceeding it raises
+        :class:`~repro.exceptions.LatticeError` so callers can fall back or
+        abort gracefully rather than exhaust memory.
+    """
+    table = store.table_or_empty(edge.label)
+    subject_var, object_var = edge.subject, edge.object
+
+    if not relation.variables:
+        variables = (
+            (subject_var,) if subject_var == object_var else (subject_var, object_var)
+        )
+        rows: list[tuple[str, ...]] = []
+        for subj, obj in table:
+            if subject_var == object_var:
+                if subj == obj:
+                    rows.append((subj,))
+                continue
+            candidate = (subj, obj)
+            if injective and _row_violates_injectivity(candidate):
+                continue
+            rows.append(candidate)
+            if max_rows is not None and len(rows) > max_rows:
+                raise LatticeError(
+                    f"intermediate relation exceeded max_rows={max_rows}"
+                )
+        return Relation(variables=variables, rows=rows)
+
+    has_subject = relation.has_variable(subject_var)
+    has_object = relation.has_variable(object_var)
+    if not has_subject and not has_object:
+        raise LatticeError(
+            f"edge {edge!r} shares no variable with the probe relation "
+            f"{relation.variables!r}; join plans must stay connected"
+        )
+
+    new_variables = relation.variables
+    if not has_subject:
+        new_variables = new_variables + (subject_var,)
+    if not has_object and object_var != subject_var:
+        new_variables = new_variables + (object_var,)
+
+    out_rows: list[tuple[str, ...]] = []
+    subject_col = relation.column(subject_var) if has_subject else None
+    object_col = relation.column(object_var) if has_object else None
+
+    for row in relation.rows:
+        if has_subject and has_object:
+            if table.has_row(row[subject_col], row[object_col]):
+                out_rows.append(row)
+        elif has_subject:
+            bound = row[subject_col]
+            for _, obj in table.probe_subject(bound):
+                if subject_var == object_var and obj != bound:
+                    continue
+                new_row = row if subject_var == object_var else row + (obj,)
+                if injective and _row_violates_injectivity(new_row):
+                    continue
+                out_rows.append(new_row)
+        else:
+            bound = row[object_col]
+            for subj, _ in table.probe_object(bound):
+                new_row = row + (subj,)
+                if injective and _row_violates_injectivity(new_row):
+                    continue
+                out_rows.append(new_row)
+        if max_rows is not None and len(out_rows) > max_rows:
+            raise LatticeError(f"intermediate relation exceeded max_rows={max_rows}")
+
+    return Relation(variables=new_variables, rows=out_rows)
+
+
+def evaluate_query_edges(
+    store: VerticalPartitionStore,
+    edges: Sequence[Edge],
+    injective: bool = True,
+    max_rows: int | None = None,
+) -> Relation:
+    """Evaluate a weakly connected query graph given as a list of edges.
+
+    Returns the relation whose columns are the query graph's nodes and whose
+    rows are all matches (answer-graph node mappings).  The relation is
+    empty if the query graph has no answers.
+    """
+    if not edges:
+        return _empty_relation()
+    plan = plan_join_order(edges, store)
+    relation = _empty_relation()
+    for edge in plan:
+        relation = extend_with_edge(
+            store, relation, edge, injective=injective, max_rows=max_rows
+        )
+        if relation.is_empty():
+            # Preserve the full schema so projections still work downstream.
+            missing = [
+                node
+                for e in plan
+                for node in (e.subject, e.object)
+                if node not in relation.variables
+            ]
+            ordered_missing = tuple(dict.fromkeys(missing))
+            return Relation(variables=relation.variables + ordered_missing, rows=[])
+    return relation

@@ -1,0 +1,87 @@
+"""Join-order planning for query graph evaluation.
+
+A query graph with edges ``e_1..e_m`` corresponds to a multi-way join over
+the per-label tables (Sec. V-A).  We evaluate it as a right-deep chain of
+hash joins: pick a starting edge, then repeatedly join one more edge that
+shares at least one node with the part already joined, probing the new
+edge's table with the bound node value.
+
+The planner is selectivity-aware in a simple, classical way: it starts from
+the edge whose table is smallest and greedily adds the connected edge with
+the smallest table next.  This keeps intermediate results small without
+requiring a full cost model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import LatticeError
+from repro.graph.knowledge_graph import Edge
+from repro.storage.store import VerticalPartitionStore
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """An ordered sequence of query-graph edges to join, plus metadata.
+
+    ``order`` lists the edges in join order.  Every edge after the first
+    shares at least one node with the union of the preceding edges
+    (guaranteed for weakly connected query graphs).
+    """
+
+    order: tuple[Edge, ...]
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def __iter__(self):
+        return iter(self.order)
+
+
+def plan_join_order(
+    edges: Sequence[Edge], store: VerticalPartitionStore | None = None
+) -> JoinPlan:
+    """Choose a connected, selectivity-aware join order for ``edges``.
+
+    Parameters
+    ----------
+    edges:
+        The edges of a weakly connected query graph.
+    store:
+        Optional store used to rank edges by table cardinality.  Without a
+        store, the input order is kept (still made connected).
+
+    Raises
+    ------
+    LatticeError
+        If ``edges`` is empty or does not form a weakly connected graph.
+    """
+    if not edges:
+        raise LatticeError("cannot plan a join over zero edges")
+
+    def cardinality(edge: Edge) -> int:
+        if store is None:
+            return 0
+        return store.cardinality(edge.label)
+
+    remaining = list(edges)
+    remaining.sort(key=lambda e: (cardinality(e), e))
+    first = remaining.pop(0)
+    order = [first]
+    bound_nodes = {first.subject, first.object}
+
+    while remaining:
+        connected = [e for e in remaining if e.subject in bound_nodes or e.object in bound_nodes]
+        if not connected:
+            raise LatticeError(
+                "query graph edges are not weakly connected; cannot form a join plan"
+            )
+        nxt = min(connected, key=lambda e: (cardinality(e), e))
+        remaining.remove(nxt)
+        order.append(nxt)
+        bound_nodes.add(nxt.subject)
+        bound_nodes.add(nxt.object)
+
+    return JoinPlan(order=tuple(order))

@@ -1,0 +1,78 @@
+"""The vertical-partition triple store: one :class:`EdgeTable` per label.
+
+The store is built once from a :class:`~repro.graph.knowledge_graph.KnowledgeGraph`
+and is the only structure the join engine touches at query time, mirroring
+the paper's setup where "the whole data graph is hashed in memory ... before
+any query comes in".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.exceptions import GraphError
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.storage.table import EdgeTable
+
+
+class VerticalPartitionStore:
+    """All per-label edge tables of a data graph, hash-indexed in memory."""
+
+    def __init__(self, graph: KnowledgeGraph) -> None:
+        self._graph = graph
+        self._tables: dict[str, EdgeTable] = {}
+        for edge in graph.edges:
+            table = self._tables.get(edge.label)
+            if table is None:
+                table = EdgeTable(edge.label)
+                self._tables[edge.label] = table
+            table.add_row(edge.subject, edge.object)
+
+    @classmethod
+    def from_graph(cls, graph: KnowledgeGraph) -> "VerticalPartitionStore":
+        """Build a store for ``graph`` (alias of the constructor)."""
+        return cls(graph)
+
+    @property
+    def graph(self) -> KnowledgeGraph:
+        """The data graph this store was built from."""
+        return self._graph
+
+    @property
+    def num_tables(self) -> int:
+        """Number of per-label tables (== number of distinct labels)."""
+        return len(self._tables)
+
+    @property
+    def num_rows(self) -> int:
+        """Total number of rows across all tables (== number of edges)."""
+        return sum(len(table) for table in self._tables.values())
+
+    def labels(self) -> Iterator[str]:
+        """Iterate the labels with a table in the store."""
+        return iter(self._tables)
+
+    def has_label(self, label: str) -> bool:
+        """Whether a table for ``label`` exists."""
+        return label in self._tables
+
+    def table(self, label: str) -> EdgeTable:
+        """Return the table for ``label``; raise for unknown labels."""
+        try:
+            return self._tables[label]
+        except KeyError:
+            raise GraphError(f"no edges with label {label!r} in the data graph") from None
+
+    def table_or_empty(self, label: str) -> EdgeTable:
+        """Return the table for ``label`` or an empty table if unknown."""
+        return self._tables.get(label) or EdgeTable(label)
+
+    def cardinality(self, label: str) -> int:
+        """Number of rows in the table for ``label`` (0 if unknown)."""
+        table = self._tables.get(label)
+        return len(table) if table is not None else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(tables={self.num_tables}, rows={self.num_rows})"
+        )

@@ -1,0 +1,76 @@
+"""Per-label two-column edge tables with hash indexes (Sec. V-A).
+
+The vertical-partitioning scheme stores every edge label as its own
+``(subj, obj)`` table.  For efficient hash joins, each table carries two
+in-memory hash indexes, one keyed on ``subj`` and one on ``obj``, mirroring
+the paper's description of building both hash tables before any query
+arrives.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+class EdgeTable:
+    """All edges of a single label, as a two-column ``(subj, obj)`` table."""
+
+    def __init__(self, label: str, rows: Iterable[tuple[str, str]] = ()) -> None:
+        self._label = label
+        self._rows: list[tuple[str, str]] = []
+        self._by_subject: dict[str, list[tuple[str, str]]] = {}
+        self._by_object: dict[str, list[tuple[str, str]]] = {}
+        self._row_set: set[tuple[str, str]] = set()
+        for subject, obj in rows:
+            self.add_row(subject, obj)
+
+    @property
+    def label(self) -> str:
+        """The edge label this table stores."""
+        return self._label
+
+    def add_row(self, subject: str, obj: str) -> None:
+        """Insert one ``(subj, obj)`` row (duplicates are ignored)."""
+        row = (subject, obj)
+        if row in self._row_set:
+            return
+        self._row_set.add(row)
+        self._rows.append(row)
+        self._by_subject.setdefault(subject, []).append(row)
+        self._by_object.setdefault(obj, []).append(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._row_set
+
+    def rows(self) -> list[tuple[str, str]]:
+        """All rows, in insertion order."""
+        return list(self._rows)
+
+    def probe_subject(self, subject: str) -> list[tuple[str, str]]:
+        """Rows whose ``subj`` equals ``subject`` (hash lookup)."""
+        return self._by_subject.get(subject, [])
+
+    def probe_object(self, obj: str) -> list[tuple[str, str]]:
+        """Rows whose ``obj`` equals ``obj`` (hash lookup)."""
+        return self._by_object.get(obj, [])
+
+    def has_row(self, subject: str, obj: str) -> bool:
+        """Whether the exact ``(subject, obj)`` row exists."""
+        return (subject, obj) in self._row_set
+
+    def subjects(self) -> set[str]:
+        """Distinct values in the ``subj`` column."""
+        return set(self._by_subject)
+
+    def objects(self) -> set[str]:
+        """Distinct values in the ``obj`` column."""
+        return set(self._by_object)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(label={self._label!r}, rows={len(self._rows)})"

@@ -1,0 +1,70 @@
+"""Shared fixtures for the GQBE test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GQBEConfig
+from repro.core.gqbe import GQBE
+from repro.datasets.example_graph import figure1_excerpt, figure1_ground_truth
+from repro.datasets.synthetic import FreebaseLikeGenerator
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.statistics import GraphStatistics
+from repro.storage.store import VerticalPartitionStore
+
+
+@pytest.fixture(scope="session")
+def figure1_graph() -> KnowledgeGraph:
+    """The Fig. 1 excerpt used throughout the paper's running example."""
+    return figure1_excerpt()
+
+
+@pytest.fixture(scope="session")
+def figure1_truth() -> list[tuple[str, str]]:
+    """Founder-company pairs other than the query tuple."""
+    return figure1_ground_truth()
+
+
+@pytest.fixture(scope="session")
+def figure1_stats(figure1_graph: KnowledgeGraph) -> GraphStatistics:
+    return GraphStatistics(figure1_graph)
+
+
+@pytest.fixture(scope="session")
+def figure1_store(figure1_graph: KnowledgeGraph) -> VerticalPartitionStore:
+    return VerticalPartitionStore(figure1_graph)
+
+
+@pytest.fixture(scope="session")
+def figure1_system(figure1_graph: KnowledgeGraph) -> GQBE:
+    """A GQBE instance over the Fig. 1 excerpt."""
+    return GQBE(figure1_graph, config=GQBEConfig(mqg_size=10))
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A very small Freebase-like dataset for integration tests."""
+    return FreebaseLikeGenerator(seed=3, scale=0.2).generate()
+
+
+@pytest.fixture(scope="session")
+def tiny_system(tiny_dataset) -> GQBE:
+    """A GQBE instance over the tiny synthetic dataset."""
+    config = GQBEConfig(mqg_size=8, k_prime=20, max_join_rows=100_000)
+    return GQBE(tiny_dataset.graph, config=config)
+
+
+@pytest.fixture()
+def chain_graph() -> KnowledgeGraph:
+    """A small deterministic chain/star graph for unit tests.
+
+    a --r1--> b --r2--> c --r3--> d, with extra labeled edges off b and c.
+    """
+    graph = KnowledgeGraph()
+    graph.add_edge("a", "r1", "b")
+    graph.add_edge("b", "r2", "c")
+    graph.add_edge("c", "r3", "d")
+    graph.add_edge("b", "attr", "x")
+    graph.add_edge("c", "attr", "y")
+    graph.add_edge("e", "r1", "b")
+    return graph

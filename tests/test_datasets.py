@@ -1,0 +1,138 @@
+"""Tests for the synthetic dataset generators and query workloads."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.domains import ALL_DOMAINS, SharedContext
+from repro.datasets.example_graph import figure1_excerpt, figure1_ground_truth
+from repro.datasets.synthetic import DBpediaLikeGenerator, FreebaseLikeGenerator
+from repro.datasets.workloads import (
+    DBPEDIA_QUERY_TABLES,
+    FREEBASE_QUERY_TABLES,
+    build_dbpedia_workload,
+    build_freebase_workload,
+)
+from repro.exceptions import DatasetError
+
+
+class TestExampleGraph:
+    def test_figure1_contains_running_example(self):
+        graph = figure1_excerpt()
+        assert graph.has_edge("Jerry Yang", "founded", "Yahoo!")
+        assert graph.has_edge("Yahoo!", "headquartered_in", "Sunnyvale")
+        assert graph.is_weakly_connected()
+
+    def test_ground_truth_pairs_exist_in_graph(self):
+        graph = figure1_excerpt()
+        for person, company in figure1_ground_truth():
+            assert graph.has_edge(person, "founded", company)
+
+
+class TestDomains:
+    def test_every_domain_produces_triples_and_tables(self):
+        rng = random.Random(0)
+        ctx = SharedContext.build(rng)
+        for builder in ALL_DOMAINS:
+            domain = builder(random.Random(1), 6, ctx)
+            assert domain.triples, f"{domain.name} produced no triples"
+            assert domain.tables, f"{domain.name} produced no tables"
+            for rows in domain.tables.values():
+                arity = {len(row) for row in rows}
+                assert len(arity) == 1, f"{domain.name} has mixed-arity table rows"
+
+    def test_label_prefix_applied(self):
+        rng = random.Random(0)
+        ctx = SharedContext.build(rng, label_prefix="dbp_")
+        domain = ALL_DOMAINS[0](random.Random(1), 4, ctx)
+        assert all(label.startswith("dbp_") for _, label, _ in domain.triples)
+
+
+class TestGenerators:
+    def test_generation_is_deterministic(self):
+        first = FreebaseLikeGenerator(seed=5, scale=0.2).generate()
+        second = FreebaseLikeGenerator(seed=5, scale=0.2).generate()
+        assert first.graph == second.graph
+        assert first.tables == second.tables
+
+    def test_different_seeds_differ(self):
+        first = FreebaseLikeGenerator(seed=5, scale=0.2).generate()
+        second = FreebaseLikeGenerator(seed=6, scale=0.2).generate()
+        assert first.graph != second.graph
+
+    def test_scale_controls_size(self):
+        small = FreebaseLikeGenerator(seed=5, scale=0.2).generate()
+        large = FreebaseLikeGenerator(seed=5, scale=0.6).generate()
+        assert large.graph.num_edges > small.graph.num_edges
+
+    def test_dbpedia_like_uses_prefixed_labels(self):
+        dataset = DBpediaLikeGenerator(seed=5, scale=0.2).generate()
+        assert all(label.startswith("dbp_") for label in dataset.graph.labels)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            FreebaseLikeGenerator(scale=0)
+
+    def test_ground_truth_tuples_are_graph_nodes(self, tiny_dataset):
+        for rows in tiny_dataset.tables.values():
+            for row in rows:
+                for entity in row:
+                    assert tiny_dataset.graph.has_node(entity)
+
+    def test_unknown_table_raises(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            tiny_dataset.table("no_such_table")
+        assert "tech_founders" in tiny_dataset.table_names()
+
+
+class TestWorkloads:
+    def test_freebase_workload_has_20_queries(self):
+        workload = build_freebase_workload(scale=0.2)
+        assert workload.query_ids() == [qid for qid, _ in FREEBASE_QUERY_TABLES]
+
+    def test_dbpedia_workload_has_8_queries(self):
+        workload = build_dbpedia_workload(scale=0.3)
+        assert workload.query_ids() == [qid for qid, _ in DBPEDIA_QUERY_TABLES]
+
+    def test_query_tuple_not_in_ground_truth(self):
+        workload = build_freebase_workload(scale=0.2)
+        for query in workload.queries:
+            assert query.query_tuple not in query.ground_truth
+            assert query.ground_truth_size >= 1
+
+    def test_query_entities_exist_in_graph(self):
+        workload = build_freebase_workload(scale=0.2)
+        graph = workload.dataset.graph
+        for query in workload.queries:
+            for entity in query.query_tuple:
+                assert graph.has_node(entity)
+
+    def test_with_extra_tuples_moves_ground_truth(self):
+        workload = build_freebase_workload(scale=0.2)
+        query = workload.query("F18")
+        extended = query.with_extra_tuples(2)
+        assert len(extended.query_tuples) == 3
+        assert extended.ground_truth_size == query.ground_truth_size - 2
+        for promoted in extended.query_tuples[1:]:
+            assert promoted not in extended.ground_truth
+
+    def test_with_extra_tuples_validation(self):
+        workload = build_freebase_workload(scale=0.2)
+        query = workload.query("F18")
+        with pytest.raises(DatasetError):
+            query.with_extra_tuples(-1)
+        with pytest.raises(DatasetError):
+            query.with_extra_tuples(query.ground_truth_size + 1)
+
+    def test_unknown_query_id_raises(self):
+        workload = build_freebase_workload(scale=0.2)
+        with pytest.raises(DatasetError):
+            workload.query("F99")
+
+    def test_single_entity_queries_present(self):
+        workload = build_freebase_workload(scale=0.2)
+        assert workload.query("F19").arity == 1
+        assert workload.query("F20").arity == 1
+        assert workload.query("F1").arity == 3

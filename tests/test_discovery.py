@@ -1,0 +1,173 @@
+"""Unit tests for query graph discovery: weights, reduction, MQG, merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discovery.merge import merge_maximal_query_graphs, virtual_entity
+from repro.discovery.mqg import discover_maximal_query_graph, select_mqg_edges
+from repro.discovery.reduction import reduce_neighborhood_graph
+from repro.discovery.weights import discovery_edge_weights, edge_depths, mqg_edge_weights
+from repro.exceptions import DisconnectedQueryError, DiscoveryError
+from repro.graph.knowledge_graph import Edge, KnowledgeGraph
+from repro.graph.neighborhood import neighborhood_graph
+from repro.graph.statistics import GraphStatistics
+
+
+@pytest.fixture()
+def figure1_neighborhood(figure1_graph):
+    return neighborhood_graph(figure1_graph, ("Jerry Yang", "Yahoo!"), d=2)
+
+
+class TestEdgeDepths:
+    def test_edges_on_query_entities_have_depth_one(self, figure1_graph):
+        depths = edge_depths(figure1_graph, ("Jerry Yang", "Yahoo!"))
+        assert depths[Edge("Jerry Yang", "founded", "Yahoo!")] == 1
+        assert depths[Edge("Jerry Yang", "education", "Stanford")] == 1
+
+    def test_depth_grows_with_distance(self, figure1_graph):
+        depths = edge_depths(figure1_graph, ("Jerry Yang",))
+        founded = depths[Edge("Jerry Yang", "founded", "Yahoo!")]
+        hq = depths[Edge("Yahoo!", "headquartered_in", "Sunnyvale")]
+        in_state = depths[Edge("Sunnyvale", "in_state", "California")]
+        assert founded < hq < in_state
+
+    def test_depth_adjusted_weights_decrease_with_depth(self, figure1_graph, figure1_stats):
+        weights = mqg_edge_weights(figure1_stats, figure1_graph, ("Jerry Yang",))
+        base = discovery_edge_weights(figure1_stats, figure1_graph.edges)
+        far_edge = Edge("Sunnyvale", "in_state", "California")
+        near_edge = Edge("Jerry Yang", "founded", "Yahoo!")
+        assert weights[near_edge] == pytest.approx(base[near_edge])
+        assert weights[far_edge] < base[far_edge]
+
+
+class TestReduction:
+    def test_reduction_keeps_query_entities_connected(self, figure1_neighborhood):
+        reduced = reduce_neighborhood_graph(figure1_neighborhood)
+        assert reduced.graph.is_weakly_connected()
+        assert reduced.graph.has_node("Jerry Yang")
+        assert reduced.graph.has_node("Yahoo!")
+
+    def test_reduction_never_adds_edges(self, figure1_neighborhood):
+        reduced = reduce_neighborhood_graph(figure1_neighborhood)
+        assert reduced.num_edges <= figure1_neighborhood.num_edges
+        for edge in reduced.graph.edges:
+            assert figure1_neighborhood.graph.has_edge(*edge)
+
+    def test_unimportant_sibling_edges_removed(self):
+        # Many 'education' edges into the same university; only the one from
+        # the query entity is important, the others are unimportant copies.
+        graph = KnowledgeGraph()
+        graph.add_edge("q1", "founded", "q2")
+        graph.add_edge("q1", "education", "Uni")
+        for i in range(5):
+            graph.add_edge(f"other{i}", "education", "Uni")
+        neighborhood = neighborhood_graph(graph, ("q1", "q2"), d=2)
+        reduced = reduce_neighborhood_graph(neighborhood)
+        assert reduced.graph.has_edge("q1", "education", "Uni")
+        assert not reduced.graph.has_edge("other0", "education", "Uni")
+
+    def test_important_edges_on_inter_entity_paths_survive(self, figure1_neighborhood):
+        reduced = reduce_neighborhood_graph(figure1_neighborhood)
+        assert reduced.graph.has_edge("Jerry Yang", "founded", "Yahoo!")
+
+
+class TestMQGDiscovery:
+    def test_mqg_contains_query_entities_and_is_connected(
+        self, figure1_neighborhood, figure1_stats
+    ):
+        mqg = discover_maximal_query_graph(figure1_neighborhood, figure1_stats, r=10)
+        assert mqg.graph.has_node("Jerry Yang")
+        assert mqg.graph.has_node("Yahoo!")
+        assert mqg.graph.is_weakly_connected()
+
+    def test_mqg_respects_size_target_roughly(self, figure1_neighborhood, figure1_stats):
+        mqg = discover_maximal_query_graph(figure1_neighborhood, figure1_stats, r=6)
+        # The greedy aims at r edges overall; allow some slack above it
+        # because connectivity of the core cannot be sacrificed.
+        assert mqg.num_edges <= figure1_neighborhood.num_edges
+        assert mqg.num_edges >= 2
+
+    def test_mqg_is_subgraph_of_neighborhood(self, figure1_neighborhood, figure1_stats):
+        mqg = discover_maximal_query_graph(figure1_neighborhood, figure1_stats, r=10)
+        for edge in mqg.graph.edges:
+            assert figure1_neighborhood.graph.has_edge(*edge)
+
+    def test_weights_and_core_populated(self, figure1_neighborhood, figure1_stats):
+        mqg = discover_maximal_query_graph(figure1_neighborhood, figure1_stats, r=10)
+        assert set(mqg.edge_weights) == set(mqg.graph.edges)
+        assert all(weight > 0 for weight in mqg.edge_weights.values())
+        assert mqg.core_edges  # two-entity query: core connects them
+        assert all(edge in mqg.edge_weights for edge in mqg.core_edges)
+
+    def test_single_entity_mqg(self, figure1_graph, figure1_stats):
+        neighborhood = neighborhood_graph(figure1_graph, ("Stanford",), d=2)
+        mqg = discover_maximal_query_graph(neighborhood, figure1_stats, r=8)
+        assert mqg.graph.has_node("Stanford")
+        assert mqg.num_edges >= 1
+
+    def test_disconnected_entities_raise(self, figure1_stats):
+        graph = KnowledgeGraph([("a", "r", "b"), ("c", "r", "d")])
+        stats = GraphStatistics(graph)
+        neighborhood = neighborhood_graph(graph, ("a", "c"), d=2)
+        with pytest.raises((DisconnectedQueryError, DiscoveryError)):
+            discover_maximal_query_graph(neighborhood, stats, r=5)
+
+    def test_select_mqg_edges_empty_tuple_raises(self, figure1_graph):
+        with pytest.raises(DiscoveryError):
+            select_mqg_edges(figure1_graph, (), weights={}, r=5)
+
+    def test_total_weight_and_incident_count(self, figure1_neighborhood, figure1_stats):
+        mqg = discover_maximal_query_graph(figure1_neighborhood, figure1_stats, r=10)
+        assert mqg.total_weight() == pytest.approx(sum(mqg.edge_weights.values()))
+        assert mqg.incident_count("Jerry Yang") >= 1
+
+
+class TestMerging:
+    def _mqg_for(self, system, query_tuple):
+        return system.discover_query_graph(query_tuple)
+
+    def test_virtual_entities_replace_query_entities(self, figure1_system):
+        mqg1 = self._mqg_for(figure1_system, ("Jerry Yang", "Yahoo!"))
+        mqg2 = self._mqg_for(figure1_system, ("Steve Wozniak", "Apple Inc."))
+        merged = merge_maximal_query_graphs([mqg1, mqg2], r=10)
+        assert merged.query_tuple == (virtual_entity(0), virtual_entity(1))
+        assert merged.graph.has_node(virtual_entity(0))
+        assert not merged.graph.has_node("Jerry Yang")
+
+    def test_shared_edges_get_boosted_weight(self, figure1_system):
+        mqg1 = self._mqg_for(figure1_system, ("Jerry Yang", "Yahoo!"))
+        mqg2 = self._mqg_for(figure1_system, ("Steve Wozniak", "Apple Inc."))
+        merged = merge_maximal_query_graphs([mqg1, mqg2], r=20)
+        founded = Edge(virtual_entity(0), "founded", virtual_entity(1))
+        assert founded in set(merged.graph.edges)
+        # Both founders have the founded edge, so its merged weight is
+        # 2 * max(individual weights) and strictly exceeds both.
+        individual = max(
+            mqg1.edge_weights[Edge("Jerry Yang", "founded", "Yahoo!")],
+            mqg2.edge_weights[Edge("Steve Wozniak", "founded", "Apple Inc.")],
+        )
+        assert merged.edge_weights[founded] == pytest.approx(2 * individual)
+
+    def test_merged_graph_trimmed_to_target(self, figure1_system):
+        mqg1 = self._mqg_for(figure1_system, ("Jerry Yang", "Yahoo!"))
+        mqg2 = self._mqg_for(figure1_system, ("Bill Gates", "Microsoft"))
+        merged = merge_maximal_query_graphs([mqg1, mqg2], r=6)
+        assert merged.num_edges <= max(6, mqg1.num_edges)
+        assert merged.graph.is_weakly_connected()
+
+    def test_single_mqg_merge_is_virtualized(self, figure1_system):
+        mqg = self._mqg_for(figure1_system, ("Jerry Yang", "Yahoo!"))
+        merged = merge_maximal_query_graphs([mqg], r=10)
+        assert merged.query_tuple == (virtual_entity(0), virtual_entity(1))
+        assert merged.num_edges == mqg.num_edges
+
+    def test_mismatched_arity_raises(self, figure1_system):
+        mqg1 = self._mqg_for(figure1_system, ("Jerry Yang", "Yahoo!"))
+        mqg2 = self._mqg_for(figure1_system, ("Stanford",))
+        with pytest.raises(DiscoveryError):
+            merge_maximal_query_graphs([mqg1, mqg2])
+
+    def test_empty_merge_raises(self):
+        with pytest.raises(DiscoveryError):
+            merge_maximal_query_graphs([])

@@ -1,0 +1,131 @@
+"""Tests for the best-first lattice exploration and the breadth-first baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.breadth_first import BreadthFirstExplorer
+from repro.exceptions import LatticeError
+from repro.lattice.exploration import BestFirstExplorer
+from repro.lattice.query_graph import LatticeSpace
+
+
+@pytest.fixture(scope="module")
+def jerry_space(figure1_system):
+    mqg = figure1_system.discover_query_graph(("Jerry Yang", "Yahoo!"))
+    return LatticeSpace(mqg)
+
+
+class TestBestFirstExplorer:
+    def test_finds_expected_founders(self, jerry_space, figure1_store, figure1_truth):
+        explorer = BestFirstExplorer(
+            jerry_space,
+            figure1_store,
+            k=5,
+            excluded_tuples={("Jerry Yang", "Yahoo!")},
+        )
+        result = explorer.run()
+        answers = result.answer_tuples()
+        for expected in figure1_truth:
+            assert expected in answers
+
+    def test_query_tuple_itself_is_excluded(self, jerry_space, figure1_store):
+        explorer = BestFirstExplorer(
+            jerry_space,
+            figure1_store,
+            k=10,
+            excluded_tuples={("Jerry Yang", "Yahoo!")},
+        )
+        result = explorer.run()
+        assert ("Jerry Yang", "Yahoo!") not in result.answer_tuples()
+
+    def test_scores_are_monotone_in_rank(self, jerry_space, figure1_store):
+        result = BestFirstExplorer(jerry_space, figure1_store, k=10).run()
+        scores = [answer.score for answer in result.answers]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_answer_scores_bounded_by_full_mqg(self, jerry_space, figure1_store):
+        result = BestFirstExplorer(jerry_space, figure1_store, k=10).run()
+        max_possible = jerry_space.weight_of_mask(jerry_space.full_mask)
+        for answer in result.answers:
+            assert answer.structure_score <= max_possible + 1e-9
+            assert answer.score >= answer.structure_score
+
+    def test_statistics_populated(self, jerry_space, figure1_store):
+        result = BestFirstExplorer(jerry_space, figure1_store, k=5).run()
+        stats = result.statistics
+        assert stats.nodes_evaluated > 0
+        assert stats.answers_found >= len(result.answers)
+        assert stats.elapsed_seconds >= 0.0
+
+    def test_k_limits_result_size(self, jerry_space, figure1_store):
+        result = BestFirstExplorer(jerry_space, figure1_store, k=2).run()
+        assert len(result.answers) <= 2
+
+    def test_invalid_k_rejected(self, jerry_space, figure1_store):
+        with pytest.raises(LatticeError):
+            BestFirstExplorer(jerry_space, figure1_store, k=0)
+
+    def test_node_budget_respected(self, jerry_space, figure1_store):
+        result = BestFirstExplorer(
+            jerry_space, figure1_store, k=5, node_budget=3
+        ).run()
+        assert result.statistics.nodes_evaluated <= 3
+        assert result.statistics.node_budget_exhausted
+
+    def test_content_score_rewards_identical_nodes(self, jerry_space, figure1_store):
+        result = BestFirstExplorer(
+            jerry_space, figure1_store, k=10, excluded_tuples={("Jerry Yang", "Yahoo!")}
+        ).run()
+        by_tuple = {answer.entities: answer for answer in result.answers}
+        # David Filo shares Stanford, Palo Alto-like context and the company
+        # Yahoo! itself with the query tuple, so his content score must be
+        # strictly positive and his full score the highest.
+        filo = by_tuple.get(("David Filo", "Yahoo!"))
+        assert filo is not None
+        assert filo.content_score > 0
+        assert result.answers[0].entities == ("David Filo", "Yahoo!")
+
+
+class TestAgainstBreadthFirstBaseline:
+    def test_same_answer_set_as_baseline(self, jerry_space, figure1_store):
+        """Best-first pruning must not lose answers the baseline finds."""
+        best_first = BestFirstExplorer(
+            jerry_space, figure1_store, k=10, excluded_tuples={("Jerry Yang", "Yahoo!")}
+        ).run()
+        baseline = BreadthFirstExplorer(
+            jerry_space, figure1_store, k=10, excluded_tuples={("Jerry Yang", "Yahoo!")}
+        ).run()
+        assert set(best_first.answer_tuples()) == set(baseline.answer_tuples())
+
+    def test_structure_scores_agree_with_baseline(self, jerry_space, figure1_store):
+        best_first = BestFirstExplorer(jerry_space, figure1_store, k=10).run()
+        baseline = BreadthFirstExplorer(jerry_space, figure1_store, k=10).run()
+        best_by_tuple = {a.entities: a.structure_score for a in best_first.answers}
+        base_by_tuple = {a.entities: a.structure_score for a in baseline.answers}
+        for entities in set(best_by_tuple) & set(base_by_tuple):
+            assert best_by_tuple[entities] == pytest.approx(base_by_tuple[entities])
+
+    def test_best_first_never_evaluates_more_nodes(self, jerry_space, figure1_store):
+        best_first = BestFirstExplorer(jerry_space, figure1_store, k=5).run()
+        baseline = BreadthFirstExplorer(jerry_space, figure1_store, k=5).run()
+        assert (
+            best_first.statistics.nodes_evaluated
+            <= baseline.statistics.nodes_evaluated
+        )
+
+    def test_baseline_statistics(self, jerry_space, figure1_store):
+        baseline = BreadthFirstExplorer(jerry_space, figure1_store, k=5).run()
+        assert baseline.statistics.nodes_evaluated > 0
+        assert baseline.statistics.answers_found > 0
+
+    def test_baseline_invalid_k_rejected(self, jerry_space, figure1_store):
+        with pytest.raises(LatticeError):
+            BreadthFirstExplorer(jerry_space, figure1_store, k=0)
+
+    def test_baseline_node_budget(self, jerry_space, figure1_store):
+        result = BreadthFirstExplorer(
+            jerry_space, figure1_store, k=5, node_budget=2
+        ).run()
+        assert result.statistics.nodes_evaluated <= 2
+        assert result.statistics.node_budget_exhausted

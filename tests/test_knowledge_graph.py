@@ -1,0 +1,180 @@
+"""Unit tests for the directed labeled multigraph model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.knowledge_graph import Edge, KnowledgeGraph
+
+
+class TestEdge:
+    def test_other_returns_opposite_endpoint(self):
+        edge = Edge("a", "r", "b")
+        assert edge.other("a") == "b"
+        assert edge.other("b") == "a"
+
+    def test_other_raises_for_non_endpoint(self):
+        with pytest.raises(GraphError):
+            Edge("a", "r", "b").other("c")
+
+    def test_other_on_self_loop(self):
+        assert Edge("a", "r", "a").other("a") == "a"
+
+    def test_touches(self):
+        edge = Edge("a", "r", "b")
+        assert edge.touches("a")
+        assert edge.touches("b")
+        assert not edge.touches("c")
+
+    def test_endpoints_is_unordered(self):
+        assert Edge("a", "r", "b").endpoints() == frozenset({"a", "b"})
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = KnowledgeGraph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert graph.num_labels == 0
+
+    def test_add_edge_creates_nodes(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("a", "r", "b")
+        assert graph.has_node("a")
+        assert graph.has_node("b")
+        assert graph.has_edge("a", "r", "b")
+
+    def test_duplicate_edges_stored_once(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("a", "r", "b")
+        graph.add_edge("a", "r", "b")
+        assert graph.num_edges == 1
+        assert graph.label_count("r") == 1
+
+    def test_parallel_edges_with_different_labels(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("a", "r1", "b")
+        graph.add_edge("a", "r2", "b")
+        assert graph.num_edges == 2
+        assert graph.num_labels == 2
+
+    def test_constructor_accepts_tuples(self):
+        graph = KnowledgeGraph([("a", "r", "b"), ("b", "s", "c")])
+        assert graph.num_edges == 2
+
+    def test_empty_label_rejected(self):
+        graph = KnowledgeGraph()
+        with pytest.raises(GraphError):
+            graph.add_edge("a", "", "b")
+
+    def test_invalid_node_rejected(self):
+        graph = KnowledgeGraph()
+        with pytest.raises(GraphError):
+            graph.add_node("")
+
+    def test_add_isolated_node(self):
+        graph = KnowledgeGraph()
+        graph.add_node("lonely")
+        assert graph.has_node("lonely")
+        assert graph.degree("lonely") == 0
+
+
+class TestAdjacency:
+    def test_out_and_in_edges(self, chain_graph: KnowledgeGraph):
+        assert {e.object for e in chain_graph.out_edges("b")} == {"c", "x"}
+        assert {e.subject for e in chain_graph.in_edges("b")} == {"a", "e"}
+
+    def test_incident_edges_cover_both_directions(self, chain_graph: KnowledgeGraph):
+        incident = chain_graph.incident_edges("b")
+        assert len(incident) == 4
+
+    def test_self_loop_counted_once_in_incident(self):
+        graph = KnowledgeGraph([("a", "loop", "a"), ("a", "r", "b")])
+        assert len(graph.incident_edges("a")) == 2
+
+    def test_degree(self, chain_graph: KnowledgeGraph):
+        assert chain_graph.degree("b") == 4
+        assert chain_graph.out_degree("b") == 2
+        assert chain_graph.in_degree("b") == 2
+
+    def test_neighbors_ignore_direction(self, chain_graph: KnowledgeGraph):
+        assert chain_graph.neighbors("b") == {"a", "c", "x", "e"}
+
+    def test_unknown_node_has_empty_adjacency(self, chain_graph: KnowledgeGraph):
+        assert chain_graph.out_edges("zzz") == []
+        assert chain_graph.in_edges("zzz") == []
+        assert chain_graph.neighbors("zzz") == set()
+
+    def test_edges_with_label(self, chain_graph: KnowledgeGraph):
+        assert len(chain_graph.edges_with_label("attr")) == 2
+        assert chain_graph.edges_with_label("nope") == []
+
+
+class TestSubgraphsAndConnectivity:
+    def test_edge_subgraph(self, chain_graph: KnowledgeGraph):
+        edges = [Edge("a", "r1", "b"), Edge("b", "r2", "c")]
+        sub = chain_graph.edge_subgraph(edges)
+        assert sub.num_edges == 2
+        assert set(sub.nodes) == {"a", "b", "c"}
+
+    def test_edge_subgraph_rejects_foreign_edges(self, chain_graph: KnowledgeGraph):
+        with pytest.raises(GraphError):
+            chain_graph.edge_subgraph([Edge("x", "nope", "y")])
+
+    def test_node_subgraph(self, chain_graph: KnowledgeGraph):
+        sub = chain_graph.node_subgraph(["a", "b", "c"])
+        assert sub.num_edges == 2
+        assert not sub.has_node("d")
+
+    def test_weak_connectivity(self, chain_graph: KnowledgeGraph):
+        assert chain_graph.is_weakly_connected()
+        disconnected = KnowledgeGraph([("a", "r", "b"), ("c", "r", "d")])
+        assert not disconnected.is_weakly_connected()
+
+    def test_weakly_connected_components(self):
+        graph = KnowledgeGraph([("a", "r", "b"), ("c", "r", "d")])
+        components = graph.weakly_connected_components()
+        assert len(components) == 2
+        assert {frozenset(c) for c in components} == {
+            frozenset({"a", "b"}),
+            frozenset({"c", "d"}),
+        }
+
+    def test_undirected_distances(self, chain_graph: KnowledgeGraph):
+        distances = chain_graph.undirected_distances("a")
+        assert distances["a"] == 0
+        assert distances["b"] == 1
+        assert distances["d"] == 3
+
+    def test_undirected_distances_with_cutoff(self, chain_graph: KnowledgeGraph):
+        distances = chain_graph.undirected_distances("a", cutoff=1)
+        assert "c" not in distances
+        assert distances["b"] == 1
+
+    def test_undirected_distances_unknown_source(self, chain_graph: KnowledgeGraph):
+        with pytest.raises(GraphError):
+            chain_graph.undirected_distances("zzz")
+
+
+class TestDunders:
+    def test_contains_node_and_edge(self, chain_graph: KnowledgeGraph):
+        assert "a" in chain_graph
+        assert Edge("a", "r1", "b") in chain_graph
+        assert Edge("a", "zzz", "b") not in chain_graph
+        assert 42 not in chain_graph
+
+    def test_len_and_iter(self, chain_graph: KnowledgeGraph):
+        assert len(chain_graph) == 6
+        assert set(iter(chain_graph)) == set(chain_graph.edges)
+
+    def test_equality_and_copy(self, chain_graph: KnowledgeGraph):
+        duplicate = chain_graph.copy()
+        assert duplicate == chain_graph
+        duplicate.add_edge("new", "r", "node")
+        assert duplicate != chain_graph
+
+    def test_repr_mentions_sizes(self, chain_graph: KnowledgeGraph):
+        text = repr(chain_graph)
+        assert "nodes=7" in text
+        assert "edges=6" in text

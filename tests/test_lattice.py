@@ -1,0 +1,210 @@
+"""Unit tests for the lattice space, minimal query trees and scoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discovery.mqg import MaximalQueryGraph
+from repro.exceptions import LatticeError
+from repro.graph.knowledge_graph import Edge, KnowledgeGraph
+from repro.lattice.minimal_trees import minimal_query_trees
+from repro.lattice.query_graph import LatticeSpace
+from repro.lattice.scoring import (
+    answer_graph_score,
+    content_score,
+    match_credit,
+    structure_score,
+)
+
+
+def _make_mqg() -> MaximalQueryGraph:
+    """A small hand-built MQG with query entities q1, q2.
+
+    Edges (weights in parentheses):
+      q1 --founded(3.0)--> q2
+      q1 --lived(1.0)--> city
+      q2 --hq(2.0)--> city
+      q1 --edu(0.5)--> uni
+      q2 --industry(0.25)--> tech
+    """
+    graph = KnowledgeGraph()
+    edges = {
+        Edge("q1", "founded", "q2"): 3.0,
+        Edge("q1", "lived", "city"): 1.0,
+        Edge("q2", "hq", "city"): 2.0,
+        Edge("q1", "edu", "uni"): 0.5,
+        Edge("q2", "industry", "tech"): 0.25,
+    }
+    for edge in edges:
+        graph.add_edge(*edge)
+    core = frozenset(
+        {
+            Edge("q1", "founded", "q2"),
+            Edge("q1", "lived", "city"),
+            Edge("q2", "hq", "city"),
+        }
+    )
+    return MaximalQueryGraph(
+        graph=graph,
+        query_tuple=("q1", "q2"),
+        edge_weights=edges,
+        core_edges=core,
+    )
+
+
+@pytest.fixture()
+def space() -> LatticeSpace:
+    return LatticeSpace(_make_mqg())
+
+
+class TestLatticeSpace:
+    def test_full_mask_covers_all_edges(self, space):
+        assert space.num_edges == 5
+        assert bin(space.full_mask).count("1") == 5
+
+    def test_mask_roundtrip(self, space):
+        edges = [Edge("q1", "founded", "q2"), Edge("q2", "hq", "city")]
+        mask = space.mask_of(edges)
+        assert set(space.edges_of(mask)) == set(edges)
+
+    def test_mask_of_foreign_edge_raises(self, space):
+        with pytest.raises(LatticeError):
+            space.mask_of([Edge("a", "nope", "b")])
+
+    def test_structure_score_is_total_weight(self, space):
+        mask = space.mask_of([Edge("q1", "founded", "q2"), Edge("q2", "hq", "city")])
+        assert space.weight_of_mask(mask) == pytest.approx(5.0)
+        assert structure_score(space, space.full_mask) == pytest.approx(6.75)
+
+    def test_validity_requires_query_entities_and_connectivity(self, space):
+        founded = space.mask_of([Edge("q1", "founded", "q2")])
+        assert space.is_valid_query_graph(founded)
+        only_city = space.mask_of([Edge("q2", "hq", "city")])
+        assert not space.is_valid_query_graph(only_city)  # misses q1
+        disconnected = space.mask_of(
+            [Edge("q1", "edu", "uni"), Edge("q2", "industry", "tech")]
+        )
+        assert not space.is_valid_query_graph(disconnected)
+        assert not space.is_valid_query_graph(0)
+
+    def test_parents_add_one_touching_edge(self, space):
+        founded = space.mask_of([Edge("q1", "founded", "q2")])
+        parents = space.parents_of(founded)
+        assert all(bin(p).count("1") == 2 for p in parents)
+        assert len(parents) == 4  # every other edge touches q1 or q2
+
+    def test_children_remove_one_edge_keeping_validity(self, space):
+        mask = space.mask_of(
+            [
+                Edge("q1", "founded", "q2"),
+                Edge("q1", "lived", "city"),
+                Edge("q2", "hq", "city"),
+            ]
+        )
+        children = space.children_of(mask)
+        # Removing 'founded' keeps q1-city-q2 connected; removing 'lived' or
+        # 'hq' also keeps the founded edge connecting both entities.
+        assert len(children) == 3
+
+    def test_connected_component_mask(self, space):
+        mask = space.mask_of(
+            [Edge("q1", "founded", "q2"), Edge("q2", "industry", "tech")]
+        )
+        assert space.connected_component_mask(mask) == mask
+        disconnected = space.mask_of(
+            [Edge("q1", "edu", "uni"), Edge("q2", "industry", "tech")]
+        )
+        assert space.connected_component_mask(disconnected) == 0
+
+    def test_query_graph_handle(self, space):
+        qg = space.query_graph(space.full_mask)
+        assert qg.num_edges == 5
+        assert qg.is_valid()
+        assert qg.nodes == {"q1", "q2", "city", "uni", "tech"}
+        smaller = space.query_graph(space.mask_of([Edge("q1", "founded", "q2")]))
+        assert qg.subsumes(smaller)
+        assert not smaller.subsumes(qg)
+
+    def test_empty_mqg_rejected(self):
+        graph = KnowledgeGraph()
+        graph.add_node("q1")
+        mqg = MaximalQueryGraph(
+            graph=graph, query_tuple=("q1",), edge_weights={}, core_edges=frozenset()
+        )
+        with pytest.raises(LatticeError):
+            LatticeSpace(mqg)
+
+
+class TestMinimalQueryTrees:
+    def test_leaves_are_valid_and_minimal(self, space):
+        leaves = minimal_query_trees(space)
+        assert leaves
+        for leaf in leaves:
+            assert space.is_valid_query_graph(leaf)
+            # Minimality: no child of a leaf is a valid query graph.
+            assert space.children_of(leaf) == []
+
+    def test_expected_leaves_for_two_entity_mqg(self, space):
+        leaves = minimal_query_trees(space)
+        founded = space.mask_of([Edge("q1", "founded", "q2")])
+        via_city = space.mask_of(
+            [Edge("q1", "lived", "city"), Edge("q2", "hq", "city")]
+        )
+        assert founded in leaves
+        assert via_city in leaves
+        assert len(leaves) == 2
+
+    def test_single_entity_leaves_are_incident_edges(self):
+        graph = KnowledgeGraph()
+        edges = {
+            Edge("q", "a", "x"): 1.0,
+            Edge("q", "b", "y"): 1.0,
+            Edge("y", "c", "z"): 1.0,
+        }
+        for edge in edges:
+            graph.add_edge(*edge)
+        mqg = MaximalQueryGraph(
+            graph=graph,
+            query_tuple=("q",),
+            edge_weights=edges,
+            core_edges=frozenset(),
+        )
+        space = LatticeSpace(mqg)
+        leaves = minimal_query_trees(space)
+        assert len(leaves) == 2
+        for leaf in leaves:
+            (edge,) = space.edges_of(leaf)
+            assert edge.touches("q")
+
+
+class TestScoring:
+    def test_match_credit_cases(self, space):
+        edge = Edge("q1", "founded", "q2")
+        weight = 3.0
+        # |E(q1)| = 3 and |E(q2)| = 3 in the MQG.
+        assert match_credit(space, edge, True, False) == pytest.approx(weight / 3)
+        assert match_credit(space, edge, False, True) == pytest.approx(weight / 3)
+        assert match_credit(space, edge, True, True) == pytest.approx(weight / 3)
+        assert match_credit(space, edge, False, False) == 0.0
+
+    def test_content_score_counts_identical_nodes_only(self, space):
+        edges = space.edges_of(space.full_mask)
+        no_match = {"q1": "ann", "q2": "acme", "city": "paris", "uni": "mit", "tech": "ai"}
+        assert content_score(space, edges, no_match) == 0.0
+        city_match = dict(no_match, city="city")
+        expected = 1.0 / min(3, 2) + 2.0 / min(3, 2)  # lived + hq edges, |E(city)|=2
+        assert content_score(space, edges, city_match) == pytest.approx(expected)
+
+    def test_answer_graph_score_adds_structure_and_content(self, space):
+        mask = space.mask_of([Edge("q1", "founded", "q2"), Edge("q2", "hq", "city")])
+        binding = {"q1": "ann", "q2": "acme", "city": "city"}
+        score = answer_graph_score(space, mask, binding)
+        assert score == pytest.approx(5.0 + 2.0 / 2)
+
+    def test_structure_score_monotone_in_subsumption(self, space):
+        small = space.mask_of([Edge("q1", "founded", "q2")])
+        large = space.mask_of(
+            [Edge("q1", "founded", "q2"), Edge("q1", "edu", "uni")]
+        )
+        # Property 2 of the paper.
+        assert structure_score(space, small) < structure_score(space, large)

@@ -1,0 +1,102 @@
+"""Unit tests for neighborhood graph extraction (Definition 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError, UnknownEntityError
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.neighborhood import (
+    neighborhood_graph,
+    query_entity_distances,
+)
+
+
+class TestValidation:
+    def test_unknown_entity_raises(self, figure1_graph):
+        with pytest.raises(UnknownEntityError):
+            neighborhood_graph(figure1_graph, ("Jerry Yang", "Nobody"), d=2)
+
+    def test_empty_tuple_raises(self, figure1_graph):
+        with pytest.raises(QueryError):
+            neighborhood_graph(figure1_graph, (), d=2)
+
+    def test_duplicate_entities_raise(self, figure1_graph):
+        with pytest.raises(QueryError):
+            neighborhood_graph(figure1_graph, ("Yahoo!", "Yahoo!"), d=2)
+
+    def test_non_positive_d_raises(self, figure1_graph):
+        with pytest.raises(QueryError):
+            neighborhood_graph(figure1_graph, ("Yahoo!",), d=0)
+
+
+class TestDistances:
+    def test_multi_source_distances(self, figure1_graph):
+        distances = query_entity_distances(figure1_graph, ("Jerry Yang", "Yahoo!"))
+        assert distances["Jerry Yang"] == 0
+        assert distances["Yahoo!"] == 0
+        assert distances["Sunnyvale"] == 1
+        assert distances["California"] == 2
+
+    def test_cutoff_limits_radius(self, figure1_graph):
+        distances = query_entity_distances(figure1_graph, ("Jerry Yang",), cutoff=1)
+        assert "California" not in distances
+        assert distances["Stanford"] == 1
+
+
+class TestNeighborhoodGraph:
+    def test_contains_query_entities(self, figure1_graph):
+        neighborhood = neighborhood_graph(figure1_graph, ("Jerry Yang", "Yahoo!"), d=2)
+        assert neighborhood.contains_query_entities()
+        assert neighborhood.graph.has_node("Jerry Yang")
+        assert neighborhood.graph.has_node("Yahoo!")
+
+    def test_nodes_within_d_hops_only(self, figure1_graph):
+        neighborhood = neighborhood_graph(figure1_graph, ("Jerry Yang", "Yahoo!"), d=1)
+        # Distance-2 nodes such as California must be excluded at d=1.
+        assert not neighborhood.graph.has_node("California")
+        assert neighborhood.graph.has_node("Sunnyvale")
+
+    def test_every_node_has_a_distance_within_d(self, figure1_graph):
+        d = 2
+        neighborhood = neighborhood_graph(figure1_graph, ("Jerry Yang", "Yahoo!"), d=d)
+        assert set(neighborhood.distances) == set(neighborhood.graph.nodes)
+        assert all(dist <= d for dist in neighborhood.distances.values())
+
+    def test_edges_lie_on_short_paths(self, figure1_graph):
+        d = 2
+        neighborhood = neighborhood_graph(figure1_graph, ("Jerry Yang", "Yahoo!"), d=d)
+        for edge in neighborhood.graph.edges:
+            assert min(
+                neighborhood.distances[edge.subject],
+                neighborhood.distances[edge.object],
+            ) <= d - 1
+
+    def test_neighborhood_is_subgraph_of_data_graph(self, figure1_graph):
+        neighborhood = neighborhood_graph(figure1_graph, ("Jerry Yang", "Yahoo!"), d=2)
+        for edge in neighborhood.graph.edges:
+            assert figure1_graph.has_edge(*edge)
+
+    def test_larger_d_grows_the_neighborhood(self, figure1_graph):
+        small = neighborhood_graph(figure1_graph, ("Jerry Yang",), d=1)
+        large = neighborhood_graph(figure1_graph, ("Jerry Yang",), d=3)
+        assert small.num_nodes < large.num_nodes
+        assert small.num_edges < large.num_edges
+
+    def test_single_entity_neighborhood(self, figure1_graph):
+        neighborhood = neighborhood_graph(figure1_graph, ("Stanford",), d=1)
+        # Stanford's direct neighbours are the people educated there.
+        assert neighborhood.graph.has_node("Jerry Yang")
+        assert neighborhood.graph.has_node("Sergey Brin")
+        assert not neighborhood.graph.has_node("Yahoo!")
+
+    def test_distance_accessor(self, figure1_graph):
+        neighborhood = neighborhood_graph(figure1_graph, ("Jerry Yang",), d=2)
+        assert neighborhood.distance("Jerry Yang") == 0
+        with pytest.raises(KeyError):
+            neighborhood.distance("Not In Graph")
+
+    def test_disconnected_entities_produce_disconnected_neighborhood(self):
+        graph = KnowledgeGraph([("a", "r", "b"), ("c", "r", "d")])
+        neighborhood = neighborhood_graph(graph, ("a", "c"), d=2)
+        assert not neighborhood.graph.is_weakly_connected()

@@ -1,0 +1,73 @@
+"""Tests for the adapted NESS baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.ness import NESSMatcher
+
+
+@pytest.fixture(scope="module")
+def ness(figure1_graph):
+    return NESSMatcher(figure1_graph)
+
+
+@pytest.fixture(scope="module")
+def jerry_mqg(figure1_system):
+    return figure1_system.discover_query_graph(("Jerry Yang", "Yahoo!"))
+
+
+class TestNESS:
+    def test_returns_founder_like_tuples(self, ness, jerry_mqg, figure1_truth):
+        result = ness.query(jerry_mqg, k=10, excluded_tuples={("Jerry Yang", "Yahoo!")})
+        answers = result.answer_tuples()
+        assert answers
+        # At least some genuine founder-company pairs should be found.
+        assert any(answer in figure1_truth for answer in answers)
+
+    def test_excludes_query_tuple(self, ness, jerry_mqg):
+        result = ness.query(jerry_mqg, k=10, excluded_tuples={("Jerry Yang", "Yahoo!")})
+        assert ("Jerry Yang", "Yahoo!") not in result.answer_tuples()
+
+    def test_scores_monotone(self, ness, jerry_mqg):
+        result = ness.query(jerry_mqg, k=10)
+        scores = [answer.score for answer in result.answers]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_limits_results(self, ness, jerry_mqg):
+        result = ness.query(jerry_mqg, k=2)
+        assert len(result.answers) <= 2
+
+    def test_answer_arity_matches_query(self, ness, jerry_mqg):
+        result = ness.query(jerry_mqg, k=10)
+        assert all(len(answer.entities) == 2 for answer in result.answers)
+
+    def test_no_duplicate_entities_within_answer(self, ness, jerry_mqg):
+        result = ness.query(jerry_mqg, k=10)
+        for answer in result.answers:
+            assert len(set(answer.entities)) == len(answer.entities)
+
+    def test_statistics_populated(self, ness, jerry_mqg):
+        result = ness.query(jerry_mqg, k=5)
+        assert result.statistics.candidates_considered > 0
+        assert result.statistics.pivot in ("Jerry Yang", "Yahoo!")
+        assert result.statistics.elapsed_seconds >= 0.0
+
+    def test_single_entity_query(self, figure1_system, ness):
+        mqg = figure1_system.discover_query_graph(("Stanford",))
+        result = ness.query(mqg, k=5, excluded_tuples={("Stanford",)})
+        assert all(len(answer.entities) == 1 for answer in result.answers)
+        assert ("Stanford",) not in result.answer_tuples()
+
+    def test_gqbe_is_at_least_as_accurate_on_the_excerpt(
+        self, figure1_system, ness, jerry_mqg, figure1_truth
+    ):
+        """The paper's headline accuracy comparison, on the tiny excerpt."""
+        gqbe_answers = figure1_system.query(("Jerry Yang", "Yahoo!"), k=4).answer_tuples()
+        ness_answers = ness.query(
+            jerry_mqg, k=4, excluded_tuples={("Jerry Yang", "Yahoo!")}
+        ).answer_tuples()
+        truth = set(figure1_truth)
+        gqbe_hits = sum(1 for a in gqbe_answers if a in truth)
+        ness_hits = sum(1 for a in ness_answers if a in truth)
+        assert gqbe_hits >= ness_hits

@@ -1,0 +1,197 @@
+"""Unit tests for the vertical-partition store and the hash-join evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError, LatticeError
+from repro.graph.knowledge_graph import Edge, KnowledgeGraph
+from repro.storage.join import Relation, evaluate_query_edges, extend_with_edge
+from repro.storage.plan import plan_join_order
+from repro.storage.store import VerticalPartitionStore
+from repro.storage.table import EdgeTable
+
+
+class TestEdgeTable:
+    def test_add_and_probe(self):
+        table = EdgeTable("r", [("a", "b"), ("a", "c"), ("d", "b")])
+        assert len(table) == 3
+        assert table.probe_subject("a") == [("a", "b"), ("a", "c")]
+        assert table.probe_object("b") == [("a", "b"), ("d", "b")]
+        assert table.has_row("a", "b")
+        assert not table.has_row("b", "a")
+
+    def test_duplicates_ignored(self):
+        table = EdgeTable("r", [("a", "b"), ("a", "b")])
+        assert len(table) == 1
+
+    def test_subjects_objects_sets(self):
+        table = EdgeTable("r", [("a", "b"), ("c", "b")])
+        assert table.subjects() == {"a", "c"}
+        assert table.objects() == {"b"}
+
+    def test_contains_and_iter(self):
+        table = EdgeTable("r", [("a", "b")])
+        assert ("a", "b") in table
+        assert list(table) == [("a", "b")]
+
+
+class TestStore:
+    def test_one_table_per_label(self, figure1_graph):
+        store = VerticalPartitionStore(figure1_graph)
+        assert store.num_tables == figure1_graph.num_labels
+        assert store.num_rows == figure1_graph.num_edges
+
+    def test_table_lookup(self, figure1_graph):
+        store = VerticalPartitionStore(figure1_graph)
+        founded = store.table("founded")
+        assert founded.has_row("Jerry Yang", "Yahoo!")
+        assert store.cardinality("founded") == len(founded)
+
+    def test_unknown_label(self, figure1_graph):
+        store = VerticalPartitionStore(figure1_graph)
+        with pytest.raises(GraphError):
+            store.table("does_not_exist")
+        assert len(store.table_or_empty("does_not_exist")) == 0
+        assert store.cardinality("does_not_exist") == 0
+        assert not store.has_label("does_not_exist")
+
+
+class TestJoinPlanning:
+    def test_plan_keeps_connectivity(self, figure1_store):
+        edges = [
+            Edge("Jerry Yang", "founded", "Yahoo!"),
+            Edge("Yahoo!", "headquartered_in", "Sunnyvale"),
+            Edge("Sunnyvale", "in_state", "California"),
+        ]
+        plan = plan_join_order(edges, figure1_store)
+        seen_nodes = {plan.order[0].subject, plan.order[0].object}
+        for edge in plan.order[1:]:
+            assert edge.subject in seen_nodes or edge.object in seen_nodes
+            seen_nodes.update((edge.subject, edge.object))
+
+    def test_plan_starts_with_most_selective_edge(self, figure1_store):
+        edges = [
+            Edge("Jerry Yang", "education", "Stanford"),
+            Edge("Jerry Yang", "founded", "Yahoo!"),
+        ]
+        plan = plan_join_order(edges, figure1_store)
+        # 'founded' has fewer rows than 'education' in the excerpt.
+        assert plan.order[0].label == "founded"
+
+    def test_disconnected_edges_rejected(self, figure1_store):
+        edges = [
+            Edge("Jerry Yang", "founded", "Yahoo!"),
+            Edge("Cupertino", "in_state", "California"),
+        ]
+        with pytest.raises(LatticeError):
+            plan_join_order(edges, figure1_store)
+
+    def test_empty_plan_rejected(self, figure1_store):
+        with pytest.raises(LatticeError):
+            plan_join_order([], figure1_store)
+
+
+class TestJoinEvaluation:
+    def test_single_edge_query(self, figure1_store):
+        relation = evaluate_query_edges(
+            figure1_store, [Edge("q_person", "founded", "q_company")]
+        )
+        assert relation.num_rows == 5
+        assert set(relation.variables) == {"q_person", "q_company"}
+
+    def test_two_edge_path_query(self, figure1_store):
+        edges = [
+            Edge("person", "founded", "company"),
+            Edge("company", "headquartered_in", "city"),
+        ]
+        relation = evaluate_query_edges(figure1_store, edges)
+        projected = relation.distinct_projection(["person", "company"])
+        assert ("Jerry Yang", "Yahoo!") in projected
+        assert ("Bill Gates", "Microsoft") in projected
+
+    def test_cycle_closing_edge_filters(self, figure1_store):
+        # person founded company, person lived in city, company HQ in city2,
+        # both city and city2 in the same state.
+        edges = [
+            Edge("person", "founded", "company"),
+            Edge("person", "places_lived", "city"),
+            Edge("company", "headquartered_in", "hq"),
+            Edge("city", "in_state", "state"),
+            Edge("hq", "in_state", "state"),
+        ]
+        relation = evaluate_query_edges(figure1_store, edges)
+        people = {row[relation.column("person")] for row in relation.rows}
+        # Bill Gates lived in Medina (Washington) and Microsoft is in
+        # Washington, so he qualifies too; the Californians all qualify.
+        assert "Jerry Yang" in people
+        assert "Steve Wozniak" in people
+
+    def test_no_match_returns_empty_with_schema(self, figure1_store):
+        edges = [
+            Edge("person", "founded", "company"),
+            Edge("person", "board_member", "company2"),
+        ]
+        relation = evaluate_query_edges(figure1_store, edges)
+        assert relation.is_empty()
+        assert "person" in relation.variables
+
+    def test_injectivity_enforced(self):
+        graph = KnowledgeGraph([("a", "likes", "a"), ("a", "likes", "b")])
+        store = VerticalPartitionStore(graph)
+        relation = evaluate_query_edges(store, [Edge("x", "likes", "y")])
+        assert ("a", "a") not in set(relation.rows)
+        assert ("a", "b") in set(relation.rows)
+
+    def test_injectivity_can_be_disabled(self):
+        graph = KnowledgeGraph([("a", "likes", "a")])
+        store = VerticalPartitionStore(graph)
+        relation = evaluate_query_edges(store, [Edge("x", "likes", "y")], injective=False)
+        assert ("a", "a") in set(relation.rows)
+
+    def test_self_loop_query_edge(self):
+        graph = KnowledgeGraph([("a", "likes", "a"), ("a", "likes", "b")])
+        store = VerticalPartitionStore(graph)
+        relation = evaluate_query_edges(store, [Edge("x", "likes", "x")])
+        assert relation.rows == [("a",)]
+
+    def test_max_rows_cap_raises(self, figure1_store):
+        with pytest.raises(LatticeError):
+            evaluate_query_edges(
+                figure1_store,
+                [Edge("person", "nationality", "country")],
+                max_rows=2,
+            )
+
+    def test_extend_with_edge_matches_from_scratch(self, figure1_store):
+        base = evaluate_query_edges(figure1_store, [Edge("person", "founded", "company")])
+        extended = extend_with_edge(
+            figure1_store, base, Edge("company", "headquartered_in", "city")
+        )
+        scratch = evaluate_query_edges(
+            figure1_store,
+            [
+                Edge("person", "founded", "company"),
+                Edge("company", "headquartered_in", "city"),
+            ],
+        )
+        assert set(
+            extended.distinct_projection(["person", "company", "city"])
+        ) == set(scratch.distinct_projection(["person", "company", "city"]))
+
+    def test_extend_requires_shared_variable(self, figure1_store):
+        base = evaluate_query_edges(figure1_store, [Edge("person", "founded", "company")])
+        with pytest.raises(LatticeError):
+            extend_with_edge(figure1_store, base, Edge("city", "in_state", "state"))
+
+    def test_relation_bindings_and_projection(self, figure1_store):
+        relation = evaluate_query_edges(figure1_store, [Edge("p", "founded", "c")])
+        bindings = list(relation.bindings())
+        assert all(set(b) == {"p", "c"} for b in bindings)
+        assert relation.has_variable("p")
+        assert not relation.has_variable("zzz")
+
+    def test_empty_edge_list_returns_empty_relation(self, figure1_store):
+        relation = evaluate_query_edges(figure1_store, [])
+        assert relation.is_empty()
+        assert relation.variables == ()

@@ -1,0 +1,105 @@
+"""Unit tests for triple parsing and serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TripleParseError
+from repro.graph.triples import (
+    Triple,
+    format_triple,
+    graph_to_triples,
+    load_graph,
+    read_triples,
+    triples_from_strings,
+    write_triples,
+)
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+class TestTSVParsing:
+    def test_basic_tsv(self):
+        triples = triples_from_strings("a\tr\tb\nb\ts\tc\n", fmt="tsv")
+        assert triples == [Triple("a", "r", "b"), Triple("b", "s", "c")]
+
+    def test_blank_lines_and_comments_skipped(self):
+        text = "# comment\n\na\tr\tb\n   \n"
+        assert len(triples_from_strings(text)) == 1
+
+    def test_wrong_field_count_raises(self):
+        with pytest.raises(TripleParseError) as info:
+            triples_from_strings("a\tb\n", fmt="tsv")
+        assert info.value.line_number == 1
+
+    def test_empty_field_raises(self):
+        with pytest.raises(TripleParseError):
+            triples_from_strings("a\t\tb\n", fmt="tsv")
+
+    def test_whitespace_in_fields_is_stripped(self):
+        triples = triples_from_strings(" a \t r \t b \n", fmt="tsv")
+        assert triples == [Triple("a", "r", "b")]
+
+
+class TestNTParsing:
+    def test_basic_nt(self):
+        triples = triples_from_strings("<a> <r> <b> .\n", fmt="nt")
+        assert triples == [Triple("a", "r", "b")]
+
+    def test_autodetect_nt(self):
+        triples = triples_from_strings("<a> <r> <b> .\n")
+        assert triples == [Triple("a", "r", "b")]
+
+    def test_autodetect_tsv(self):
+        triples = triples_from_strings("a\tr\tb\n")
+        assert triples == [Triple("a", "r", "b")]
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(TripleParseError):
+            triples_from_strings("<a> <r> <b>\n", fmt="nt")
+
+    def test_unterminated_term_raises(self):
+        with pytest.raises(TripleParseError):
+            triples_from_strings("<a> <r> <b .\n", fmt="nt")
+
+    def test_trailing_content_raises(self):
+        with pytest.raises(TripleParseError):
+            triples_from_strings("<a> <r> <b> <c> .\n", fmt="nt")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            triples_from_strings("a\tr\tb", fmt="xml")
+
+
+class TestRoundTrip:
+    def test_format_triple_tsv_and_nt(self):
+        triple = Triple("a", "r", "b")
+        assert format_triple(triple, fmt="tsv") == "a\tr\tb"
+        assert format_triple(triple, fmt="nt") == "<a> <r> <b> ."
+        with pytest.raises(ValueError):
+            format_triple(triple, fmt="json")
+
+    def test_write_and_read_tsv(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        triples = [Triple("a", "r", "b"), Triple("b", "s", "c")]
+        count = write_triples(triples, path, fmt="tsv")
+        assert count == 2
+        assert read_triples(path) == triples
+
+    def test_write_and_read_nt(self, tmp_path):
+        path = tmp_path / "graph.nt"
+        triples = [Triple("a", "r", "b")]
+        write_triples(triples, path, fmt="nt")
+        assert read_triples(path, fmt="nt") == triples
+
+    def test_load_graph(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        write_triples([Triple("a", "r", "b"), Triple("b", "s", "c")], path)
+        graph = load_graph(path)
+        assert graph.num_edges == 2
+        assert graph.has_edge("a", "r", "b")
+
+    def test_graph_to_triples_is_sorted_and_complete(self):
+        graph = KnowledgeGraph([("b", "s", "c"), ("a", "r", "b")])
+        triples = graph_to_triples(graph)
+        assert triples == sorted(triples)
+        assert len(triples) == 2
