@@ -21,20 +21,24 @@ from collections.abc import Iterable
 
 from repro.exceptions import LatticeError
 from repro.lattice.exploration import (
+    CONTENT,
+    FULL,
+    MASK,
+    STRUCTURE,
+    AnswerAccumulator,
     ExplorationResult,
     ExplorationStatistics,
+    LatticeNodeEvaluator,
     RankedAnswer,
-    _AnswerRecord,
     drop_trivial_self_match,
 )
 from repro.lattice.minimal_trees import minimal_query_trees
 from repro.lattice.query_graph import LatticeSpace
-from repro.lattice.scoring import content_score, structure_score
-from repro.storage.join import Relation, evaluate_query_edges, extend_with_edge
+from repro.storage.join import Relation
 from repro.storage.store import VerticalPartitionStore
 
 
-class BreadthFirstExplorer:
+class BreadthFirstExplorer(LatticeNodeEvaluator):
     """Exhaustive breadth-first lattice evaluation with null-ancestor pruning."""
 
     def __init__(
@@ -51,82 +55,21 @@ class BreadthFirstExplorer:
         self.space = space
         self.store = store
         self.k = k
-        self.excluded_tuples = {tuple(t) for t in excluded_tuples}
         self.max_rows = max_rows
         self.node_budget = node_budget
 
         self._evaluated: dict[int, Relation] = {}
         self._null_masks: list[int] = []
-        self._answers: dict[tuple[str, ...], _AnswerRecord] = {}
+        self._answers = AnswerAccumulator(space, store, excluded_tuples)
         self._stats = ExplorationStatistics()
-
-    def _is_pruned(self, mask: int) -> bool:
-        return any((mask & null) == null for null in self._null_masks)
-
-    def _evaluate_mask(self, mask: int) -> Relation | None:
-        best_child: tuple[int, int] | None = None
-        for i in range(self.space.num_edges):
-            bit = 1 << i
-            if not mask & bit:
-                continue
-            child = mask & ~bit
-            if child not in self._evaluated:
-                continue
-            child_relation = self._evaluated[child]
-            if child_relation.is_empty():
-                continue
-            edge = self.space.edge_list[i]
-            if child_relation.has_variable(edge.subject) or child_relation.has_variable(
-                edge.object
-            ):
-                if best_child is None or child_relation.num_rows < best_child[0]:
-                    best_child = (child_relation.num_rows, i)
-        try:
-            if best_child is not None:
-                i = best_child[1]
-                return extend_with_edge(
-                    self.store,
-                    self._evaluated[mask & ~(1 << i)],
-                    self.space.edge_list[i],
-                    max_rows=self.max_rows,
-                )
-            return evaluate_query_edges(
-                self.store, self.space.edges_of(mask), max_rows=self.max_rows
-            )
-        except LatticeError:
-            return None
-
-    def _record_answers(self, mask: int, relation: Relation) -> None:
-        entities = self.space.query_tuple
-        try:
-            entity_columns = [relation.column(entity) for entity in entities]
-        except KeyError:
-            return
-        mask_structure = structure_score(self.space, mask)
-        edges = self.space.edges_of(mask)
-        variables = relation.variables
-        for row in relation.rows:
-            answer = tuple(row[col] for col in entity_columns)
-            if answer in self.excluded_tuples:
-                continue
-            matched = {
-                variables[i] for i, value in enumerate(row) if value == variables[i]
-            }
-            content = (
-                content_score(self.space, edges, dict(zip(variables, row)))
-                if matched
-                else 0.0
-            )
-            record = self._answers.get(answer)
-            if record is None:
-                record = _AnswerRecord()
-                self._answers[answer] = record
-            record.update(mask_structure, content, mask)
 
     def run(self) -> ExplorationResult:
         """Evaluate every unpruned lattice node, breadth-first, and rank answers."""
         start = time.perf_counter()
-        leaves = minimal_query_trees(self.space)
+        leaves = self.space.minimal_trees_cache
+        if leaves is None:
+            leaves = minimal_query_trees(self.space)
+            self.space.minimal_trees_cache = leaves
         if not leaves:
             raise LatticeError("the query lattice has no minimal query trees")
 
@@ -145,13 +88,14 @@ class BreadthFirstExplorer:
             if relation is None:
                 self._stats.nodes_skipped += 1
                 continue
-            effective = drop_trivial_self_match(relation)
+            identity_info = self._answers.identity_info(relation.variables)
+            effective = drop_trivial_self_match(relation, identity_info[0])
             if effective.is_empty():
                 self._stats.null_nodes += 1
-                self._null_masks.append(mask)
+                self._add_null_mask(mask)
                 continue
             self._evaluated[mask] = relation
-            self._record_answers(mask, effective)
+            self._answers.record(mask, effective, identity_info=identity_info)
             for parent in self.space.parents_of(mask):
                 if parent not in enqueued and not self._is_pruned(parent):
                     enqueued.add(parent)
@@ -167,15 +111,16 @@ class BreadthFirstExplorer:
 
     def _final_ranking(self) -> list[RankedAnswer]:
         ranked = sorted(
-            self._answers.items(), key=lambda item: (-item[1].best_full, item[0])
+            self._answers.decoded_items(),
+            key=lambda item: (-item[1][FULL], item[0]),
         )[: self.k]
         return [
             RankedAnswer(
                 entities=answer,
-                score=record.best_full,
-                structure_score=record.best_structure,
-                content_score=record.best_content,
-                query_graph_mask=record.best_mask,
+                score=record[FULL],
+                structure_score=record[STRUCTURE],
+                content_score=record[CONTENT],
+                query_graph_mask=record[MASK],
             )
             for answer, record in ranked
         ]

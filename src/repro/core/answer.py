@@ -16,6 +16,9 @@ class AnswerTuple:
     ----------
     entities:
         The answer entities, positionally aligned with the query tuple.
+        Always decoded entity *strings*: the join engine works on interned
+        int ids internally, but ids never escape past the exploration's
+        final ranking.
     score:
         The full Eq. 5 score (structure + content) of the best answer graph
         projecting to this tuple.

@@ -36,6 +36,11 @@ class GQBEConfig:
     node_budget:
         Optional cap on the number of lattice nodes evaluated per query;
         ``None`` disables the cap.
+    intern_entities:
+        Build the vertical-partition store over interned integer entity
+        ids (the fast path).  Disabling it runs the engine on raw entity
+        strings via the identity vocabulary — the reference path used by
+        the interning equivalence tests.
     """
 
     d: int = 2
@@ -44,6 +49,7 @@ class GQBEConfig:
     reduce_neighborhood: bool = True
     max_join_rows: int | None = None
     node_budget: int | None = None
+    intern_entities: bool = True
 
     def __post_init__(self) -> None:
         if self.d < 1:

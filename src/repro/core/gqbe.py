@@ -26,6 +26,7 @@ from repro.graph.statistics import GraphStatistics
 from repro.lattice.exploration import BestFirstExplorer, ExplorationResult
 from repro.lattice.query_graph import LatticeSpace
 from repro.storage.store import VerticalPartitionStore
+from repro.storage.vocabulary import IdentityVocabulary
 
 
 class GQBE:
@@ -37,7 +38,19 @@ class GQBE:
         #: Offline, query-independent statistics (ief / participation degree).
         self.statistics = GraphStatistics(graph)
         #: The in-memory vertical-partition store used by the join engine.
-        self.store = VerticalPartitionStore(graph)
+        #: Entities are interned to dense int ids at build time (and decoded
+        #: back to strings only when answers are materialized) unless the
+        #: config selects the string-path reference engine.
+        self.store = VerticalPartitionStore(
+            graph,
+            vocabulary=None if self.config.intern_entities else IdentityVocabulary(),
+        )
+        #: Recently built lattice spaces, keyed by the identity of their
+        #: MQG.  A LatticeSpace is a pure function of its MQG and carries
+        #: warm memos (structure scores, minimal trees), so repeated
+        #: explorations of the same MQG skip the rebuild.  Values hold a
+        #: strong reference to the MQG, which keeps the ``id()`` key valid.
+        self._space_cache: dict[int, tuple[MaximalQueryGraph, LatticeSpace]] = {}
 
     # ------------------------------------------------------------------
     # query graph discovery
@@ -73,14 +86,27 @@ class GQBE:
     # ------------------------------------------------------------------
     # query execution
     # ------------------------------------------------------------------
-    def _explore(
+    def explore_mqg(
         self,
         mqg: MaximalQueryGraph,
-        k: int,
-        excluded_tuples: set[tuple[str, ...]],
+        k: int = 10,
+        excluded_tuples: set[tuple[str, ...]] = frozenset(),
         k_prime: int | None = None,
     ) -> ExplorationResult:
-        space = LatticeSpace(mqg)
+        """Run the best-first lattice exploration over an existing MQG.
+
+        Lets callers that cache or share discovered MQGs (e.g. the
+        experiment harness, which feeds the same MQG to every compared
+        system) skip re-discovery and pay only for query processing.
+        """
+        entry = self._space_cache.get(id(mqg))
+        if entry is not None and entry[0] is mqg:
+            space = entry[1]
+        else:
+            space = LatticeSpace(mqg)
+            if len(self._space_cache) >= 16:
+                self._space_cache.pop(next(iter(self._space_cache)))
+            self._space_cache[id(mqg)] = (mqg, space)
         explorer = BestFirstExplorer(
             space,
             self.store,
@@ -122,7 +148,7 @@ class GQBE:
         discovery_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
-        exploration = self._explore(mqg, k, excluded_tuples={entities}, k_prime=k_prime)
+        exploration = self.explore_mqg(mqg, k, excluded_tuples={entities}, k_prime=k_prime)
         processing_seconds = time.perf_counter() - started
 
         return QueryResult(
@@ -158,7 +184,7 @@ class GQBE:
         discovery_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
-        exploration = self._explore(
+        exploration = self.explore_mqg(
             merged, k, excluded_tuples=set(tuples), k_prime=k_prime
         )
         processing_seconds = time.perf_counter() - started

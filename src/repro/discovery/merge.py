@@ -110,7 +110,7 @@ def merge_maximal_query_graphs(
         for node in virtual_graph.nodes:
             merged_graph.add_node(node)
         for edge in virtual_graph.edges:
-            merged_graph.add_edge(*edge)
+            merged_graph.add_edge_object(edge)
             presence_counts[edge] = presence_counts.get(edge, 0) + 1
             weight = virtual_weights.get(edge, 0.0)
             if edge not in max_weights or weight > max_weights[edge]:
@@ -129,7 +129,7 @@ def merge_maximal_query_graphs(
         for entity in virtual_tuple:
             trimmed.add_node(entity)
         for edge in selected:
-            trimmed.add_edge(*edge)
+            trimmed.add_edge_object(edge)
         merged_graph = trimmed
         merged_weights = {edge: merged_weights[edge] for edge in selected}
         core_edges = frozenset(core_selection)

@@ -243,34 +243,80 @@ def _select_component(
         target = 1
     ordered = sorted(edges, key=lambda e: (-weights.get(e, 0.0), e))
 
-    best_exact: set[Edge] | None = None
-    best_below: set[Edge] | None = None
-    best_above: set[Edge] | None = None
+    # Alg. 1 scans the prefixes of the weight-ordered edge list and asks,
+    # for each, for the component containing the required nodes.  Instead
+    # of rebuilding that component per prefix (quadratic), grow a
+    # union-find incrementally, tracking the edge count per component, and
+    # materialize only the prefix that wins the preference order below.
+    parent: dict[str, str] = {}
+    edge_counts: dict[str, int] = {}
 
-    for s in range(1, len(ordered) + 1):
-        component, exists = _component_containing(ordered[:s], required)
-        if not exists:
+    def find(node: str) -> str:
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    required_list = list(required)
+    s_exact: int | None = None
+    s_below: int | None = None
+    s_above: int | None = None
+
+    for s, edge in enumerate(ordered, 1):
+        subject, obj = edge.subject, edge.object
+        if subject not in parent:
+            parent[subject] = subject
+            edge_counts[subject] = 0
+        if obj not in parent:
+            parent[obj] = obj
+            edge_counts[obj] = 0
+        subject_root = find(subject)
+        object_root = find(obj)
+        if subject_root == object_root:
+            edge_counts[subject_root] += 1
+        else:
+            if edge_counts[subject_root] < edge_counts[object_root]:
+                subject_root, object_root = object_root, subject_root
+            parent[object_root] = subject_root
+            edge_counts[subject_root] += edge_counts[object_root] + 1
+
+        root: str | None = None
+        connected = True
+        for node in required_list:
+            if node not in parent:
+                connected = False
+                break
+            node_root = find(node)
+            if root is None:
+                root = node_root
+            elif node_root != root:
+                connected = False
+                break
+        if not connected:
             continue
-        size = len(component)
+        size = edge_counts[root]
         if size == target:
-            best_exact = component
+            s_exact = s
             break
         if size < target:
             # keep the largest-below candidate (later prefixes grow it)
-            best_below = component
-        elif best_above is None:
-            best_above = component
+            s_below = s
+        elif s_above is None:
+            s_above = s
 
     # Algorithm 1's preference order: exact size m, else the largest
     # component below m (s1), else the smallest component above m (s2),
     # the latter trimmed back towards m so hub entities cannot blow the
     # MQG (and with it the query lattice) up arbitrarily.
-    if best_exact is not None:
-        return best_exact
-    if best_below is not None:
-        return best_below
-    if best_above is not None:
-        return _trim_component(best_above, required, weights, target)
+    if s_exact is not None:
+        return _component_containing(ordered[:s_exact], required)[0]
+    if s_below is not None:
+        return _component_containing(ordered[:s_below], required)[0]
+    if s_above is not None:
+        component, _ = _component_containing(ordered[:s_above], required)
+        return _trim_component(component, required, weights, target)
     return set()
 
 
@@ -372,7 +418,7 @@ def discover_maximal_query_graph(
     for entity in entities:
         mqg_graph.add_node(entity)
     for edge in mqg_edges:
-        mqg_graph.add_edge(*edge)
+        mqg_graph.add_edge_object(edge)
 
     scoring_weights = mqg_edge_weights(stats, mqg_graph, entities)
     core_in_mqg = frozenset(edge for edge in core_selection if edge in mqg_edges)

@@ -68,6 +68,48 @@ def _unimportant_edges(
     return unimportant
 
 
+def _removed_edges(neighborhood: NeighborhoodGraph) -> set[Edge]:
+    """Union of UE(v) over all nodes, computed in two passes over the edges.
+
+    Equivalent to running :func:`_unimportant_edges` per node (the
+    per-node form is kept above as the executable spec and for tests), but
+    without materializing incident-edge lists for every node: pass one
+    collects, per node, the labels of its important outgoing/incoming
+    edges; pass two flags every non-important edge that shares a label and
+    orientation with an important sibling at either endpoint.
+    """
+    d = neighborhood.d
+    distances = neighborhood.distances
+    threshold = d - 1
+    outgoing_labels: dict[str, set[str]] = {}
+    incoming_labels: dict[str, set[str]] = {}
+    # Per-edge importance flags in edge-list order (parallel lists instead
+    # of an Edge-keyed dict: Edge tuples hash three strings each).
+    edges = list(neighborhood.graph.edges)
+    subject_flags: list[bool] = []
+    object_flags: list[bool] = []
+
+    far = threshold + 1  # sentinel distance: "outside the d-1 ball"
+    for subject, label, obj in edges:
+        subject_side = distances.get(obj, far) <= threshold
+        object_side = distances.get(subject, far) <= threshold
+        subject_flags.append(subject_side)
+        object_flags.append(object_side)
+        if subject_side:
+            outgoing_labels.setdefault(subject, set()).add(label)
+        if object_side:
+            incoming_labels.setdefault(obj, set()).add(label)
+
+    removed: set[Edge] = set()
+    empty: set[str] = set()
+    for edge, subject_side, object_side in zip(edges, subject_flags, object_flags):
+        if not subject_side and edge.label in outgoing_labels.get(edge.subject, empty):
+            removed.add(edge)
+        elif not object_side and edge.label in incoming_labels.get(edge.object, empty):
+            removed.add(edge)
+    return removed
+
+
 def reduce_neighborhood_graph(neighborhood: NeighborhoodGraph) -> NeighborhoodGraph:
     """Remove unimportant edges and return the reduced neighborhood graph.
 
@@ -75,26 +117,26 @@ def reduce_neighborhood_graph(neighborhood: NeighborhoodGraph) -> NeighborhoodGr
     contains all query entities; Theorem 2 guarantees it exists.
     """
     graph = neighborhood.graph
-    removed: set[Edge] = set()
-    for node in graph.nodes:
-        removed |= _unimportant_edges(neighborhood, node)
+    removed = _removed_edges(neighborhood)
+    kept = [edge for edge in graph.edges if edge not in removed]
 
-    reduced = KnowledgeGraph()
-    for entity in neighborhood.query_tuple:
-        reduced.add_node(entity)
-    for edge in graph.edges:
-        if edge not in removed:
-            reduced.add_edge(*edge)
-
-    # Keep only the component containing the query entities.
-    components = reduced.weakly_connected_components()
-    entity_set = set(neighborhood.query_tuple)
-    keeper: set[str] | None = None
-    for component in components:
-        if entity_set <= component:
-            keeper = component
-            break
-    if keeper is None:
+    # Keep only the component containing the query entities, computed over
+    # a plain adjacency map (no intermediate KnowledgeGraph build).
+    adjacency: dict[str, list[str]] = {}
+    for edge in kept:
+        adjacency.setdefault(edge.subject, []).append(edge.object)
+        adjacency.setdefault(edge.object, []).append(edge.subject)
+    entities = neighborhood.query_tuple
+    start = entities[0]
+    keeper = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for other in adjacency.get(node, ()):
+            if other not in keeper:
+                keeper.add(other)
+                stack.append(other)
+    if not all(entity in keeper for entity in entities):
         raise DiscoveryError(
             "reduced neighborhood graph lost the connection between query "
             "entities; this contradicts Theorem 2 and indicates the input "
@@ -102,11 +144,11 @@ def reduce_neighborhood_graph(neighborhood: NeighborhoodGraph) -> NeighborhoodGr
         )
 
     component_graph = KnowledgeGraph()
-    for entity in neighborhood.query_tuple:
+    for entity in entities:
         component_graph.add_node(entity)
-    for edge in reduced.edges:
+    for edge in kept:
         if edge.subject in keeper and edge.object in keeper:
-            component_graph.add_edge(*edge)
+            component_graph.add_edge_object(edge)
 
     distances = {
         node: neighborhood.distances[node]

@@ -83,6 +83,10 @@ class _SystemBundle:
     ness: NESSMatcher
     query_cache: dict[tuple[str, int], QueryResult] = field(default_factory=dict)
     ness_cache: dict[tuple[str, int], NESSResult] = field(default_factory=dict)
+    #: Discovered MQGs per query tuple.  Discovery is deterministic, and
+    #: the paper feeds the *same* MQG to GQBE, NESS and the Baseline, so
+    #: the comparators share one discovery instead of re-running it.
+    mqg_cache: dict[tuple[str, ...], object] = field(default_factory=dict)
 
 
 class ExperimentHarness:
@@ -125,6 +129,15 @@ class ExperimentHarness:
     # ------------------------------------------------------------------
     # cached per-query runs
     # ------------------------------------------------------------------
+    def _mqg(self, dataset: str, query_tuple: tuple[str, ...]):
+        """Discover (or fetch the cached) MQG for one example tuple."""
+        bundle = self._bundle(dataset)
+        mqg = bundle.mqg_cache.get(query_tuple)
+        if mqg is None:
+            mqg = bundle.gqbe.discover_query_graph(query_tuple)
+            bundle.mqg_cache[query_tuple] = mqg
+        return mqg
+
     def run_gqbe(self, dataset: str, query_id: str, k: int = 30) -> QueryResult:
         """Run (or fetch the cached) GQBE query for ``query_id``."""
         bundle = self._bundle(dataset)
@@ -140,7 +153,7 @@ class ExperimentHarness:
         key = (query_id, k)
         if key not in bundle.ness_cache:
             query = bundle.workload.query(query_id)
-            mqg = bundle.gqbe.discover_query_graph(query.query_tuple)
+            mqg = self._mqg(dataset, query.query_tuple)
             bundle.ness_cache[key] = bundle.ness.query(
                 mqg, k=k, excluded_tuples={query.query_tuple}
             )
@@ -150,7 +163,7 @@ class ExperimentHarness:
         """Run the breadth-first Baseline for ``query_id`` (not cached)."""
         bundle = self._bundle(dataset)
         query = bundle.workload.query(query_id)
-        mqg = bundle.gqbe.discover_query_graph(query.query_tuple)
+        mqg = self._mqg(dataset, query.query_tuple)
         explorer = BreadthFirstExplorer(
             LatticeSpace(mqg),
             bundle.gqbe.store,
@@ -320,7 +333,13 @@ class ExperimentHarness:
         workload = bundle.workload
         rows: list[dict] = []
         for query in workload.queries:
-            gqbe_result = bundle.gqbe.query(query.query_tuple, k=k, k_prime=k)
+            # Fig. 14 plots *processing* time, so the (deterministic,
+            # cached) MQG discovery is shared with NESS and the Baseline
+            # and kept out of the measured section.
+            mqg = self._mqg("freebase", query.query_tuple)
+            gqbe_result = bundle.gqbe.explore_mqg(
+                mqg, k=k, excluded_tuples={query.query_tuple}, k_prime=k
+            )
 
             started = time.perf_counter()
             ness_result = self.run_ness("freebase", query.query_id, k=k)
@@ -332,8 +351,8 @@ class ExperimentHarness:
             rows.append(
                 {
                     "query": query.query_id,
-                    "mqg_edges": gqbe_result.mqg.num_edges,
-                    "gqbe_seconds": gqbe_result.processing_seconds,
+                    "mqg_edges": mqg.num_edges,
+                    "gqbe_seconds": gqbe_result.statistics.elapsed_seconds,
                     "ness_seconds": ness_seconds,
                     "baseline_seconds": baseline_result.statistics.elapsed_seconds,
                     "gqbe_nodes_evaluated": gqbe_result.statistics.nodes_evaluated,

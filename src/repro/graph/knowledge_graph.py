@@ -97,6 +97,29 @@ class KnowledgeGraph:
         self._label_counts[label] = self._label_counts.get(label, 0) + 1
         return edge
 
+    def add_edge_object(self, edge: Edge) -> Edge:
+        """Add an existing :class:`Edge` without revalidating or rebuilding it.
+
+        The fast path for building subgraphs out of edges that already
+        passed :meth:`add_edge` validation in another graph (neighborhood
+        extraction and reduction construct thousands of these per query).
+        """
+        if edge in self._edges:
+            return edge
+        out = self._out
+        incoming = self._in
+        if edge.subject not in out:
+            out[edge.subject] = []
+            incoming[edge.subject] = []
+        if edge.object not in out:
+            out[edge.object] = []
+            incoming[edge.object] = []
+        self._edges.add(edge)
+        out[edge.subject].append(edge)
+        incoming[edge.object].append(edge)
+        self._label_counts[edge.label] = self._label_counts.get(edge.label, 0) + 1
+        return edge
+
     def add_edges(self, edges: Iterable[Edge | tuple[str, str, str]]) -> None:
         """Add every edge in ``edges``."""
         for edge in edges:
@@ -154,6 +177,20 @@ class KnowledgeGraph:
     # ------------------------------------------------------------------
     # adjacency
     # ------------------------------------------------------------------
+    @property
+    def out_adjacency(self) -> dict[str, list[Edge]]:
+        """The subject adjacency map itself (read-only for callers).
+
+        Hot traversals (the neighborhood BFS) walk it directly to avoid a
+        list copy per node; everyone else should prefer :meth:`out_edges`.
+        """
+        return self._out
+
+    @property
+    def in_adjacency(self) -> dict[str, list[Edge]]:
+        """The object adjacency map itself (read-only for callers)."""
+        return self._in
+
     def out_edges(self, node: str) -> list[Edge]:
         """Edges whose subject is ``node`` (empty list for unknown nodes)."""
         return list(self._out.get(node, ()))
@@ -208,7 +245,7 @@ class KnowledgeGraph:
         for edge in edges:
             if edge not in self._edges:
                 raise GraphError(f"edge {edge!r} is not part of this graph")
-            subgraph.add_edge(*edge)
+            subgraph.add_edge_object(edge)
         return subgraph
 
     def node_subgraph(self, nodes: Iterable[str]) -> "KnowledgeGraph":
@@ -220,7 +257,7 @@ class KnowledgeGraph:
                 subgraph.add_node(node)
         for edge in self._edges:
             if edge.subject in keep and edge.object in keep:
-                subgraph.add_edge(*edge)
+                subgraph.add_edge_object(edge)
         return subgraph
 
     def is_weakly_connected(self) -> bool:

@@ -91,11 +91,22 @@ def query_entity_distances(
     distances = {entity: 0 for entity in entities}
     frontier = list(entities)
     depth = 0
+    # Walk the adjacency lists directly instead of materializing a
+    # neighbor set per node (graph.neighbors builds one on every call);
+    # the `in distances` check deduplicates.
+    out_edges = graph.out_adjacency
+    in_edges = graph.in_adjacency
     while frontier and (cutoff is None or depth < cutoff):
         depth += 1
         next_frontier: list[str] = []
         for node in frontier:
-            for neighbor in graph.neighbors(node):
+            for edge in out_edges.get(node, ()):
+                neighbor = edge.object
+                if neighbor not in distances:
+                    distances[neighbor] = depth
+                    next_frontier.append(neighbor)
+            for edge in in_edges.get(node, ()):
+                neighbor = edge.subject
                 if neighbor not in distances:
                     distances[neighbor] = depth
                     next_frontier.append(neighbor)
@@ -133,7 +144,7 @@ def neighborhood_graph(
         for edge in graph.incident_edges(node):
             other = edge.other(node)
             if other in distances:
-                subgraph.add_edge(*edge)
+                subgraph.add_edge_object(edge)
 
     kept_distances = {node: distances[node] for node in subgraph.nodes}
     return NeighborhoodGraph(

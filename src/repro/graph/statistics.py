@@ -57,6 +57,10 @@ class GraphStatistics:
             in_key = (edge.object, edge.label)
             self._out_label_counts[out_key] = self._out_label_counts.get(out_key, 0) + 1
             self._in_label_counts[in_key] = self._in_label_counts.get(in_key, 0) + 1
+        # Eq. 2 weights are pure functions of the (immutable) statistics
+        # and are requested for the same neighborhood edges query after
+        # query, so they are memoized per edge.
+        self._base_weight_cache: dict[Edge, float] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -105,8 +109,12 @@ class GraphStatistics:
 
     # ------------------------------------------------------------------
     def base_edge_weight(self, edge: Edge) -> float:
-        """w(e) = ief(e) / p(e) — Eq. 2, used for MQG discovery."""
-        return self.inverse_edge_label_frequency(edge) / self.participation_degree(edge)
+        """w(e) = ief(e) / p(e) — Eq. 2, used for MQG discovery (memoized)."""
+        weight = self._base_weight_cache.get(edge)
+        if weight is None:
+            weight = self.inverse_edge_label_frequency(edge) / self.participation_degree(edge)
+            self._base_weight_cache[edge] = weight
+        return weight
 
     def weights_for(self, edges: Iterable[Edge]) -> dict[Edge, float]:
         """Convenience: Eq. 2 weights for every edge in ``edges``."""

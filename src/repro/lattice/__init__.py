@@ -14,13 +14,19 @@ This package implements Sections IV and V of the paper:
 """
 
 from repro.lattice.exploration import (
+    AnswerAccumulator,
     BestFirstExplorer,
     ExplorationResult,
     RankedAnswer,
 )
 from repro.lattice.minimal_trees import minimal_query_trees
 from repro.lattice.query_graph import LatticeSpace, QueryGraph
-from repro.lattice.scoring import content_score, match_credit, structure_score
+from repro.lattice.scoring import (
+    content_score,
+    content_score_from_matched,
+    match_credit,
+    structure_score,
+)
 
 __all__ = [
     "LatticeSpace",
@@ -28,7 +34,9 @@ __all__ = [
     "minimal_query_trees",
     "structure_score",
     "content_score",
+    "content_score_from_matched",
     "match_credit",
+    "AnswerAccumulator",
     "BestFirstExplorer",
     "ExplorationResult",
     "RankedAnswer",

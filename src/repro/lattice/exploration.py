@@ -8,7 +8,9 @@ evaluated, pruned and unevaluated — plus two frontiers:
   evaluate (``Q_best``) is the LF node with the highest upper-bound score;
 * the **upper frontier** ``UF``: maximal unpruned nodes; the upper bound of
   an LF node is the best structure score among the UF nodes that subsume it
-  (Definitions 8–9).
+  (Definitions 8–9).  The UF is kept an *antichain*: adding a candidate
+  evicts any member it subsumes, so bounds stay as tight as Algorithm 3
+  allows.
 
 Evaluating a node reuses the materialized answers of one of its already
 evaluated children as the probe relation of a single hash join (Sec. V-A/B).
@@ -21,20 +23,37 @@ tuples by the structure score only and stops once the current k'-th best
 answer beats every remaining upper bound (Theorem 4); stage two re-ranks the
 top-k' answers with the full scoring function (structure + content, Eq. 5)
 and returns the top-k.
+
+Performance notes (the hot path of the Fig. 14/16 experiments):
+
+* join relations carry **interned int entity ids** (see
+  :mod:`repro.storage.vocabulary`); answers are decoded back to entity
+  strings only in :meth:`BestFirstExplorer._final_ranking`;
+* ``Q_best`` selection uses a lazy-deletion max-heap instead of scanning
+  every LF node per iteration;
+* the stage-one k'-threshold is maintained incrementally with a bounded
+  min-heap of the current top-k' structure scores instead of sorting all
+  answers per iteration;
+* structure scores are memoized per mask in the
+  :class:`~repro.lattice.query_graph.LatticeSpace`.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
+from itertools import filterfalse
+from operator import itemgetter
 
 from repro.exceptions import LatticeError
 from repro.lattice.minimal_trees import minimal_query_trees
 from repro.lattice.query_graph import LatticeSpace
-from repro.lattice.scoring import content_score, structure_score
+from repro.lattice.scoring import content_score_from_matched, structure_score
 from repro.storage.join import Relation, evaluate_query_edges, extend_with_edge
 from repro.storage.store import VerticalPartitionStore
+from repro.storage.vocabulary import EntityId
 
 #: Default stage-one oversampling: the paper reports best accuracy with
 #: k' ≈ 100 for k between 10 and 25.
@@ -82,42 +101,292 @@ class ExplorationResult:
         return [answer.entities for answer in self.answers]
 
 
-def drop_trivial_self_match(relation: Relation) -> Relation:
+def drop_trivial_self_match(
+    relation: Relation, identity_row: Sequence[EntityId | None] | None = None
+) -> Relation:
     """Remove the identity match (the query graph matching itself).
 
     Definition 3 of the paper excludes the trivial answer graph in which
     every query-graph node is mapped to itself; a lattice node whose only
     match is that identity mapping is therefore a *null* node.
+
+    ``identity_row`` holds, per column, the interned id of the column's own
+    variable name (``None`` when the variable is not a data entity).  It
+    defaults to the variable names themselves, which is correct for
+    relations produced by an identity-vocabulary (string path) store.
+
+    A row is the trivial self-match exactly when *every* column equals its
+    own variable's id — i.e. when the row equals ``identity_row`` as a
+    tuple — and rows are unique, so removal is a single C-level
+    ``list.index`` scan plus two slices.  (If any variable has no id,
+    ``identity_row`` contains ``None`` and no row can equal it.)
     """
     variables = relation.variables
-    kept = [
-        row
-        for row in relation.rows
-        if any(value != variables[i] for i, value in enumerate(row))
-    ]
-    if len(kept) == len(relation.rows):
+    identity = tuple(identity_row) if identity_row is not None else variables
+    rows = relation.rows
+    try:
+        at = rows.index(identity)
+    except ValueError:
         return relation
-    return Relation(variables=variables, rows=kept)
+    return Relation(variables, rows[:at] + rows[at + 1:], index=relation._index)
 
 
-@dataclass
-class _AnswerRecord:
-    best_structure: float = 0.0
-    best_full: float = 0.0
-    best_content: float = 0.0
-    best_mask: int = 0
+#: Index layout of a per-answer record list: the best structure score over
+#: all answer graphs projecting to the answer, the best full (Eq. 5) score,
+#: and the content score / query-graph mask of that best full answer graph.
+#: Plain lists instead of a dataclass: the update runs once per join row on
+#: the hottest loop of the exploration.
+STRUCTURE, FULL, CONTENT, MASK = range(4)
 
-    def update(self, structure: float, content: float, mask: int) -> None:
-        if structure > self.best_structure:
-            self.best_structure = structure
-        full = structure + content
-        if full > self.best_full:
-            self.best_full = full
-            self.best_content = content
-            self.best_mask = mask
+AnswerRecord = list  # [structure: float, full: float, content: float, mask: int]
 
 
-class BestFirstExplorer:
+class AnswerAccumulator:
+    """Interning-aware per-answer score bookkeeping shared by the explorers.
+
+    Answers are keyed by their interned id tuples — or, for single-entity
+    query tuples, by the bare id, which keeps the hot path free of
+    one-element tuple packing — while the exploration runs;
+    :meth:`decoded_items` converts them back to entity-string tuples when
+    the final ranking is materialized.  Excluded tuples are interned once
+    up front (a tuple containing an entity unknown to the data graph can
+    never be produced, so it is dropped).
+    """
+
+    def __init__(
+        self,
+        space: LatticeSpace,
+        store: VerticalPartitionStore,
+        excluded_tuples: Iterable[tuple[str, ...]],
+    ) -> None:
+        self.space = space
+        self.vocabulary = store.vocabulary
+        self._arity_one = len(space.query_tuple) == 1
+        self.records: dict[EntityId | tuple[EntityId, ...], AnswerRecord] = {}
+        id_of = self.vocabulary.id_of
+        self._excluded: set[EntityId | tuple[EntityId, ...]] = set()
+        for entities in excluded_tuples:
+            ids = tuple(id_of(entity) for entity in entities)
+            if None not in ids:
+                self._excluded.add(ids[0] if self._arity_one else ids)
+        #: Variable names are always MQG nodes; resolving them against this
+        #: small mapping keeps identity_info off the full vocabulary dict.
+        self._node_ids: dict[str, EntityId | None] = {
+            node: id_of(node) for node in space.mqg.graph.nodes
+        }
+        #: variables -> (identity row, self-match checks, identity id set).
+        self._identity_info: dict[
+            tuple[str, ...],
+            tuple[
+                tuple[EntityId | None, ...],
+                list[tuple[int, EntityId, str]],
+                frozenset[EntityId],
+            ],
+        ] = {}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def identity_info(
+        self, variables: tuple[str, ...]
+    ) -> tuple[
+        tuple[EntityId | None, ...],
+        list[tuple[int, EntityId, str]],
+        frozenset[EntityId],
+    ]:
+        """(identity row, self-match checks, identity id set) — memoized.
+
+        Variable names are MQG nodes, so their ids are resolved through a
+        small per-space mapping built once instead of the full vocabulary.
+        """
+        info = self._identity_info.get(variables)
+        if info is None:
+            node_ids = self._node_ids
+            identity = tuple(map(node_ids.get, variables))
+            checks = [
+                (i, ident, variables[i])
+                for i, ident in enumerate(identity)
+                if ident is not None
+            ]
+            values = frozenset(ident for _, ident, _ in checks)
+            info = (identity, checks, values)
+            self._identity_info[variables] = info
+        return info
+
+    def record(
+        self,
+        mask: int,
+        relation: Relation,
+        on_structure_improved: Callable[[tuple[EntityId, ...], float], None] | None = None,
+        identity_info: tuple | None = None,
+    ) -> None:
+        """Fold every row of ``relation`` into the per-answer records.
+
+        ``on_structure_improved`` is called whenever an answer's best
+        structure score strictly increases (used by the best-first
+        explorer to maintain its stage-one threshold heap).  Callers that
+        already hold the relation's :meth:`identity_info` pass it through
+        to skip the lookup.
+        """
+        space = self.space
+        entities = space.query_tuple
+        try:
+            entity_columns = [relation.column(entity) for entity in entities]
+        except KeyError:
+            # A valid query graph always covers the query entities; missing
+            # columns mean the relation is degenerate (empty schema).
+            return
+        mask_structure = structure_score(space, mask)
+        if identity_info is None:
+            identity_info = self.identity_info(relation.variables)
+        _, checks, identity_values = identity_info
+        records = self.records
+        excluded = self._excluded
+        rows = relation.rows
+        answer_of = itemgetter(*entity_columns)  # bare id when arity is one
+
+        # Every row contributes at least (structure, content=0) to its
+        # answer; rows that bind some query node to itself additionally
+        # contribute their content score, and only those need per-row
+        # Python work.  The content-0 sweep therefore runs over the
+        # *distinct* answers, extracted at C speed.
+        if identity_values:
+            matched_rows = list(filterfalse(identity_values.isdisjoint, rows))
+        else:
+            matched_rows = ()
+        distinct_answers = set(map(answer_of, rows))
+
+        for answer in distinct_answers:
+            if answer in excluded:
+                continue
+            record = records.get(answer)
+            if record is None:
+                records[answer] = [mask_structure, mask_structure, 0.0, mask]
+                if on_structure_improved is not None:
+                    on_structure_improved(answer, mask_structure)
+            else:
+                if mask_structure > record[STRUCTURE]:
+                    record[STRUCTURE] = mask_structure
+                    if on_structure_improved is not None:
+                        on_structure_improved(answer, mask_structure)
+                if mask_structure > record[FULL]:
+                    record[FULL] = mask_structure
+                    record[CONTENT] = 0.0
+                    record[MASK] = mask
+
+        if not matched_rows:
+            return
+        edges = space.edges_of(mask)
+        # Distinct matched-column signatures repeat heavily within one
+        # relation, so the content score is cached per signature bitmask
+        # (cheaper to accumulate and hash than a frozenset of names).
+        content_cache: dict[int, float] = {}
+        for row in matched_rows:
+            signature = 0
+            for i, ident, _name in checks:
+                if row[i] == ident:
+                    signature |= 1 << i
+            if not signature:
+                continue  # shared id at a different column: no self-match
+            answer = answer_of(row)
+            record = records.get(answer)
+            if record is None:
+                continue  # excluded answer (skipped by the sweep above)
+            content = content_cache.get(signature)
+            if content is None:
+                matched = {
+                    name for i, ident, name in checks if signature & (1 << i)
+                }
+                content = content_score_from_matched(space, edges, matched)
+                content_cache[signature] = content
+            full = mask_structure + content
+            if full > record[FULL]:
+                record[FULL] = full
+                record[CONTENT] = content
+                record[MASK] = mask
+
+    def decoded_items(self) -> list[tuple[tuple[str, ...], AnswerRecord]]:
+        """All ``(decoded entity-string tuple, record)`` pairs, unordered."""
+        if self._arity_one:
+            term_of = self.vocabulary.term_of
+            return [
+                ((term_of(answer),), record)
+                for answer, record in self.records.items()
+            ]
+        decode = self.vocabulary.decode_row
+        return [(decode(answer), record) for answer, record in self.records.items()]
+
+
+class LatticeNodeEvaluator:
+    """Null-node pruning and node materialization shared by the explorers.
+
+    Subclasses provide ``space``, ``store``, ``max_rows``, an
+    ``_evaluated`` mask-to-relation dict and a ``_null_masks`` list.
+    """
+
+    def _is_pruned(self, mask: int) -> bool:
+        """Whether ``mask`` subsumes some null node (Property 3)."""
+        for null in self._null_masks:
+            if (mask & null) == null:
+                return True
+        return False
+
+    def _add_null_mask(self, mask: int) -> None:
+        """Record a null node, keeping the list minimal.
+
+        A stored null that subsumes the new one prunes a strict subset of
+        what the new one prunes, so it is dropped; this keeps the linear
+        ``_is_pruned`` scans short.
+        """
+        self._null_masks = [
+            null for null in self._null_masks if (null & mask) != mask
+        ]
+        self._null_masks.append(mask)
+
+    def _evaluate_mask(self, mask: int) -> Relation | None:
+        """Materialize the answers of ``mask``, reusing an evaluated child.
+
+        Among the already evaluated children the one with the fewest rows is
+        used as the probe relation (smallest intermediate result).  When the
+        join blows past ``max_rows`` the node is reported as too expensive
+        (``None``) so the caller can skip it without (incorrectly) treating
+        it as a null node.
+        """
+        best_child: tuple[int, int] | None = None  # (rows, edge bit)
+        evaluated = self._evaluated
+        edge_list = self.space.edge_list
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            child_relation = evaluated.get(mask ^ low)
+            if child_relation is None or not child_relation.rows:
+                continue
+            edge = edge_list[low.bit_length() - 1]
+            index = child_relation._index
+            if edge.subject in index or edge.object in index:
+                rows = len(child_relation.rows)
+                if best_child is None or rows < best_child[0]:
+                    best_child = (rows, low)
+        try:
+            if best_child is not None:
+                low = best_child[1]
+                relation = extend_with_edge(
+                    self.store,
+                    evaluated[mask ^ low],
+                    edge_list[low.bit_length() - 1],
+                    max_rows=self.max_rows,
+                )
+            else:
+                relation = evaluate_query_edges(
+                    self.store, self.space.edges_of(mask), max_rows=self.max_rows
+                )
+            return relation
+        except LatticeError:
+            return None
+
+
+class BestFirstExplorer(LatticeNodeEvaluator):
     """Algorithm 2 (with Algorithm 3 pruning bookkeeping) over one lattice."""
 
     def __init__(
@@ -136,30 +405,43 @@ class BestFirstExplorer:
         self.store = store
         self.k = k
         self.k_prime = k_prime if k_prime is not None else max(DEFAULT_K_PRIME, 4 * k)
-        self.excluded_tuples = {tuple(t) for t in excluded_tuples}
         self.max_rows = max_rows
         self.node_budget = node_budget
 
         self._evaluated: dict[int, Relation] = {}
         self._null_masks: list[int] = []
         self._upper_frontier: set[int] = {space.full_mask}
+        #: mask -> current upper bound; the source of truth for LF
+        #: membership.  ``_lf_heap`` mirrors it as a lazy-deletion max-heap
+        #: of ``(-bound, popcount, -mask)`` entries; stale entries (bound
+        #: changed or mask removed) are skipped on pop.
         self._lower_frontier: dict[int, float] = {}
-        self._answers: dict[tuple[str, ...], _AnswerRecord] = {}
+        self._lf_heap: list[tuple[float, int, int]] = []
+        self._answers = AnswerAccumulator(space, store, excluded_tuples)
+        #: Bounded min-heap of the current top-k' structure scores (the
+        #: stage-one threshold of Theorem 4).  ``_threshold_credit`` maps an
+        #: answer to the score of its live heap entry; superseded entries
+        #: are recorded in ``_threshold_stale`` and skipped lazily.  Scores
+        #: only ever increase, so the live entries are always exactly the
+        #: top ``min(len(answers), k')`` per-answer structure scores.
+        self._threshold_heap: list[tuple[float, tuple[EntityId, ...]]] = []
+        self._threshold_credit: dict[tuple[EntityId, ...], float] = {}
+        self._threshold_stale: set[tuple[float, tuple[EntityId, ...]]] = set()
         self._stats = ExplorationStatistics()
 
     # ------------------------------------------------------------------
-    # pruning / upper bounds
+    # upper bounds
     # ------------------------------------------------------------------
-    def _is_pruned(self, mask: int) -> bool:
-        """Whether ``mask`` subsumes some null node (Property 3)."""
-        return any((mask & null) == null for null in self._null_masks)
-
     def _upper_bound(self, mask: int) -> float | None:
         """U(Q): best structure score among UF nodes subsuming ``mask``."""
         best: float | None = None
+        space = self.space
+        cache = space._weight_cache
         for frontier_mask in self._upper_frontier:
             if (frontier_mask & mask) == mask:
-                score = structure_score(self.space, frontier_mask)
+                score = cache.get(frontier_mask)
+                if score is None:
+                    score = space.weight_of_mask(frontier_mask)
                 if best is None or score > best:
                     best = score
         return best
@@ -167,12 +449,45 @@ class BestFirstExplorer:
     def _add_to_lower_frontier(self, mask: int) -> None:
         if mask in self._evaluated or mask in self._lower_frontier:
             return
-        if self._is_pruned(mask):
+        if self._null_masks and self._is_pruned(mask):
             return
         bound = self._upper_bound(mask)
         if bound is None:
             return
         self._lower_frontier[mask] = bound
+        heapq.heappush(self._lf_heap, (-bound, mask.bit_count(), -mask))
+
+    def _pop_best_mask(self) -> int | None:
+        """Pop the LF node with the highest upper bound (lazy deletion).
+
+        Ties prefer the smaller query graph — it is cheaper to join and,
+        if null, prunes more — then the larger mask, matching the ordering
+        of the pre-heap ``max()`` scan.
+        """
+        frontier = self._lower_frontier
+        heap = self._lf_heap
+        while heap:
+            negative_bound, _, negative_mask = heapq.heappop(heap)
+            mask = -negative_mask
+            bound = frontier.get(mask)
+            if bound is None or bound != -negative_bound:
+                continue  # stale entry: removed or re-bounded since pushed
+            del frontier[mask]
+            return mask
+        return None
+
+    def _peek_best_bound(self) -> float | None:
+        """Highest current LF upper bound without removing the node."""
+        frontier = self._lower_frontier
+        heap = self._lf_heap
+        while heap:
+            negative_bound, _, negative_mask = heap[0]
+            bound = frontier.get(-negative_mask)
+            if bound is None or bound != -negative_bound:
+                heapq.heappop(heap)
+                continue
+            return bound
+        return None
 
     def _recompute_upper_frontier(self, null_mask: int) -> None:
         """Algorithm 3: rebuild the UF after pruning ``null_mask``'s ancestors."""
@@ -197,115 +512,81 @@ class BestFirstExplorer:
                     continue
                 candidates.add(component)
 
-        for candidate in sorted(candidates, key=lambda m: -bin(m).count("1")):
+        for candidate in sorted(candidates, key=lambda m: -m.bit_count()):
             subsumed = any(
                 (other | candidate) == other and other != candidate
                 for other in self._upper_frontier
             )
-            if not subsumed:
-                self._upper_frontier.add(candidate)
+            if subsumed:
+                continue
+            # Keep the UF an antichain: a retained non-maximal member would
+            # never win a bound (the candidate subsuming it scores higher)
+            # but would be scanned by every _upper_bound call.
+            dominated = [
+                other
+                for other in self._upper_frontier
+                if other != candidate and (candidate | other) == candidate
+            ]
+            for other in dominated:
+                self._upper_frontier.discard(other)
+            self._upper_frontier.add(candidate)
 
-        # Refresh the (possibly dirty) lower-frontier upper bounds.
+        # Refresh the dirty lower-frontier upper bounds.  A bound can only
+        # have changed for masks subsumed by a *removed* UF member (the
+        # surviving members and the new candidates are subsets of those),
+        # and the only newly pruned LF masks are the ones subsuming this
+        # null node — everything else keeps its bound.
         for mask in list(self._lower_frontier):
-            if self._is_pruned(mask):
+            if (mask & null_mask) == null_mask:
                 del self._lower_frontier[mask]
+                continue
+            if not any(
+                (frontier_mask & mask) == mask for frontier_mask in pruned_frontier
+            ):
                 continue
             bound = self._upper_bound(mask)
             if bound is None:
                 del self._lower_frontier[mask]
-            else:
+            elif bound != self._lower_frontier[mask]:
                 self._lower_frontier[mask] = bound
-
-    # ------------------------------------------------------------------
-    # evaluation of one lattice node
-    # ------------------------------------------------------------------
-    def _evaluate_mask(self, mask: int) -> Relation | None:
-        """Materialize the answers of ``mask``, reusing an evaluated child.
-
-        Among the already evaluated children the one with the fewest rows is
-        used as the probe relation (smallest intermediate result).  When the
-        join blows past ``max_rows`` the node is reported as too expensive
-        (``None``) so the caller can skip it without (incorrectly) treating
-        it as a null node.
-        """
-        best_child: tuple[int, int] | None = None  # (rows, edge bit index)
-        for i in range(self.space.num_edges):
-            bit = 1 << i
-            if not mask & bit:
-                continue
-            child = mask & ~bit
-            if child not in self._evaluated:
-                continue
-            child_relation = self._evaluated[child]
-            if child_relation.is_empty():
-                continue
-            edge = self.space.edge_list[i]
-            if child_relation.has_variable(edge.subject) or child_relation.has_variable(
-                edge.object
-            ):
-                if best_child is None or child_relation.num_rows < best_child[0]:
-                    best_child = (child_relation.num_rows, i)
-        try:
-            if best_child is not None:
-                i = best_child[1]
-                child_relation = self._evaluated[mask & ~(1 << i)]
-                relation = extend_with_edge(
-                    self.store,
-                    child_relation,
-                    self.space.edge_list[i],
-                    max_rows=self.max_rows,
-                )
-            else:
-                relation = evaluate_query_edges(
-                    self.store, self.space.edges_of(mask), max_rows=self.max_rows
-                )
-            return relation
-        except LatticeError:
-            return None
-
-    def _record_answers(self, mask: int, relation: Relation) -> None:
-        entities = self.space.query_tuple
-        try:
-            entity_columns = [relation.column(entity) for entity in entities]
-        except KeyError:
-            # A valid query graph always covers the query entities; missing
-            # columns mean the relation is degenerate (empty schema).
-            return
-        mask_structure = structure_score(self.space, mask)
-        edges = self.space.edges_of(mask)
-        variables = relation.variables
-
-        for row in relation.rows:
-            answer = tuple(row[col] for col in entity_columns)
-            if answer in self.excluded_tuples:
-                continue
-            matched = {
-                variables[i]
-                for i, value in enumerate(row)
-                if value == variables[i]
-            }
-            if matched:
-                binding = dict(zip(variables, row))
-                content = content_score(self.space, edges, binding)
-            else:
-                content = 0.0
-            record = self._answers.get(answer)
-            if record is None:
-                record = _AnswerRecord()
-                self._answers[answer] = record
-            record.update(mask_structure, content, mask)
+                heapq.heappush(self._lf_heap, (-bound, mask.bit_count(), -mask))
 
     # ------------------------------------------------------------------
     # termination
     # ------------------------------------------------------------------
+    def _note_structure_improved(
+        self, answer: tuple[EntityId, ...], score: float
+    ) -> None:
+        """Maintain the bounded top-k' min-heap after a score improvement."""
+        heap = self._threshold_heap
+        credit = self._threshold_credit
+        credited = credit.get(answer)
+        if credited is not None:
+            # Already live: supersede its entry in place.
+            self._threshold_stale.add((credited, answer))
+        elif len(credit) >= self.k_prime:
+            # Heap is full: admit only if the score beats the current
+            # k'-th best, evicting that minimum.
+            self._prune_threshold_top()
+            if heap and score <= heap[0][0]:
+                return
+            evicted_score, evicted_answer = heapq.heappop(heap)
+            del credit[evicted_answer]
+        credit[answer] = score
+        heapq.heappush(heap, (score, answer))
+
+    def _prune_threshold_top(self) -> None:
+        heap = self._threshold_heap
+        stale = self._threshold_stale
+        while heap and heap[0] in stale:
+            stale.remove(heapq.heappop(heap))
+
     def _stage_one_threshold(self) -> float | None:
         """Structure score of the current k'-th best answer (None if too few)."""
-        if len(self._answers) < self.k_prime:
+        if len(self._threshold_credit) < self.k_prime:
             return None
-        scores = sorted(
-            (record.best_structure for record in self._answers.values()), reverse=True
-        )
-        return scores[self.k_prime - 1]
+        self._prune_threshold_top()
+        return self._threshold_heap[0][0]
 
     def _should_terminate(self) -> bool:
         if not self._lower_frontier:
@@ -313,7 +594,9 @@ class BestFirstExplorer:
         threshold = self._stage_one_threshold()
         if threshold is None:
             return False
-        best_remaining = max(self._lower_frontier.values())
+        best_remaining = self._peek_best_bound()
+        if best_remaining is None:
+            return True
         # Theorem 4 uses a strict inequality; we also stop on equality,
         # which preserves the top-k guarantee up to ties (an unevaluated
         # node whose upper bound equals the k'-th score can at best tie it,
@@ -328,53 +611,78 @@ class BestFirstExplorer:
     def run(self) -> ExplorationResult:
         """Execute the best-first exploration and return the top-k answers."""
         start = time.perf_counter()
-        leaves = minimal_query_trees(self.space)
+        leaves = self.space.minimal_trees_cache
+        if leaves is None:
+            leaves = minimal_query_trees(self.space)
+            self.space.minimal_trees_cache = leaves
         if not leaves:
             raise LatticeError("the query lattice has no minimal query trees")
         for leaf in leaves:
             self._add_to_lower_frontier(leaf)
 
-        while self._lower_frontier:
-            if self.node_budget is not None and self._stats.nodes_evaluated >= self.node_budget:
-                self._stats.node_budget_exhausted = True
+        # The main loop runs once per evaluated lattice node; everything it
+        # touches repeatedly is bound to a local first.
+        stats = self._stats
+        frontier = self._lower_frontier
+        evaluated = self._evaluated
+        node_budget = self.node_budget
+        null_masks = self._null_masks
+        pop_best = self._pop_best_mask
+        is_pruned = self._is_pruned
+        evaluate = self._evaluate_mask
+        identity_info_of = self._answers.identity_info
+        record = self._answers.record
+        note_improved = self._note_structure_improved
+        parents_of = self.space.parents_of
+        add_to_frontier = self._add_to_lower_frontier
+        should_terminate = self._should_terminate
+        nodes_evaluated = 0
+
+        while frontier:
+            if node_budget is not None and nodes_evaluated >= node_budget:
+                stats.node_budget_exhausted = True
                 break
-            # Highest upper bound first; among ties prefer the smaller query
-            # graph — it is cheaper to join and, if null, prunes more.
-            best_mask = max(
-                self._lower_frontier,
-                key=lambda m: (self._lower_frontier[m], -bin(m).count("1"), m),
-            )
-            del self._lower_frontier[best_mask]
-            if self._is_pruned(best_mask):
+            best_mask = pop_best()
+            if best_mask is None:
+                break
+            if null_masks and is_pruned(best_mask):
                 continue
 
-            relation = self._evaluate_mask(best_mask)
-            self._stats.nodes_evaluated += 1
+            relation = evaluate(best_mask)
+            nodes_evaluated += 1
             if relation is None:
                 # Too expensive to materialize under the row cap; skip it
                 # without pruning (it may still have answers).
-                self._stats.nodes_skipped += 1
+                stats.nodes_skipped += 1
                 continue
 
             # The trivial self-match does not count as an answer graph
             # (Definition 3), so a node whose only match is the identity
             # mapping is a null node.  The unfiltered relation is still kept
             # for extending parents (Property 1 works on all matches).
-            effective = drop_trivial_self_match(relation)
-            if effective.is_empty():
-                self._stats.null_nodes += 1
-                self._null_masks.append(best_mask)
+            identity_info = identity_info_of(relation.variables)
+            effective = drop_trivial_self_match(relation, identity_info[0])
+            if not effective.rows:
+                stats.null_nodes += 1
+                self._add_null_mask(best_mask)
                 self._recompute_upper_frontier(best_mask)
+                null_masks = self._null_masks  # _add_null_mask rebinds it
             else:
-                self._evaluated[best_mask] = relation
-                self._record_answers(best_mask, effective)
-                for parent in self.space.parents_of(best_mask):
-                    self._add_to_lower_frontier(parent)
+                evaluated[best_mask] = relation
+                record(
+                    best_mask,
+                    effective,
+                    note_improved,
+                    identity_info=identity_info,
+                )
+                for parent in parents_of(best_mask):
+                    add_to_frontier(parent)
 
-            if self._should_terminate():
-                self._stats.terminated_early = bool(self._lower_frontier)
+            if should_terminate():
+                stats.terminated_early = bool(frontier)
                 break
 
+        stats.nodes_evaluated = nodes_evaluated
         self._stats.answers_found = len(self._answers)
         self._stats.elapsed_seconds = time.perf_counter() - start
         return ExplorationResult(
@@ -384,21 +692,26 @@ class BestFirstExplorer:
         )
 
     def _final_ranking(self) -> list[RankedAnswer]:
-        """Stage two: re-rank the top-k' answers by the full score, keep top-k."""
+        """Stage two: re-rank the top-k' answers by the full score, keep top-k.
+
+        Answers are decoded to entity strings *before* sorting so that the
+        deterministic tie-breaks compare entity names, exactly as the
+        string-path engine does.
+        """
         by_structure = sorted(
-            self._answers.items(),
-            key=lambda item: (-item[1].best_structure, item[0]),
+            self._answers.decoded_items(),
+            key=lambda item: (-item[1][STRUCTURE], item[0]),
         )[: self.k_prime]
         by_full = sorted(
-            by_structure, key=lambda item: (-item[1].best_full, item[0])
+            by_structure, key=lambda item: (-item[1][FULL], item[0])
         )[: self.k]
         return [
             RankedAnswer(
                 entities=answer,
-                score=record.best_full,
-                structure_score=record.best_structure,
-                content_score=record.best_content,
-                query_graph_mask=record.best_mask,
+                score=record[FULL],
+                structure_score=record[STRUCTURE],
+                content_score=record[CONTENT],
+                query_graph_mask=record[MASK],
             )
             for answer, record in by_full
         ]

@@ -46,6 +46,24 @@ class LatticeSpace:
         }
         self.full_mask: int = (1 << len(self.edge_list)) - 1
         self.core_mask: int = self.mask_of(mqg.core_edges)
+        #: Per-mask structure-score memo.  The exploration evaluates
+        #: ``weight_of_mask`` for every UF×LF pair when refreshing upper
+        #: bounds; weights are immutable, so each mask is summed once.
+        self._weight_cache: dict[int, float] = {}
+        #: For every edge i, the mask of edges sharing an endpoint with it
+        #: (including i itself); lets parents_of run on pure int ops.
+        node_masks: dict[str, int] = {}
+        for i, edge in enumerate(self.edge_list):
+            bit = 1 << i
+            node_masks[edge.subject] = node_masks.get(edge.subject, 0) | bit
+            node_masks[edge.object] = node_masks.get(edge.object, 0) | bit
+        self._adjacent_masks: tuple[int, ...] = tuple(
+            node_masks[edge.subject] | node_masks[edge.object]
+            for edge in self.edge_list
+        )
+        #: Lazily filled by the explorers: the lattice's minimal query
+        #: trees, which are a pure function of this space.
+        self.minimal_trees_cache: list[int] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -68,8 +86,18 @@ class LatticeSpace:
         return [self.edge_list[i] for i in self._bit_positions(mask)]
 
     def weight_of_mask(self, mask: int) -> float:
-        """Sum of edge weights selected by ``mask`` (the structure score)."""
-        return sum(self.weights[i] for i in self._bit_positions(mask))
+        """Sum of edge weights selected by ``mask`` (the structure score, memoized)."""
+        weight = self._weight_cache.get(mask)
+        if weight is None:
+            weights = self.weights
+            weight = 0.0
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                weight += weights[low.bit_length() - 1]
+                remaining ^= low
+            self._weight_cache[mask] = weight
+        return weight
 
     def nodes_of(self, mask: int) -> set[str]:
         """The nodes touched by the edges of ``mask``."""
@@ -160,15 +188,25 @@ class LatticeSpace:
 
     # ------------------------------------------------------------------
     def parents_of(self, mask: int) -> list[int]:
-        """Masks of the query graphs with exactly one more edge (Definition 6)."""
-        nodes = self.nodes_of(mask)
+        """Masks of the query graphs with exactly one more edge (Definition 6).
+
+        An edge can extend ``mask`` exactly when it shares an endpoint with
+        some edge of ``mask``, so the candidate set is the union of the
+        precomputed adjacency masks — integer bit operations only.
+        """
+        adjacent = 0
+        adjacent_masks = self._adjacent_masks
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            adjacent |= adjacent_masks[low.bit_length() - 1]
+            remaining ^= low
         parents: list[int] = []
-        for i, edge in enumerate(self.edge_list):
-            bit = 1 << i
-            if mask & bit:
-                continue
-            if edge.subject in nodes or edge.object in nodes:
-                parents.append(mask | bit)
+        remaining = adjacent & ~mask
+        while remaining:
+            low = remaining & -remaining
+            parents.append(mask | low)
+            remaining ^= low
         return parents
 
     def children_of(self, mask: int) -> list[int]:

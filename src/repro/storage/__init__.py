@@ -5,10 +5,13 @@ GQBE stores the data graph with the *vertical partitioning* scheme
 hash-indexed on both columns and kept in memory.  Evaluating a query graph
 is then a multi-way join over these tables; this package provides:
 
+* :mod:`repro.storage.vocabulary` — the entity interning layer: entities
+  are mapped to dense int ids once, offline, so the join engine hashes and
+  compares machine ints instead of strings,
 * :class:`~repro.storage.table.EdgeTable` — a single per-label table with
-  subject and object hash indexes,
+  subject and object hash indexes over interned ids,
 * :class:`~repro.storage.store.VerticalPartitionStore` — the collection of
-  all per-label tables for a data graph,
+  all per-label tables for a data graph plus their shared vocabulary,
 * :mod:`repro.storage.plan` — join-order planning for a query graph,
 * :mod:`repro.storage.join` — the hash-join evaluator, including the
   one-edge *extension* step used by the lattice exploration to reuse a
@@ -23,9 +26,12 @@ from repro.storage.join import (
 from repro.storage.plan import JoinPlan, plan_join_order
 from repro.storage.store import VerticalPartitionStore
 from repro.storage.table import EdgeTable
+from repro.storage.vocabulary import IdentityVocabulary, Vocabulary
 
 __all__ = [
     "EdgeTable",
+    "Vocabulary",
+    "IdentityVocabulary",
     "VerticalPartitionStore",
     "JoinPlan",
     "plan_join_order",

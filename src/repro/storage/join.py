@@ -6,6 +6,13 @@ bindings (one row per candidate answer graph).  Definition 3 of the paper
 requires the node mapping to be a bijection, so rows never bind two distinct
 query nodes to the same data entity when ``injective=True`` (the default).
 
+Column names (the ``variables``) are query-graph node strings, but the row
+*values* are whatever ids the store's vocabulary produced — dense ints for
+the interning :class:`~repro.storage.vocabulary.Vocabulary`, raw strings
+for the :class:`~repro.storage.vocabulary.IdentityVocabulary` reference
+path.  The join logic is id-type agnostic; callers that need entity strings
+decode rows through ``store.vocabulary`` when materializing answers.
+
 Two entry points are provided:
 
 * :func:`evaluate_query_edges` — evaluate a whole query graph from scratch
@@ -18,15 +25,14 @@ Two entry points are provided:
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, field
 
 from repro.exceptions import LatticeError
 from repro.graph.knowledge_graph import Edge
 from repro.storage.plan import plan_join_order
 from repro.storage.store import VerticalPartitionStore
+from repro.storage.vocabulary import EntityId
 
 
-@dataclass
 class Relation:
     """A set of variable bindings produced by joining query-graph edges.
 
@@ -35,14 +41,34 @@ class Relation:
     variables:
         Query-graph node names, in column order.
     rows:
-        Data-entity tuples aligned with ``variables``.
+        Interned entity-id tuples aligned with ``variables`` (ints under
+        the interning vocabulary, strings under the identity vocabulary).
     """
 
-    variables: tuple[str, ...]
-    rows: list[tuple[str, ...]] = field(default_factory=list)
+    __slots__ = ("variables", "rows", "_index")
 
-    def __post_init__(self) -> None:
-        self._index = {var: i for i, var in enumerate(self.variables)}
+    def __init__(
+        self,
+        variables: tuple[str, ...],
+        rows: list[tuple[EntityId, ...]] | None = None,
+        index: dict[str, int] | None = None,
+    ) -> None:
+        self.variables = variables
+        self.rows = rows if rows is not None else []
+        # Schema-preserving operations (join filters, self-match removal)
+        # pass the probe relation's column index through instead of
+        # rebuilding the dict.
+        self._index = (
+            index
+            if index is not None
+            else {var: i for i, var in enumerate(variables)}
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(variables={self.variables!r}, "
+            f"rows={len(self.rows)})"
+        )
 
     @property
     def num_rows(self) -> int:
@@ -61,27 +87,23 @@ class Relation:
         """Column index of ``variable``; raises ``KeyError`` if absent."""
         return self._index[variable]
 
-    def bindings(self) -> Iterable[dict[str, str]]:
-        """Yield each row as a ``{variable: entity}`` mapping."""
+    def bindings(self) -> Iterable[dict[str, EntityId]]:
+        """Yield each row as a ``{variable: entity id}`` mapping."""
         for row in self.rows:
             yield dict(zip(self.variables, row))
 
-    def project(self, variables: Sequence[str]) -> list[tuple[str, ...]]:
+    def project(self, variables: Sequence[str]) -> list[tuple[EntityId, ...]]:
         """Project rows onto ``variables`` (order preserved, duplicates kept)."""
         indexes = [self._index[var] for var in variables]
         return [tuple(row[i] for i in indexes) for row in self.rows]
 
-    def distinct_projection(self, variables: Sequence[str]) -> set[tuple[str, ...]]:
+    def distinct_projection(self, variables: Sequence[str]) -> set[tuple[EntityId, ...]]:
         """Distinct projection of rows onto ``variables``."""
         return set(self.project(variables))
 
 
 def _empty_relation() -> Relation:
     return Relation(variables=(), rows=[])
-
-
-def _row_violates_injectivity(row: tuple[str, ...]) -> bool:
-    return len(set(row)) != len(row)
 
 
 def extend_with_edge(
@@ -111,7 +133,9 @@ def extend_with_edge(
     max_rows:
         Optional cap on the size of the output; exceeding it raises
         :class:`~repro.exceptions.LatticeError` so callers can fall back or
-        abort gracefully rather than exhaust memory.
+        abort gracefully rather than exhaust memory.  The cap is enforced
+        on every appended row, including the self-loop
+        (``subject_var == object_var``) path of the first edge.
     """
     table = store.table_or_empty(edge.label)
     subject_var, object_var = edge.subject, edge.object
@@ -120,15 +144,16 @@ def extend_with_edge(
         variables = (
             (subject_var,) if subject_var == object_var else (subject_var, object_var)
         )
-        rows: list[tuple[str, ...]] = []
+        rows: list[tuple[EntityId, ...]] = []
         for subj, obj in table:
             if subject_var == object_var:
-                if subj == obj:
-                    rows.append((subj,))
-                continue
-            candidate = (subj, obj)
-            if injective and _row_violates_injectivity(candidate):
-                continue
+                if subj != obj:
+                    continue
+                candidate = (subj,)
+            else:
+                candidate = (subj, obj)
+                if injective and subj == obj:
+                    continue
             rows.append(candidate)
             if max_rows is not None and len(rows) > max_rows:
                 raise LatticeError(
@@ -150,34 +175,64 @@ def extend_with_edge(
     if not has_object and object_var != subject_var:
         new_variables = new_variables + (object_var,)
 
-    out_rows: list[tuple[str, ...]] = []
-    subject_col = relation.column(subject_var) if has_subject else None
-    object_col = relation.column(object_var) if has_object else None
+    # Probe rows produced under ``injective=True`` are injective already,
+    # so a one-column extension violates injectivity exactly when the new
+    # value is already present in the row — a C-level membership test
+    # instead of building a set per candidate row.  (Callers must not mix
+    # an ``injective=False`` probe relation into an ``injective=True``
+    # extension; the explorers never do.)
+    out_rows: list[tuple[EntityId, ...]] = []
+    append = out_rows.append
 
-    for row in relation.rows:
-        if has_subject and has_object:
-            if table.has_row(row[subject_col], row[object_col]):
-                out_rows.append(row)
-        elif has_subject:
-            bound = row[subject_col]
-            for _, obj in table.probe_subject(bound):
-                if subject_var == object_var and obj != bound:
-                    continue
-                new_row = row if subject_var == object_var else row + (obj,)
-                if injective and _row_violates_injectivity(new_row):
-                    continue
-                out_rows.append(new_row)
-        else:
-            bound = row[object_col]
-            for subj, _ in table.probe_object(bound):
-                new_row = row + (subj,)
-                if injective and _row_violates_injectivity(new_row):
-                    continue
-                out_rows.append(new_row)
+    if has_subject and has_object:
+        subject_col = relation.column(subject_var)
+        object_col = relation.column(object_var)
+        row_set = table.row_set
+        for row in relation.rows:
+            if (row[subject_col], row[object_col]) in row_set:
+                append(row)
+        # Pure filter: the output never outgrows the (already capped) input,
+        # but honor an explicitly smaller cap.
         if max_rows is not None and len(out_rows) > max_rows:
             raise LatticeError(f"intermediate relation exceeded max_rows={max_rows}")
+        return Relation(new_variables, out_rows, index=relation._index)
+    elif has_subject:
+        # A self-loop edge (subject_var == object_var) can never reach this
+        # branch: both lookups hit the same column, so it either takes the
+        # filter branch above or the first-edge path.
+        subject_col = relation.column(subject_var)
+        by_subject = table.by_subject
+        for row in relation.rows:
+            bound = row[subject_col]
+            matches = by_subject.get(bound)
+            if not matches:
+                continue
+            for _, obj in matches:
+                if injective and obj in row:
+                    continue
+                append(row + (obj,))
+            if max_rows is not None and len(out_rows) > max_rows:
+                raise LatticeError(
+                    f"intermediate relation exceeded max_rows={max_rows}"
+                )
+    else:
+        object_col = relation.column(object_var)
+        by_object = table.by_object
+        for row in relation.rows:
+            bound = row[object_col]
+            matches = by_object.get(bound)
+            if not matches:
+                continue
+            for subj, _ in matches:
+                if injective and subj in row:
+                    continue
+                append(row + (subj,))
+            if max_rows is not None and len(out_rows) > max_rows:
+                raise LatticeError(
+                    f"intermediate relation exceeded max_rows={max_rows}"
+                )
 
-    return Relation(variables=new_variables, rows=out_rows)
+    return Relation(new_variables, out_rows)
 
 
 def evaluate_query_edges(

@@ -61,13 +61,13 @@ def plan_join_order(
     if not edges:
         raise LatticeError("cannot plan a join over zero edges")
 
-    def cardinality(edge: Edge) -> int:
-        if store is None:
-            return 0
-        return store.cardinality(edge.label)
+    if store is None:
+        cardinalities = {edge: 0 for edge in edges}
+    else:
+        cardinalities = {edge: store.cardinality(edge.label) for edge in edges}
 
     remaining = list(edges)
-    remaining.sort(key=lambda e: (cardinality(e), e))
+    remaining.sort(key=lambda e: (cardinalities[e], e))
     first = remaining.pop(0)
     order = [first]
     bound_nodes = {first.subject, first.object}
@@ -78,7 +78,7 @@ def plan_join_order(
             raise LatticeError(
                 "query graph edges are not weakly connected; cannot form a join plan"
             )
-        nxt = min(connected, key=lambda e: (cardinality(e), e))
+        nxt = min(connected, key=lambda e: (cardinalities[e], e))
         remaining.remove(nxt)
         order.append(nxt)
         bound_nodes.add(nxt.subject)

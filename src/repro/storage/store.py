@@ -4,6 +4,15 @@ The store is built once from a :class:`~repro.graph.knowledge_graph.KnowledgeGra
 and is the only structure the join engine touches at query time, mirroring
 the paper's setup where "the whole data graph is hashed in memory ... before
 any query comes in".
+
+Building the store also builds its :class:`~repro.storage.vocabulary.Vocabulary`:
+every node of the data graph is interned to a dense integer id (in node
+insertion order, so ids are deterministic per graph), and the per-label
+tables store ``(subj_id, obj_id)`` int rows.  Query-time joins therefore
+never touch an entity string; decoding happens only when answers are
+materialized.  Passing an
+:class:`~repro.storage.vocabulary.IdentityVocabulary` instead reproduces
+the string-keyed engine (used as the reference in equivalence tests).
 """
 
 from __future__ import annotations
@@ -13,20 +22,36 @@ from collections.abc import Iterator
 from repro.exceptions import GraphError
 from repro.graph.knowledge_graph import KnowledgeGraph
 from repro.storage.table import EdgeTable
+from repro.storage.vocabulary import IdentityVocabulary, Vocabulary
 
 
 class VerticalPartitionStore:
     """All per-label edge tables of a data graph, hash-indexed in memory."""
 
-    def __init__(self, graph: KnowledgeGraph) -> None:
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        vocabulary: Vocabulary | IdentityVocabulary | None = None,
+    ) -> None:
         self._graph = graph
+        self._vocabulary = vocabulary if vocabulary is not None else Vocabulary()
+        intern = self._vocabulary.intern
+        # Intern every node first (not just edge endpoints) so the
+        # vocabulary covers isolated nodes too and ids follow the graph's
+        # deterministic node insertion order.
+        for node in graph.nodes:
+            intern(node)
+        # After the node pass every endpoint is interned, so table rows are
+        # filled through plain lookups.
+        lookup = self._vocabulary.id_of
         self._tables: dict[str, EdgeTable] = {}
+        tables = self._tables
         for edge in graph.edges:
-            table = self._tables.get(edge.label)
+            table = tables.get(edge.label)
             if table is None:
                 table = EdgeTable(edge.label)
-                self._tables[edge.label] = table
-            table.add_row(edge.subject, edge.object)
+                tables[edge.label] = table
+            table.add_row(lookup(edge.subject), lookup(edge.object))
 
     @classmethod
     def from_graph(cls, graph: KnowledgeGraph) -> "VerticalPartitionStore":
@@ -37,6 +62,11 @@ class VerticalPartitionStore:
     def graph(self) -> KnowledgeGraph:
         """The data graph this store was built from."""
         return self._graph
+
+    @property
+    def vocabulary(self) -> Vocabulary | IdentityVocabulary:
+        """The entity vocabulary the tables were interned with."""
+        return self._vocabulary
 
     @property
     def num_tables(self) -> int:
@@ -64,8 +94,17 @@ class VerticalPartitionStore:
             raise GraphError(f"no edges with label {label!r} in the data graph") from None
 
     def table_or_empty(self, label: str) -> EdgeTable:
-        """Return the table for ``label`` or an empty table if unknown."""
-        return self._tables.get(label) or EdgeTable(label)
+        """Return the table for ``label`` or an empty table if unknown.
+
+        The lookup must distinguish "label unknown" from "table present":
+        an :class:`EdgeTable` with zero rows is falsy, so the obvious
+        ``get(label) or EdgeTable(label)`` would silently replace a stored
+        (possibly indexed-but-empty) table with a fresh throwaway one.
+        """
+        table = self._tables.get(label)
+        if table is None:
+            return EdgeTable(label)
+        return table
 
     def cardinality(self, label: str) -> int:
         """Number of rows in the table for ``label`` (0 if unknown)."""

@@ -5,22 +5,36 @@ The vertical-partitioning scheme stores every edge label as its own
 in-memory hash indexes, one keyed on ``subj`` and one on ``obj``, mirroring
 the paper's description of building both hash tables before any query
 arrives.
+
+Rows hold **interned entity ids** (dense ints produced by the store's
+:class:`~repro.storage.vocabulary.Vocabulary`), so every probe, membership
+test and injectivity check hashes machine ints instead of entity strings.
+The table itself is agnostic to the id type: a store built with the
+:class:`~repro.storage.vocabulary.IdentityVocabulary` fills it with raw
+strings and everything still works (the reference engine used in tests).
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+from repro.storage.vocabulary import EntityId
+
+#: One ``(subj, obj)`` row of interned entity ids.
+Row = tuple[EntityId, EntityId]
+
 
 class EdgeTable:
     """All edges of a single label, as a two-column ``(subj, obj)`` table."""
 
-    def __init__(self, label: str, rows: Iterable[tuple[str, str]] = ()) -> None:
+    __slots__ = ("_label", "_rows", "_by_subject", "_by_object", "_row_set")
+
+    def __init__(self, label: str, rows: Iterable[Row] = ()) -> None:
         self._label = label
-        self._rows: list[tuple[str, str]] = []
-        self._by_subject: dict[str, list[tuple[str, str]]] = {}
-        self._by_object: dict[str, list[tuple[str, str]]] = {}
-        self._row_set: set[tuple[str, str]] = set()
+        self._rows: list[Row] = []
+        self._by_subject: dict[EntityId, list[Row]] = {}
+        self._by_object: dict[EntityId, list[Row]] = {}
+        self._row_set: set[Row] = set()
         for subject, obj in rows:
             self.add_row(subject, obj)
 
@@ -29,46 +43,77 @@ class EdgeTable:
         """The edge label this table stores."""
         return self._label
 
-    def add_row(self, subject: str, obj: str) -> None:
+    def add_row(self, subject: EntityId, obj: EntityId) -> None:
         """Insert one ``(subj, obj)`` row (duplicates are ignored)."""
         row = (subject, obj)
         if row in self._row_set:
             return
         self._row_set.add(row)
         self._rows.append(row)
-        self._by_subject.setdefault(subject, []).append(row)
-        self._by_object.setdefault(obj, []).append(row)
+        bucket = self._by_subject.get(subject)
+        if bucket is None:
+            self._by_subject[subject] = [row]
+        else:
+            bucket.append(row)
+        bucket = self._by_object.get(obj)
+        if bucket is None:
+            self._by_object[obj] = [row]
+        else:
+            bucket.append(row)
 
     def __len__(self) -> int:
         return len(self._rows)
 
-    def __iter__(self) -> Iterator[tuple[str, str]]:
+    def __iter__(self) -> Iterator[Row]:
         return iter(self._rows)
 
     def __contains__(self, row: object) -> bool:
         return row in self._row_set
 
-    def rows(self) -> list[tuple[str, str]]:
+    def rows(self) -> list[Row]:
         """All rows, in insertion order."""
         return list(self._rows)
 
-    def probe_subject(self, subject: str) -> list[tuple[str, str]]:
+    @property
+    def row_set(self) -> set[Row]:
+        """The row set itself — the join's filter path probes it directly.
+
+        Callers must treat it as read-only.
+        """
+        return self._row_set
+
+    @property
+    def by_subject(self) -> dict[EntityId, list[Row]]:
+        """The subject hash index itself (read-only for callers).
+
+        The join's probe loops hit this once per probe row; handing out
+        the dict avoids a method call and a default-argument allocation
+        per probe.
+        """
+        return self._by_subject
+
+    @property
+    def by_object(self) -> dict[EntityId, list[Row]]:
+        """The object hash index itself (read-only for callers)."""
+        return self._by_object
+
+    def probe_subject(self, subject: EntityId) -> list[Row]:
         """Rows whose ``subj`` equals ``subject`` (hash lookup)."""
         return self._by_subject.get(subject, [])
 
-    def probe_object(self, obj: str) -> list[tuple[str, str]]:
+    def probe_object(self, obj: EntityId) -> list[Row]:
         """Rows whose ``obj`` equals ``obj`` (hash lookup)."""
         return self._by_object.get(obj, [])
 
-    def has_row(self, subject: str, obj: str) -> bool:
+    def has_row(self, subject: EntityId, obj: EntityId) -> bool:
         """Whether the exact ``(subject, obj)`` row exists."""
         return (subject, obj) in self._row_set
 
-    def subjects(self) -> set[str]:
+    def subjects(self) -> set[EntityId]:
         """Distinct values in the ``subj`` column."""
         return set(self._by_subject)
 
-    def objects(self) -> set[str]:
+    def objects(self) -> set[EntityId]:
         """Distinct values in the ``obj`` column."""
         return set(self._by_object)
 

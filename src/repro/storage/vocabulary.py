@@ -1,0 +1,104 @@
+"""Entity vocabularies: interning data-graph entities as dense integers.
+
+The join engine spends most of its time hashing and comparing entity
+identifiers — once per probe, per row, per injectivity check.  Hashing a
+Python string costs time proportional to its length, while hashing a small
+``int`` is effectively free (CPython caches small ints and hashes them as
+themselves).  The :class:`Vocabulary` therefore maps every entity string to
+a dense integer id exactly once, offline, when the
+:class:`~repro.storage.store.VerticalPartitionStore` is built; all tables,
+hash indexes and intermediate join relations then carry ints, and answers
+are decoded back to entity strings only when they are materialized for the
+user (``lattice.exploration`` / ``core.answer``).
+
+:class:`IdentityVocabulary` keeps the engine's *string path* alive: it maps
+every term to itself, so a store built with it reproduces the pre-interning
+behavior exactly.  The property tests use it as the reference engine to
+assert that interning never changes an answer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+#: An entity identifier inside the engine: a dense ``int`` under the
+#: interning :class:`Vocabulary`, or the entity string itself under the
+#: :class:`IdentityVocabulary` reference path.
+EntityId = int | str
+
+
+class Vocabulary:
+    """A bidirectional ``entity string <-> dense int id`` mapping.
+
+    Ids are assigned in first-intern order starting at 0, so the reverse
+    mapping is a plain list and decoding is an O(1) index.
+    """
+
+    __slots__ = ("_ids", "_terms")
+
+    def __init__(self, terms: Iterable[str] = ()) -> None:
+        self._ids: dict[str, int] = {}
+        self._terms: list[str] = []
+        for term in terms:
+            self.intern(term)
+
+    def intern(self, term: str) -> int:
+        """Return the id of ``term``, assigning the next free id if new."""
+        entity_id = self._ids.get(term)
+        if entity_id is None:
+            entity_id = len(self._terms)
+            self._ids[term] = entity_id
+            self._terms.append(term)
+        return entity_id
+
+    def id_of(self, term: str) -> int | None:
+        """The id of ``term`` if it has been interned, else ``None``."""
+        return self._ids.get(term)
+
+    def term_of(self, entity_id: int) -> str:
+        """The entity string for ``entity_id``; raises ``IndexError`` if unknown."""
+        return self._terms[entity_id]
+
+    def decode_row(self, row: Sequence[int]) -> tuple[str, ...]:
+        """Decode a tuple of ids back to the entity strings."""
+        terms = self._terms
+        return tuple(terms[entity_id] for entity_id in row)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._ids
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._terms)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(size={len(self._terms)})"
+
+
+class IdentityVocabulary:
+    """A no-op vocabulary: every term is its own id.
+
+    A :class:`~repro.storage.store.VerticalPartitionStore` built with this
+    vocabulary runs the whole engine on raw entity strings — the exact
+    pre-interning behavior — which makes it the reference implementation
+    for the interning equivalence tests.
+    """
+
+    __slots__ = ()
+
+    def intern(self, term: str) -> str:
+        return term
+
+    def id_of(self, term: str) -> str:
+        return term
+
+    def term_of(self, entity_id: str) -> str:
+        return entity_id
+
+    def decode_row(self, row: Sequence[str]) -> tuple[str, ...]:
+        return tuple(row)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -100,7 +100,8 @@ def test_single_edge_join_matches_label_table(triples):
     label = next(iter(graph.labels))
     relation = evaluate_query_edges(store, [Edge("u", label, "v")], injective=False)
     expected = {(e.subject, e.object) for e in graph.edges if e.label == label}
-    assert set(relation.rows) == expected
+    decoded = {store.vocabulary.decode_row(row) for row in relation.rows}
+    assert decoded == expected
 
 
 @given(_triples)

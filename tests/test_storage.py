@@ -10,30 +10,62 @@ from repro.storage.join import Relation, evaluate_query_edges, extend_with_edge
 from repro.storage.plan import plan_join_order
 from repro.storage.store import VerticalPartitionStore
 from repro.storage.table import EdgeTable
+from repro.storage.vocabulary import IdentityVocabulary, Vocabulary
+
+
+@pytest.fixture(scope="module")
+def figure1_string_store(figure1_graph) -> VerticalPartitionStore:
+    """The Fig. 1 store on the identity-vocabulary (string) reference path."""
+    return VerticalPartitionStore(figure1_graph, vocabulary=IdentityVocabulary())
+
+
+class TestVocabulary:
+    def test_intern_assigns_dense_ids(self):
+        vocab = Vocabulary()
+        assert vocab.intern("a") == 0
+        assert vocab.intern("b") == 1
+        assert vocab.intern("a") == 0
+        assert len(vocab) == 2
+
+    def test_lookup_and_decode(self):
+        vocab = Vocabulary(["x", "y"])
+        assert vocab.id_of("x") == 0
+        assert vocab.id_of("missing") is None
+        assert vocab.term_of(1) == "y"
+        assert vocab.decode_row((1, 0)) == ("y", "x")
+        assert "x" in vocab
+        assert list(vocab) == ["x", "y"]
+
+    def test_identity_vocabulary_is_a_no_op(self):
+        vocab = IdentityVocabulary()
+        assert vocab.intern("a") == "a"
+        assert vocab.id_of("anything") == "anything"
+        assert vocab.term_of("a") == "a"
+        assert vocab.decode_row(("a", "b")) == ("a", "b")
 
 
 class TestEdgeTable:
     def test_add_and_probe(self):
-        table = EdgeTable("r", [("a", "b"), ("a", "c"), ("d", "b")])
+        table = EdgeTable("r", [(0, 1), (0, 2), (3, 1)])
         assert len(table) == 3
-        assert table.probe_subject("a") == [("a", "b"), ("a", "c")]
-        assert table.probe_object("b") == [("a", "b"), ("d", "b")]
-        assert table.has_row("a", "b")
-        assert not table.has_row("b", "a")
+        assert table.probe_subject(0) == [(0, 1), (0, 2)]
+        assert table.probe_object(1) == [(0, 1), (3, 1)]
+        assert table.has_row(0, 1)
+        assert not table.has_row(1, 0)
 
     def test_duplicates_ignored(self):
-        table = EdgeTable("r", [("a", "b"), ("a", "b")])
+        table = EdgeTable("r", [(0, 1), (0, 1)])
         assert len(table) == 1
 
     def test_subjects_objects_sets(self):
-        table = EdgeTable("r", [("a", "b"), ("c", "b")])
-        assert table.subjects() == {"a", "c"}
-        assert table.objects() == {"b"}
+        table = EdgeTable("r", [(0, 1), (2, 1)])
+        assert table.subjects() == {0, 2}
+        assert table.objects() == {1}
 
     def test_contains_and_iter(self):
-        table = EdgeTable("r", [("a", "b")])
-        assert ("a", "b") in table
-        assert list(table) == [("a", "b")]
+        table = EdgeTable("r", [(0, 1)])
+        assert (0, 1) in table
+        assert list(table) == [(0, 1)]
 
 
 class TestStore:
@@ -42,11 +74,31 @@ class TestStore:
         assert store.num_tables == figure1_graph.num_labels
         assert store.num_rows == figure1_graph.num_edges
 
+    def test_vocabulary_covers_all_nodes(self, figure1_graph):
+        store = VerticalPartitionStore(figure1_graph)
+        assert len(store.vocabulary) == figure1_graph.num_nodes
+        for node in figure1_graph.nodes:
+            entity_id = store.vocabulary.id_of(node)
+            assert entity_id is not None
+            assert store.vocabulary.term_of(entity_id) == node
+
+    def test_tables_store_interned_rows(self, figure1_graph):
+        store = VerticalPartitionStore(figure1_graph)
+        vocab = store.vocabulary
+        founded = store.table("founded")
+        assert founded.has_row(vocab.id_of("Jerry Yang"), vocab.id_of("Yahoo!"))
+        assert all(
+            isinstance(subj, int) and isinstance(obj, int) for subj, obj in founded
+        )
+
     def test_table_lookup(self, figure1_graph):
         store = VerticalPartitionStore(figure1_graph)
         founded = store.table("founded")
-        assert founded.has_row("Jerry Yang", "Yahoo!")
         assert store.cardinality("founded") == len(founded)
+
+    def test_string_path_with_identity_vocabulary(self, figure1_graph):
+        store = VerticalPartitionStore(figure1_graph, vocabulary=IdentityVocabulary())
+        assert store.table("founded").has_row("Jerry Yang", "Yahoo!")
 
     def test_unknown_label(self, figure1_graph):
         store = VerticalPartitionStore(figure1_graph)
@@ -55,6 +107,23 @@ class TestStore:
         assert len(store.table_or_empty("does_not_exist")) == 0
         assert store.cardinality("does_not_exist") == 0
         assert not store.has_label("does_not_exist")
+
+    def test_table_or_empty_returns_stored_empty_table(self):
+        """Regression: an *empty* stored table is falsy, and the old
+        ``get(label) or EdgeTable(label)`` replaced it with a throwaway."""
+        graph = KnowledgeGraph([("a", "r", "b")])
+        store = VerticalPartitionStore(graph)
+        table = store.table("r")
+        # Force the stored table empty (simulates a label whose rows were
+        # all removed, e.g. by a future delete path).
+        table._rows.clear()
+        table._row_set.clear()
+        table._by_subject.clear()
+        table._by_object.clear()
+        assert store.table_or_empty("r") is table
+        # Unknown labels still yield a fresh empty table, not an error.
+        assert store.table_or_empty("missing") is not table
+        assert len(store.table_or_empty("missing")) == 0
 
 
 class TestJoinPlanning:
@@ -93,24 +162,39 @@ class TestJoinPlanning:
 
 
 class TestJoinEvaluation:
-    def test_single_edge_query(self, figure1_store):
+    """Join semantics, exercised on the readable string (identity) path.
+
+    The interned path runs the very same join code on int rows; the
+    equivalence of the two engines is asserted end-to-end in
+    ``test_interning_equivalence.py``.
+    """
+
+    def test_single_edge_query(self, figure1_string_store):
         relation = evaluate_query_edges(
-            figure1_store, [Edge("q_person", "founded", "q_company")]
+            figure1_string_store, [Edge("q_person", "founded", "q_company")]
         )
         assert relation.num_rows == 5
         assert set(relation.variables) == {"q_person", "q_company"}
 
-    def test_two_edge_path_query(self, figure1_store):
+    def test_single_edge_query_interned_rows_decode(self, figure1_store):
+        relation = evaluate_query_edges(
+            figure1_store, [Edge("q_person", "founded", "q_company")]
+        )
+        decoded = {store_row for store_row in map(figure1_store.vocabulary.decode_row, relation.rows)}
+        assert ("Jerry Yang", "Yahoo!") in decoded
+        assert all(isinstance(v, int) for row in relation.rows for v in row)
+
+    def test_two_edge_path_query(self, figure1_string_store):
         edges = [
             Edge("person", "founded", "company"),
             Edge("company", "headquartered_in", "city"),
         ]
-        relation = evaluate_query_edges(figure1_store, edges)
+        relation = evaluate_query_edges(figure1_string_store, edges)
         projected = relation.distinct_projection(["person", "company"])
         assert ("Jerry Yang", "Yahoo!") in projected
         assert ("Bill Gates", "Microsoft") in projected
 
-    def test_cycle_closing_edge_filters(self, figure1_store):
+    def test_cycle_closing_edge_filters(self, figure1_string_store):
         # person founded company, person lived in city, company HQ in city2,
         # both city and city2 in the same state.
         edges = [
@@ -120,56 +204,75 @@ class TestJoinEvaluation:
             Edge("city", "in_state", "state"),
             Edge("hq", "in_state", "state"),
         ]
-        relation = evaluate_query_edges(figure1_store, edges)
+        relation = evaluate_query_edges(figure1_string_store, edges)
         people = {row[relation.column("person")] for row in relation.rows}
         # Bill Gates lived in Medina (Washington) and Microsoft is in
         # Washington, so he qualifies too; the Californians all qualify.
         assert "Jerry Yang" in people
         assert "Steve Wozniak" in people
 
-    def test_no_match_returns_empty_with_schema(self, figure1_store):
+    def test_no_match_returns_empty_with_schema(self, figure1_string_store):
         edges = [
             Edge("person", "founded", "company"),
             Edge("person", "board_member", "company2"),
         ]
-        relation = evaluate_query_edges(figure1_store, edges)
+        relation = evaluate_query_edges(figure1_string_store, edges)
         assert relation.is_empty()
         assert "person" in relation.variables
 
     def test_injectivity_enforced(self):
         graph = KnowledgeGraph([("a", "likes", "a"), ("a", "likes", "b")])
-        store = VerticalPartitionStore(graph)
+        store = VerticalPartitionStore(graph, vocabulary=IdentityVocabulary())
         relation = evaluate_query_edges(store, [Edge("x", "likes", "y")])
         assert ("a", "a") not in set(relation.rows)
         assert ("a", "b") in set(relation.rows)
 
     def test_injectivity_can_be_disabled(self):
         graph = KnowledgeGraph([("a", "likes", "a")])
-        store = VerticalPartitionStore(graph)
+        store = VerticalPartitionStore(graph, vocabulary=IdentityVocabulary())
         relation = evaluate_query_edges(store, [Edge("x", "likes", "y")], injective=False)
         assert ("a", "a") in set(relation.rows)
 
     def test_self_loop_query_edge(self):
         graph = KnowledgeGraph([("a", "likes", "a"), ("a", "likes", "b")])
-        store = VerticalPartitionStore(graph)
+        store = VerticalPartitionStore(graph, vocabulary=IdentityVocabulary())
         relation = evaluate_query_edges(store, [Edge("x", "likes", "x")])
         assert relation.rows == [("a",)]
 
-    def test_max_rows_cap_raises(self, figure1_store):
+    def test_max_rows_cap_raises(self, figure1_string_store):
         with pytest.raises(LatticeError):
             evaluate_query_edges(
-                figure1_store,
+                figure1_string_store,
                 [Edge("person", "nationality", "country")],
                 max_rows=2,
             )
 
-    def test_extend_with_edge_matches_from_scratch(self, figure1_store):
-        base = evaluate_query_edges(figure1_store, [Edge("person", "founded", "company")])
+    def test_max_rows_cap_applies_to_self_loop_first_edge(self):
+        """Regression: the self-loop path of the first edge ``continue``d
+        past the cap, so a huge self-loop table bypassed it entirely."""
+        graph = KnowledgeGraph()
+        for i in range(10):
+            graph.add_edge(f"n{i}", "self", f"n{i}")
+        store = VerticalPartitionStore(graph)
+        with pytest.raises(LatticeError):
+            evaluate_query_edges(
+                store, [Edge("x", "self", "x")], injective=False, max_rows=3
+            )
+        # Under the cap the same query still evaluates fine.
+        relation = evaluate_query_edges(
+            store, [Edge("x", "self", "x")], injective=False, max_rows=100
+        )
+        assert relation.num_rows == 10
+
+    def test_extend_with_edge_matches_from_scratch(self, figure1_string_store):
+        base = evaluate_query_edges(
+            figure1_string_store, [Edge("person", "founded", "company")]
+        )
         extended = extend_with_edge(
-            figure1_store, base, Edge("company", "headquartered_in", "city")
+            figure1_string_store, base, Edge("company", "headquartered_in", "city")
         )
         scratch = evaluate_query_edges(
-            figure1_store,
+            figure1_string_store,
             [
                 Edge("person", "founded", "company"),
                 Edge("company", "headquartered_in", "city"),
@@ -179,19 +282,21 @@ class TestJoinEvaluation:
             extended.distinct_projection(["person", "company", "city"])
         ) == set(scratch.distinct_projection(["person", "company", "city"]))
 
-    def test_extend_requires_shared_variable(self, figure1_store):
-        base = evaluate_query_edges(figure1_store, [Edge("person", "founded", "company")])
+    def test_extend_requires_shared_variable(self, figure1_string_store):
+        base = evaluate_query_edges(
+            figure1_string_store, [Edge("person", "founded", "company")]
+        )
         with pytest.raises(LatticeError):
-            extend_with_edge(figure1_store, base, Edge("city", "in_state", "state"))
+            extend_with_edge(figure1_string_store, base, Edge("city", "in_state", "state"))
 
-    def test_relation_bindings_and_projection(self, figure1_store):
-        relation = evaluate_query_edges(figure1_store, [Edge("p", "founded", "c")])
+    def test_relation_bindings_and_projection(self, figure1_string_store):
+        relation = evaluate_query_edges(figure1_string_store, [Edge("p", "founded", "c")])
         bindings = list(relation.bindings())
         assert all(set(b) == {"p", "c"} for b in bindings)
         assert relation.has_variable("p")
         assert not relation.has_variable("zzz")
 
-    def test_empty_edge_list_returns_empty_relation(self, figure1_store):
-        relation = evaluate_query_edges(figure1_store, [])
+    def test_empty_edge_list_returns_empty_relation(self, figure1_string_store):
+        relation = evaluate_query_edges(figure1_string_store, [])
         assert relation.is_empty()
         assert relation.variables == ()
