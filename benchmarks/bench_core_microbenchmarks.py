@@ -16,6 +16,7 @@ from repro.core.config import GQBEConfig
 from repro.core.gqbe import GQBE
 from repro.discovery.mqg import discover_maximal_query_graph
 from repro.graph.neighborhood import neighborhood_graph
+from repro.storage.snapshot import GraphStore
 
 
 @pytest.fixture(scope="module")
@@ -66,8 +67,77 @@ def test_bench_multi_tuple_query(system, benchmark):
     assert result.answers
 
 
+def test_bench_bulk_fanout_join(system, benchmark):
+    """Vectorized bulk join: all same-hub pairs through the densest label.
+
+    This is the workload the columnar engine's whole-array probe path
+    exists for (10x over tuple rows at scale 0.5; small lattice joins take
+    its scalar tail instead and stay at parity)."""
+    from repro.graph.knowledge_graph import Edge
+    from repro.storage.join import evaluate_query_edges
+
+    gqbe, _ = system
+    label = max(
+        gqbe.graph.label_counts().items(), key=lambda item: item[1]
+    )[0]
+    edges = [Edge("p", label, "hub"), Edge("q", label, "hub")]
+    relation = benchmark(evaluate_query_edges, gqbe.store, edges)
+    assert relation.num_rows > 0
+
+
 def test_bench_offline_precomputation(harness, benchmark):
     """Time to build statistics + vertical partition store for the data graph."""
     graph = harness.freebase_workload().dataset.graph
     system = benchmark(GQBE, graph, GQBEConfig(mqg_size=10))
     assert system.store.num_rows == graph.num_edges
+
+
+def test_bench_cold_start_from_triples(harness, benchmark, tmp_path_factory):
+    """The full cold start the snapshot replaces: parse triples, build the
+    graph, the statistics and the store."""
+    from repro.graph.triples import load_graph, write_triples
+
+    graph = harness.freebase_workload().dataset.graph
+    path = tmp_path_factory.mktemp("bench_cold") / "freebase.tsv"
+    write_triples(sorted(graph.edges), path)
+    system = benchmark(lambda: GQBE(load_graph(path), GQBEConfig(mqg_size=10)))
+    assert system.store.num_rows == graph.num_edges
+
+
+def test_bench_snapshot_warm_start(harness, benchmark, tmp_path_factory):
+    """Time to warm-start a system from an index snapshot.
+
+    The ratio of ``cold_start_from_triples`` (or ``offline_precomputation``
+    for the in-memory-graph comparison) to this benchmark is the
+    warm-start speedup the snapshot subsystem exists for (>=5x on the
+    synthetic benchmark graph; see ROADMAP.md for measured medians).
+    Sections deserialize lazily, so this measures envelope verification
+    plus system wiring — the actual warm start a `gqbe query --snapshot`
+    performs before query processing begins.
+    """
+    graph = harness.freebase_workload().dataset.graph
+    path = tmp_path_factory.mktemp("bench_snapshot") / "freebase.snap"
+    GraphStore.build(graph).save(path)
+    system = benchmark(
+        lambda: GQBE(config=GQBEConfig(), graph_store=GraphStore.load(path))
+    )
+    assert system.graph_store is not None
+
+
+def test_bench_snapshot_load_materialized(harness, benchmark, tmp_path_factory):
+    """Snapshot load with every section forced to deserialize eagerly —
+    the upper bound a first query pays on top of the lazy warm start."""
+    graph = harness.freebase_workload().dataset.graph
+    path = tmp_path_factory.mktemp("bench_snapshot") / "freebase.snap"
+    GraphStore.build(graph).save(path)
+    loaded = benchmark(lambda: GraphStore.load(path).materialize())
+    assert loaded.store.num_rows == graph.num_edges
+
+
+def test_bench_snapshot_save(harness, benchmark, tmp_path_factory):
+    """Time to serialize the offline state (the build-index write path)."""
+    graph = harness.freebase_workload().dataset.graph
+    graph_store = GraphStore.build(graph)
+    path = tmp_path_factory.mktemp("bench_snapshot") / "freebase.snap"
+    size = benchmark(graph_store.save, path)
+    assert size > 0

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Compare pytest-benchmark medians against a committed baseline.
+
+CI runs the micro-benchmark smoke pass with ``--benchmark-json`` and then
+calls this script to gate the job::
+
+    python benchmarks/check_regression.py bench-results.json \\
+        benchmarks/baseline.json --tolerance 1.5
+
+Exit status 1 (job fails) when any benchmark's median exceeds its
+baseline median by more than the tolerance factor.  Benchmarks present in
+the results but missing from the baseline are reported as NEW (not a
+failure — commit a refreshed baseline to start gating them); baseline
+entries with no matching result are reported as MISSING (not a failure,
+but they stop being gated, so prune or refresh the baseline).
+
+Refresh the baseline from a results file with::
+
+    python benchmarks/check_regression.py bench-results.json \\
+        benchmarks/baseline.json --update
+
+The baseline format is ``{"meta": {...}, "medians": {name: seconds}}``;
+``meta`` records how the numbers were produced so refreshes stay
+comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def load_result_medians(path: Path) -> dict[str, float]:
+    """Extract ``{benchmark name: median seconds}`` from pytest-benchmark JSON."""
+    data = json.loads(path.read_text())
+    return {
+        bench["name"]: bench["stats"]["median"] for bench in data["benchmarks"]
+    }
+
+
+def load_baseline(path: Path) -> dict[str, float]:
+    """Load the committed baseline's medians mapping."""
+    data = json.loads(path.read_text())
+    return data["medians"]
+
+
+def compare(
+    results: dict[str, float],
+    baseline: dict[str, float],
+    tolerance: float,
+) -> tuple[list[str], list[str]]:
+    """Return (report lines, regression names)."""
+    lines: list[str] = []
+    regressions: list[str] = []
+    width = max((len(name) for name in results | baseline), default=0)
+    for name in sorted(results):
+        median = results[name]
+        base = baseline.get(name)
+        if base is None:
+            lines.append(f"NEW        {name:<{width}}  median {median * 1000:9.3f} ms")
+            continue
+        ratio = median / base if base > 0 else float("inf")
+        status = "REGRESSION" if ratio > tolerance else "ok"
+        lines.append(
+            f"{status:<10} {name:<{width}}  median {median * 1000:9.3f} ms  "
+            f"baseline {base * 1000:9.3f} ms  ratio {ratio:5.2f}x"
+        )
+        if ratio > tolerance:
+            regressions.append(name)
+    for name in sorted(set(baseline) - set(results)):
+        lines.append(f"MISSING    {name:<{width}}  (in baseline, not in results)")
+    return lines, regressions
+
+
+def update_baseline(results: dict[str, float], path: Path, meta: dict) -> None:
+    path.write_text(
+        json.dumps({"meta": meta, "medians": results}, indent=2, sort_keys=True)
+        + "\n"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=Path, help="pytest-benchmark JSON output")
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        # The committed baseline records medians from one machine while CI
+        # runners have different (and noisier) hardware, so the tolerance
+        # must absorb cross-machine variance, not just run-to-run noise.
+        # GQBE_BENCH_TOLERANCE overrides without a workflow edit — e.g. to
+        # loosen the gate while migrating runner classes, then refresh the
+        # baseline from a CI artifact of the new class.
+        default=float(os.environ.get("GQBE_BENCH_TOLERANCE", "1.5")),
+        help="fail when median > baseline * tolerance "
+        "(default: $GQBE_BENCH_TOLERANCE or 1.5)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the results instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    results = load_result_medians(args.results)
+    if args.update:
+        update_baseline(
+            results,
+            args.baseline,
+            meta={
+                "source": "benchmarks/check_regression.py --update",
+                "benchmark_count": len(results),
+            },
+        )
+        print(f"wrote {len(results)} baseline medians to {args.baseline}")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    lines, regressions = compare(results, baseline, args.tolerance)
+    print(f"benchmark regression gate (tolerance {args.tolerance:.2f}x)")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond {args.tolerance:.2f}x: "
+            + ", ".join(regressions),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(results)} benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

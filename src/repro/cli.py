@@ -3,7 +3,11 @@
 Subcommands
 -----------
 ``gqbe query``
-    Load a triple file, run a query tuple and print the ranked answers.
+    Load a triple file (or a prebuilt index snapshot via ``--snapshot``),
+    run a query tuple and print the ranked answers.
+``gqbe build-index``
+    Run the offline build for a triple file and save it as an index
+    snapshot for instant warm starts.
 ``gqbe generate``
     Generate a synthetic Freebase-like or DBpedia-like dataset to a TSV file.
 ``gqbe experiment``
@@ -15,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from collections.abc import Sequence
 
 from repro.core.config import GQBEConfig
@@ -23,12 +28,31 @@ from repro.datasets.synthetic import DBpediaLikeGenerator, FreebaseLikeGenerator
 from repro.evaluation.harness import ExperimentHarness, HarnessConfig
 from repro.evaluation.reporting import format_answer_list, format_table
 from repro.graph.triples import load_graph, write_triples
+from repro.storage.snapshot import GraphStore
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    graph = load_graph(args.graph)
-    config = GQBEConfig(d=args.d, mqg_size=args.mqg_size)
-    system = GQBE(graph, config=config)
+    if args.snapshot is not None:
+        if args.graph is not None:
+            print(
+                "pass either a graph file or --snapshot, not both",
+                file=sys.stderr,
+            )
+            return 2
+        graph_store = GraphStore.load(args.snapshot)
+        config = GQBEConfig(
+            d=args.d,
+            mqg_size=args.mqg_size,
+            intern_entities=graph_store.intern_entities,
+            columnar=graph_store.columnar,
+        )
+        system = GQBE(config=config, graph_store=graph_store)
+    elif args.graph is not None:
+        config = GQBEConfig(d=args.d, mqg_size=args.mqg_size)
+        system = GQBE(load_graph(args.graph), config=config)
+    else:
+        print("pass a graph file or --snapshot", file=sys.stderr)
+        return 2
     tuples = [tuple(t.split(",")) for t in args.tuple]
     if len(tuples) == 1:
         result = system.query(tuples[0], k=args.k)
@@ -47,6 +71,27 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"\nMQG edges: {result.mqg.num_edges}  "
         f"lattice nodes evaluated: {result.statistics.nodes_evaluated}  "
         f"total time: {result.total_seconds:.3f}s"
+    )
+    return 0
+
+
+def _cmd_build_index(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
+    graph = load_graph(args.graph)
+    load_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    graph_store = GraphStore.build(graph, columnar=not args.rows)
+    build_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    size = graph_store.save(args.output)
+    save_seconds = time.perf_counter() - started
+    print(
+        f"indexed {graph.num_edges} edges ({graph.num_nodes} nodes, "
+        f"{graph.num_labels} labels) to {args.output} ({size} bytes)\n"
+        f"load {load_seconds:.3f}s  build {build_seconds:.3f}s  "
+        f"save {save_seconds:.3f}s"
     )
     return 0
 
@@ -116,7 +161,15 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     query = subparsers.add_parser("query", help="run a query over a triple file")
-    query.add_argument("graph", help="path to a TSV or NT triple file")
+    query.add_argument(
+        "graph", nargs="?", default=None, help="path to a TSV or NT triple file"
+    )
+    query.add_argument(
+        "--snapshot",
+        default=None,
+        help="warm-start from an index snapshot built with `gqbe build-index` "
+        "instead of loading and indexing a triple file",
+    )
     query.add_argument(
         "--tuple",
         action="append",
@@ -127,6 +180,19 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--d", type=int, default=2)
     query.add_argument("--mqg-size", type=int, default=15, dest="mqg_size")
     query.set_defaults(func=_cmd_query)
+
+    build_index = subparsers.add_parser(
+        "build-index",
+        help="run the offline build once and save it as an index snapshot",
+    )
+    build_index.add_argument("graph", help="path to a TSV or NT triple file")
+    build_index.add_argument("output", help="output snapshot path")
+    build_index.add_argument(
+        "--rows",
+        action="store_true",
+        help="build tuple-row tables (the reference engine) instead of columnar",
+    )
+    build_index.set_defaults(func=_cmd_build_index)
 
     generate = subparsers.add_parser("generate", help="generate a synthetic dataset")
     generate.add_argument("dataset", choices=("freebase", "dbpedia"))

@@ -41,6 +41,12 @@ class GQBEConfig:
         ids (the fast path).  Disabling it runs the engine on raw entity
         strings via the identity vocabulary — the reference path used by
         the interning equivalence tests.
+    columnar:
+        Store edge tables column-wise and run the vectorized numpy join
+        engine (the default).  Disabling it keeps the tuple-row join
+        engine — the reference path of the columnar equivalence tests.
+        The columnar engine requires interned ids and numpy; when either
+        is missing the store silently falls back to tuple rows.
     """
 
     d: int = 2
@@ -50,6 +56,7 @@ class GQBEConfig:
     max_join_rows: int | None = None
     node_budget: int | None = None
     intern_entities: bool = True
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         if self.d < 1:

@@ -3,7 +3,10 @@
 :class:`GQBE` wires the pipeline of the paper together:
 
 1. offline precomputation — graph statistics (Sec. III-B) and the
-   vertical-partition store (Sec. V-A) are built once per data graph;
+   vertical-partition store (Sec. V-A) are built once per data graph, or
+   loaded in one step from an index snapshot
+   (:class:`~repro.storage.snapshot.GraphStore`, see
+   :meth:`GQBE.from_snapshot`);
 2. per query — neighborhood extraction (Def. 1), unimportant-edge
    reduction (Sec. III-C), MQG discovery (Alg. 1), optional multi-tuple
    merging (Sec. III-D), lattice construction (Sec. IV) and best-first
@@ -14,17 +17,19 @@ from __future__ import annotations
 
 import time
 from collections.abc import Sequence
+from os import PathLike
 
 from repro.core.answer import AnswerTuple, QueryResult
 from repro.core.config import GQBEConfig
 from repro.discovery.merge import merge_maximal_query_graphs
 from repro.discovery.mqg import MaximalQueryGraph, discover_maximal_query_graph
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, SnapshotError
 from repro.graph.knowledge_graph import KnowledgeGraph
 from repro.graph.neighborhood import neighborhood_graph
 from repro.graph.statistics import GraphStatistics
 from repro.lattice.exploration import BestFirstExplorer, ExplorationResult
 from repro.lattice.query_graph import LatticeSpace
+from repro.storage.snapshot import GraphStore
 from repro.storage.store import VerticalPartitionStore
 from repro.storage.vocabulary import IdentityVocabulary
 
@@ -32,25 +37,97 @@ from repro.storage.vocabulary import IdentityVocabulary
 class GQBE:
     """Query-by-example over a knowledge graph (the system of the paper)."""
 
-    def __init__(self, graph: KnowledgeGraph, config: GQBEConfig | None = None) -> None:
-        self.graph = graph
+    def __init__(
+        self,
+        graph: KnowledgeGraph | None = None,
+        config: GQBEConfig | None = None,
+        graph_store: GraphStore | None = None,
+    ) -> None:
+        if (graph is None) == (graph_store is None):
+            raise QueryError("pass exactly one of graph or graph_store")
         self.config = config or GQBEConfig()
-        #: Offline, query-independent statistics (ief / participation degree).
-        self.statistics = GraphStatistics(graph)
-        #: The in-memory vertical-partition store used by the join engine.
-        #: Entities are interned to dense int ids at build time (and decoded
-        #: back to strings only when answers are materialized) unless the
-        #: config selects the string-path reference engine.
-        self.store = VerticalPartitionStore(
-            graph,
-            vocabulary=None if self.config.intern_entities else IdentityVocabulary(),
-        )
+        if graph_store is not None:
+            # Warm start: adopt the precomputed offline state.  The engine
+            # flags must agree with the config, otherwise queries would run
+            # on a different engine than the caller asked for.  (Checked
+            # against the snapshot metadata — a lazily loaded bundle stays
+            # unmaterialized until the first query touches it.)
+            if graph_store.intern_entities != self.config.intern_entities or (
+                self.config.intern_entities
+                and graph_store.columnar != self.config.columnar
+            ):
+                raise SnapshotError(
+                    "snapshot engine flags (intern_entities="
+                    f"{graph_store.intern_entities}, columnar="
+                    f"{graph_store.columnar}) do not match the config "
+                    f"(intern_entities={self.config.intern_entities}, "
+                    f"columnar={self.config.columnar}); rebuild the index "
+                    "or adjust the config"
+                )
+            self._graph_store = graph_store
+        else:
+            # Cold start: run the offline build now.  Entities are interned
+            # to dense int ids (and decoded back to strings only when
+            # answers are materialized) unless the config selects the
+            # string-path reference engine; tables are columnar unless the
+            # config selects the tuple-row reference engine.
+            self._graph_store = GraphStore(
+                graph,
+                GraphStatistics(graph),
+                VerticalPartitionStore(
+                    graph,
+                    vocabulary=(
+                        None if self.config.intern_entities else IdentityVocabulary()
+                    ),
+                    columnar=self.config.columnar,
+                ),
+            )
         #: Recently built lattice spaces, keyed by the identity of their
         #: MQG.  A LatticeSpace is a pure function of its MQG and carries
         #: warm memos (structure scores, minimal trees), so repeated
         #: explorations of the same MQG skip the rebuild.  Values hold a
         #: strong reference to the MQG, which keeps the ``id()`` key valid.
         self._space_cache: dict[int, tuple[MaximalQueryGraph, LatticeSpace]] = {}
+
+    @property
+    def graph(self) -> KnowledgeGraph:
+        """The data graph (materializes a lazily loaded snapshot section)."""
+        return self._graph_store.graph
+
+    @property
+    def statistics(self) -> GraphStatistics:
+        """Offline, query-independent statistics (ief / participation degree)."""
+        return self._graph_store.statistics
+
+    @property
+    def store(self) -> VerticalPartitionStore:
+        """The in-memory vertical-partition store used by the join engine."""
+        return self._graph_store.store
+
+    @property
+    def graph_store(self) -> GraphStore:
+        """The offline-state bundle (graph + statistics + store)."""
+        return self._graph_store
+
+    @classmethod
+    def from_snapshot(
+        cls, path: str | PathLike, config: GQBEConfig | None = None
+    ) -> "GQBE":
+        """Warm-start a system from an on-disk index snapshot.
+
+        Loads the :class:`~repro.storage.snapshot.GraphStore` saved by
+        ``gqbe build-index`` (or :meth:`GraphStore.save`) and skips the
+        entire offline build.  When ``config`` is omitted, a default
+        config matching the snapshot's engine flags is used; an explicit
+        config must agree with them (see :class:`GQBE`).
+        """
+        graph_store = GraphStore.load(path)
+        if config is None:
+            config = GQBEConfig(
+                intern_entities=graph_store.intern_entities,
+                columnar=graph_store.columnar,
+            )
+        return cls(config=config, graph_store=graph_store)
 
     # ------------------------------------------------------------------
     # query graph discovery

@@ -26,7 +26,7 @@ belong to the core component, because the minimal query trees of the lattice
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.exceptions import DisconnectedQueryError, DiscoveryError
@@ -159,6 +159,73 @@ def _partition_edges(
 # ----------------------------------------------------------------------
 # Greedy component selection (conquer step)
 # ----------------------------------------------------------------------
+class _UnionFind:
+    """Incremental union-find over node names with per-component edge counts.
+
+    The structure behind the Alg. 1 prefix scan of :func:`_select_component`
+    (grow components edge by edge, never rebuild) — also reused by
+    :func:`_trim_component`'s reverse sweeps.  ``find`` uses path halving;
+    unions attach the smaller component (by edge count) under the larger.
+    """
+
+    __slots__ = ("_parent", "_edge_counts")
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+        self._edge_counts: dict[str, int] = {}
+
+    def find(self, node: str) -> str:
+        parent = self._parent
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    def add_edge(self, subject: str, obj: str) -> None:
+        """Add one edge, creating endpoints and merging components."""
+        parent = self._parent
+        edge_counts = self._edge_counts
+        if subject not in parent:
+            parent[subject] = subject
+            edge_counts[subject] = 0
+        if obj not in parent:
+            parent[obj] = obj
+            edge_counts[obj] = 0
+        subject_root = self.find(subject)
+        object_root = self.find(obj)
+        if subject_root == object_root:
+            edge_counts[subject_root] += 1
+        else:
+            if edge_counts[subject_root] < edge_counts[object_root]:
+                subject_root, object_root = object_root, subject_root
+            parent[object_root] = subject_root
+            edge_counts[subject_root] += edge_counts[object_root] + 1
+
+    def component_edges(self, root: str) -> int:
+        """Edge count of the component rooted at ``root``."""
+        return self._edge_counts[root]
+
+    def connected_root(self, nodes: Iterable[str]) -> str | None:
+        """The common component root of ``nodes``, or ``None``.
+
+        ``None`` means some node is absent (isolated) or the nodes span
+        multiple components — the same "not connected here" answer
+        :func:`_component_containing` gives.
+        """
+        root: str | None = None
+        for node in nodes:
+            if node not in self._parent:
+                return None
+            node_root = self.find(node)
+            if root is None:
+                root = node_root
+            elif node_root != root:
+                return None
+        return root
+
+
 def _component_containing(
     edges: Sequence[Edge], required: set[str]
 ) -> tuple[set[Edge], bool]:
@@ -201,27 +268,62 @@ def _trim_component(
     """Shrink a too-large component back towards ``target`` edges.
 
     Low-weight edges are removed greedily as long as the remaining edges
-    still form a weakly connected graph containing every ``required`` node.
-    This keeps the MQG close to the requested size even when the prefix
-    component found by the greedy scan jumps far past the target (which
-    happens around hub entities such as popular awards).
+    still form a weakly connected graph containing every ``required`` node
+    (removals that disconnect a fragment from the required nodes drop the
+    whole fragment).  This keeps the MQG close to the requested size even
+    when the prefix component found by the greedy scan jumps far past the
+    target (which happens around hub entities such as popular awards).
+
+    The naive greedy rebuilds the required component per removed edge
+    (quadratic, with a sort per removal on top).  This implementation
+    produces the *same* result with reverse union-find sweeps: removing
+    the ascending-weight prefix ``ordered[:s]`` leaves the suffix
+    ``ordered[s:]``, so adding edges in reverse order yields, per ``s``,
+    both the connectivity of the required nodes and their component's
+    edge count — i.e. the whole greedy trajectory — in one O(E α) pass.
+    A removal that would disconnect the required nodes (a rejected edge)
+    permanently re-enters the graph: bridges stay bridges under further
+    removals, so rejected edges are final and only trigger a fresh sweep
+    seeded with them.  Total cost O((rejections + 1) · E α) instead of
+    O(E² log E).
     """
     if len(component) <= target:
         return component
-    current = set(component)
-    removable = sorted(current, key=lambda e: (weights.get(e, 0.0), e))
-    for edge in removable:
-        if len(current) <= target:
-            break
-        if edge not in current:
-            continue
-        candidate = current - {edge}
-        trimmed, exists = _component_containing(sorted(candidate), required)
-        if exists:
-            # Dropping `edge` may also disconnect other low-value fragments;
-            # keep only the component that still holds the required nodes.
-            current = trimmed
-    return current
+    ordered = sorted(component, key=lambda e: (weights.get(e, 0.0), e))
+    total = len(ordered)
+    kept: list[Edge] = []  # rejected removals: required-bridges, kept forever
+    segment_start = 0
+    while True:
+        # State s == the greedy's graph after processing ordered[:s]:
+        # kept ∪ ordered[s:].  Sweep s from `total` down to the segment
+        # start, recording required-connectivity and component size.
+        connected = [False] * (total + 1)
+        sizes = [0] * (total + 1)
+        union_find = _UnionFind()
+        for edge in kept:
+            union_find.add_edge(edge.subject, edge.object)
+        for s in range(total, segment_start - 1, -1):
+            if s < total:
+                union_find.add_edge(ordered[s].subject, ordered[s].object)
+            root = union_find.connected_root(required)
+            if root is not None:
+                connected[s] = True
+                sizes[s] = union_find.component_edges(root)
+
+        rejected_at: int | None = None
+        stop_at: int | None = None
+        for s in range(segment_start, total):
+            if sizes[s] <= target:
+                stop_at = s  # the greedy's size check before each removal
+                break
+            if not connected[s + 1]:
+                rejected_at = s  # removing ordered[s] splits the required
+                break
+        if rejected_at is None:
+            final = total if stop_at is None else stop_at
+            return _component_containing(kept + ordered[final:], required)[0]
+        kept.append(ordered[rejected_at])
+        segment_start = rejected_at + 1
 
 
 def _select_component(
@@ -248,55 +350,18 @@ def _select_component(
     # of rebuilding that component per prefix (quadratic), grow a
     # union-find incrementally, tracking the edge count per component, and
     # materialize only the prefix that wins the preference order below.
-    parent: dict[str, str] = {}
-    edge_counts: dict[str, int] = {}
-
-    def find(node: str) -> str:
-        root = node
-        while parent[root] != root:
-            root = parent[root]
-        while parent[node] != root:
-            parent[node], node = root, parent[node]
-        return root
-
+    union_find = _UnionFind()
     required_list = list(required)
     s_exact: int | None = None
     s_below: int | None = None
     s_above: int | None = None
 
     for s, edge in enumerate(ordered, 1):
-        subject, obj = edge.subject, edge.object
-        if subject not in parent:
-            parent[subject] = subject
-            edge_counts[subject] = 0
-        if obj not in parent:
-            parent[obj] = obj
-            edge_counts[obj] = 0
-        subject_root = find(subject)
-        object_root = find(obj)
-        if subject_root == object_root:
-            edge_counts[subject_root] += 1
-        else:
-            if edge_counts[subject_root] < edge_counts[object_root]:
-                subject_root, object_root = object_root, subject_root
-            parent[object_root] = subject_root
-            edge_counts[subject_root] += edge_counts[object_root] + 1
-
-        root: str | None = None
-        connected = True
-        for node in required_list:
-            if node not in parent:
-                connected = False
-                break
-            node_root = find(node)
-            if root is None:
-                root = node_root
-            elif node_root != root:
-                connected = False
-                break
-        if not connected:
+        union_find.add_edge(edge.subject, edge.object)
+        root = union_find.connected_root(required_list)
+        if root is None:
             continue
-        size = edge_counts[root]
+        size = union_find.component_edges(root)
         if size == target:
             s_exact = s
             break

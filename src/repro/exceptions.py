@@ -65,3 +65,7 @@ class EvaluationError(GQBEError):
 
 class DatasetError(GQBEError):
     """Raised when a synthetic dataset cannot be generated as requested."""
+
+
+class SnapshotError(GQBEError):
+    """Raised for unreadable, corrupt or incompatible index snapshots."""

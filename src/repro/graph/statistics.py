@@ -63,6 +63,16 @@ class GraphStatistics:
         self._base_weight_cache: dict[Edge, float] = {}
 
     # ------------------------------------------------------------------
+    # The snapshot subsystem serializes statistics *without* the graph
+    # back-reference (the graph is its own snapshot section) and re-wires
+    # ``_graph`` on load; the memo cache is rebuilt on demand.
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_graph"] = None
+        state["_base_weight_cache"] = {}
+        return state
+
+    # ------------------------------------------------------------------
     @property
     def graph(self) -> KnowledgeGraph:
         """The data graph these statistics were computed from."""

@@ -29,6 +29,11 @@ Performance notes (the hot path of the Fig. 14/16 experiments):
 * join relations carry **interned int entity ids** (see
   :mod:`repro.storage.vocabulary`); answers are decoded back to entity
   strings only in :meth:`BestFirstExplorer._final_ranking`;
+* under a columnar store the relations are
+  :class:`~repro.storage.join.ColumnarRelation` column arrays; the
+  self-match filter and the answer-recording sweep below vectorize over
+  them for bulk relations and fall back to the tuple-row code path for
+  tiny ones (``prefers_columns``);
 * ``Q_best`` selection uses a lazy-deletion max-heap instead of scanning
   every LF node per iteration;
 * the stage-one k'-threshold is maintained incrementally with a bounded
@@ -51,7 +56,13 @@ from repro.exceptions import LatticeError
 from repro.lattice.minimal_trees import minimal_query_trees
 from repro.lattice.query_graph import LatticeSpace
 from repro.lattice.scoring import content_score_from_matched, structure_score
-from repro.storage.join import Relation, evaluate_query_edges, extend_with_edge
+from repro.storage.join import (
+    ColumnarRelation,
+    Relation,
+    evaluate_query_edges,
+    extend_with_edge,
+    np,
+)
 from repro.storage.store import VerticalPartitionStore
 from repro.storage.vocabulary import EntityId
 
@@ -118,11 +129,38 @@ def drop_trivial_self_match(
     A row is the trivial self-match exactly when *every* column equals its
     own variable's id — i.e. when the row equals ``identity_row`` as a
     tuple — and rows are unique, so removal is a single C-level
-    ``list.index`` scan plus two slices.  (If any variable has no id,
+    ``list.index`` scan plus two slices (tuple rows) or one vectorized
+    equality mask (columnar).  (If any variable has no id,
     ``identity_row`` contains ``None`` and no row can equal it.)
     """
     variables = relation.variables
     identity = tuple(identity_row) if identity_row is not None else variables
+
+    if isinstance(relation, ColumnarRelation):
+        if not variables or relation.is_empty() or None in identity:
+            return relation
+        if relation.prefers_columns():
+            match = relation.columns[0] == identity[0]
+            for column, ident in zip(relation.columns[1:], identity[1:]):
+                match &= column == ident
+            hits = np.nonzero(match)[0]
+            if not len(hits):
+                return relation
+            keep = ~match
+            return ColumnarRelation(
+                variables,
+                [column[keep] for column in relation.columns],
+                index=relation._index,
+            )
+        rows = relation.to_rows()
+        try:
+            at = rows.index(identity)
+        except ValueError:
+            return relation
+        return ColumnarRelation(
+            variables, rows=rows[:at] + rows[at + 1:], index=relation._index
+        )
+
     rows = relation.rows
     try:
         at = rows.index(identity)
@@ -242,19 +280,62 @@ class AnswerAccumulator:
         _, checks, identity_values = identity_info
         records = self.records
         excluded = self._excluded
-        rows = relation.rows
-        answer_of = itemgetter(*entity_columns)  # bare id when arity is one
 
         # Every row contributes at least (structure, content=0) to its
         # answer; rows that bind some query node to itself additionally
         # contribute their content score, and only those need per-row
         # Python work.  The content-0 sweep therefore runs over the
-        # *distinct* answers, extracted at C speed.
-        if identity_values:
-            matched_rows = list(filterfalse(identity_values.isdisjoint, rows))
+        # *distinct* answers.  Both branches below produce the same
+        # distinct-answer set and the same (answer, signature) matches —
+        # the columnar one extracts them with whole-array operations (for
+        # relations past the scalar-tail threshold), the tuple-row one at
+        # C speed via itemgetter/filterfalse.
+        matches: "Sequence[tuple[EntityId | tuple[EntityId, ...], int]]"
+        if isinstance(relation, ColumnarRelation) and relation.prefers_columns():
+            columns = relation.columns
+            answer_columns = [columns[i] for i in entity_columns]
+            if self._arity_one:
+                distinct_answers = set(answer_columns[0].tolist())
+            else:
+                distinct_answers = set(
+                    zip(*(column.tolist() for column in answer_columns))
+                )
+            if checks:
+                # Per-row bitmask of the columns bound to their own query
+                # node; rows with signature 0 have no self-match.
+                signature_array = np.zeros(relation.num_rows, dtype=np.int64)
+                for i, ident, _name in checks:
+                    signature_array |= (columns[i] == ident).astype(np.int64) << i
+                hit_rows = np.nonzero(signature_array)[0]
+            else:
+                hit_rows = ()
+            if len(hit_rows):
+                signatures = signature_array[hit_rows].tolist()
+                if self._arity_one:
+                    hit_answers = answer_columns[0][hit_rows].tolist()
+                else:
+                    hit_answers = list(
+                        zip(*(column[hit_rows].tolist() for column in answer_columns))
+                    )
+                matches = list(zip(hit_answers, signatures))
+            else:
+                matches = ()
         else:
-            matched_rows = ()
-        distinct_answers = set(map(answer_of, rows))
+            rows = relation.rows
+            answer_of = itemgetter(*entity_columns)  # bare id when arity is one
+            if identity_values:
+                matched_rows = filterfalse(identity_values.isdisjoint, rows)
+            else:
+                matched_rows = ()
+            distinct_answers = set(map(answer_of, rows))
+            matches = []
+            for row in matched_rows:
+                signature = 0
+                for i, ident, _name in checks:
+                    if row[i] == ident:
+                        signature |= 1 << i
+                if signature:  # 0: shared id at a different column only
+                    matches.append((answer_of(row), signature))
 
         for answer in distinct_answers:
             if answer in excluded:
@@ -274,21 +355,14 @@ class AnswerAccumulator:
                     record[CONTENT] = 0.0
                     record[MASK] = mask
 
-        if not matched_rows:
+        if not matches:
             return
         edges = space.edges_of(mask)
         # Distinct matched-column signatures repeat heavily within one
         # relation, so the content score is cached per signature bitmask
         # (cheaper to accumulate and hash than a frozenset of names).
         content_cache: dict[int, float] = {}
-        for row in matched_rows:
-            signature = 0
-            for i, ident, _name in checks:
-                if row[i] == ident:
-                    signature |= 1 << i
-            if not signature:
-                continue  # shared id at a different column: no self-match
-            answer = answer_of(row)
+        for answer, signature in matches:
             record = records.get(answer)
             if record is None:
                 continue  # excluded answer (skipped by the sweep above)
@@ -360,12 +434,12 @@ class LatticeNodeEvaluator:
             low = remaining & -remaining
             remaining ^= low
             child_relation = evaluated.get(mask ^ low)
-            if child_relation is None or not child_relation.rows:
+            if child_relation is None or child_relation.is_empty():
                 continue
             edge = edge_list[low.bit_length() - 1]
             index = child_relation._index
             if edge.subject in index or edge.object in index:
-                rows = len(child_relation.rows)
+                rows = child_relation.num_rows
                 if best_child is None or rows < best_child[0]:
                     best_child = (rows, low)
         try:
@@ -662,7 +736,7 @@ class BestFirstExplorer(LatticeNodeEvaluator):
             # for extending parents (Property 1 works on all matches).
             identity_info = identity_info_of(relation.variables)
             effective = drop_trivial_self_match(relation, identity_info[0])
-            if not effective.rows:
+            if effective.is_empty():
                 stats.null_nodes += 1
                 self._add_null_mask(best_mask)
                 self._recompute_upper_frontier(best_mask)

@@ -13,13 +13,28 @@ for the :class:`~repro.storage.vocabulary.IdentityVocabulary` reference
 path.  The join logic is id-type agnostic; callers that need entity strings
 decode rows through ``store.vocabulary`` when materializing answers.
 
-Two entry points are provided:
+Two relation layouts back the same join semantics:
+
+* :class:`ColumnarRelation` — the default engine: one int64 numpy array
+  per variable.  Probes, filters and injectivity checks run as whole-array
+  operations (:func:`_extend_columnar`); a store built ``columnar=True``
+  produces these.
+* :class:`Relation` — the original list-of-tuple-rows layout, kept as the
+  reference engine (and the only engine for string ids / numpy-less
+  installs).
+
+Both are produced by the same two entry points, which dispatch on the
+store's layout:
 
 * :func:`evaluate_query_edges` — evaluate a whole query graph from scratch
   using a right-deep chain of hash joins in a planned order.
 * :func:`extend_with_edge` — the incremental step used by the lattice
   exploration (Sec. V-B): take the materialized answers of a child query
   graph ``Q' = Q − e`` as the probe relation and join one more edge ``e``.
+
+The two engines are equivalent by construction — identical rows, row
+counts and ``max_rows`` overflow behavior — and the equivalence is pinned
+end-to-end by ``tests/test_columnar_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -31,6 +46,23 @@ from repro.graph.knowledge_graph import Edge
 from repro.storage.plan import plan_join_order
 from repro.storage.store import VerticalPartitionStore
 from repro.storage.vocabulary import EntityId
+
+try:  # numpy is optional: without it only the tuple-row engine runs.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    np = None
+
+#: Probe expansions larger than this many candidate rows are processed in
+#: slices so a hub-heavy join cannot materialize an arbitrarily large
+#: intermediate array before the ``max_rows`` cap gets a chance to fire.
+_EXPANSION_CHUNK_ROWS = 1 << 20
+
+#: Probe relations at or below this many rows take the scalar tail of the
+#: columnar engine: python loops over dict buckets, exactly mirroring the
+#: tuple-row engine.  Fixed numpy call overhead (~a few µs per kernel)
+#: dominates whole-array wins below roughly this size, and lattice
+#: explorations evaluate thousands of such tiny relations per query.
+_SCALAR_TAIL_ROWS = 64
 
 
 class Relation:
@@ -101,18 +133,336 @@ class Relation:
         """Distinct projection of rows onto ``variables``."""
         return set(self.project(variables))
 
+    def to_rows(self) -> list[tuple[EntityId, ...]]:
+        """The rows as a fresh list of tuples (shared accessor with
+        :class:`ColumnarRelation` for tests and answer materialization)."""
+        return list(self.rows)
 
-def _empty_relation() -> Relation:
+
+class ColumnarRelation:
+    """A set of variable bindings with a dual columnar/row layout.
+
+    The columnar twin of :class:`Relation`: logically the same ordered
+    multiset of rows, physically stored as one int64 numpy array per
+    variable (``columns[i]`` binds ``variables[i]``), as a cached list of
+    python-int tuple rows, or both.  The engine's bulk kernels read
+    :attr:`columns`; its scalar tails (tiny relations, where fixed numpy
+    call overhead dominates) read :meth:`to_rows`.  Each layout
+    materializes lazily from the other on first use and is then cached,
+    so chains of scalar extensions never touch numpy and chains of bulk
+    extensions never build tuples.  Callers must treat both layouts as
+    immutable.
+
+    Only produced by stores built over the interning vocabulary (int ids).
+    """
+
+    __slots__ = ("variables", "_columns", "_rows", "_index")
+
+    def __init__(
+        self,
+        variables: tuple[str, ...],
+        columns: "list[np.ndarray] | None" = None,
+        index: dict[str, int] | None = None,
+        rows: list[tuple[int, ...]] | None = None,
+    ) -> None:
+        if columns is None and rows is None:
+            raise ValueError("a ColumnarRelation needs columns or rows")
+        self.variables = variables
+        self._columns = columns
+        self._rows = rows
+        self._index = (
+            index
+            if index is not None
+            else {var: i for i, var in enumerate(variables)}
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(variables={self.variables!r}, "
+            f"rows={self.num_rows})"
+        )
+
+    @property
+    def columns(self) -> "list[np.ndarray]":
+        """The column arrays (materialized from cached rows if needed)."""
+        if self._columns is None:
+            self._columns = _columns_from_rows(self._rows, len(self.variables))
+        return self._columns
+
+    @property
+    def num_rows(self) -> int:
+        """Number of binding rows."""
+        if self._rows is not None:
+            return len(self._rows)
+        return len(self._columns[0]) if self._columns else 0
+
+    def is_empty(self) -> bool:
+        """Whether the relation has no rows."""
+        return self.num_rows == 0
+
+    def has_variable(self, variable: str) -> bool:
+        """Whether ``variable`` is one of the columns."""
+        return variable in self._index
+
+    def column(self, variable: str) -> int:
+        """Column index of ``variable``; raises ``KeyError`` if absent."""
+        return self._index[variable]
+
+    def column_values(self, variable: str) -> "np.ndarray":
+        """The binding column of ``variable`` (the array itself)."""
+        return self.columns[self._index[variable]]
+
+    @property
+    def rows(self) -> list[tuple[int, ...]]:
+        """The rows as python-int tuples (cached; treat as read-only)."""
+        return self.to_rows()
+
+    def to_rows(self) -> list[tuple[int, ...]]:
+        """The rows as a list of python-int tuples (row order preserved,
+        materialized from the columns on first call, then cached)."""
+        if self._rows is None:
+            if not self._columns:
+                self._rows = []
+            else:
+                self._rows = list(
+                    zip(*(column.tolist() for column in self._columns))
+                )
+        return self._rows
+
+    def bindings(self) -> Iterable[dict[str, int]]:
+        """Yield each row as a ``{variable: entity id}`` mapping."""
+        for row in self.to_rows():
+            yield dict(zip(self.variables, row))
+
+    def project(self, variables: Sequence[str]) -> list[tuple[int, ...]]:
+        """Project rows onto ``variables`` (order preserved, duplicates kept)."""
+        indexes = [self._index[var] for var in variables]
+        return [tuple(row[i] for i in indexes) for row in self.to_rows()]
+
+    def distinct_projection(self, variables: Sequence[str]) -> set[tuple[int, ...]]:
+        """Distinct projection of rows onto ``variables``."""
+        return set(self.project(variables))
+
+    def prefers_columns(self) -> bool:
+        """Whether bulk (vectorized) processing should be used.
+
+        True for relations that are already column-backed and larger than
+        the scalar-tail threshold; rows-backed or tiny relations are
+        cheaper to process with the scalar code paths.
+        """
+        return self._columns is not None and self.num_rows > _SCALAR_TAIL_ROWS
+
+
+def _empty_relation(store: VerticalPartitionStore) -> "Relation | ColumnarRelation":
+    if store.is_columnar:
+        return ColumnarRelation(variables=(), columns=[])
     return Relation(variables=(), rows=[])
+
+
+def _raise_max_rows(max_rows: int) -> None:
+    raise LatticeError(f"intermediate relation exceeded max_rows={max_rows}")
+
+
+def _columns_from_rows(rows: list[tuple[int, ...]], width: int) -> "list[np.ndarray]":
+    """Rebuild int64 column arrays from materialized tuple rows."""
+    if not rows:
+        return [np.empty(0, dtype=np.int64) for _ in range(width)]
+    matrix = np.array(rows, dtype=np.int64)
+    return [matrix[:, i] for i in range(width)]
+
+
+def _extend_columnar_scalar(
+    table,
+    relation: "ColumnarRelation",
+    subject_var: str,
+    object_var: str,
+    has_subject: bool,
+    has_object: bool,
+    injective: bool,
+    max_rows: int | None,
+) -> "ColumnarRelation":
+    """The scalar tail of the columnar engine, for tiny probe relations.
+
+    Mirrors the tuple-row engine's loops statement for statement (same
+    match order, same injectivity test, same per-probe-row ``max_rows``
+    check) over the columnar table's lazy dict buckets.  Inputs and
+    outputs use the relation's row layout, so scalar chains never touch
+    numpy; the column arrays materialize lazily only if a later bulk
+    kernel asks for them.
+    """
+    in_rows = relation.to_rows()
+    if has_subject and has_object:
+        pairs = table._dedup_set()
+        subject_col = relation.column(subject_var)
+        object_col = relation.column(object_var)
+        out_rows = [
+            row for row in in_rows if (row[subject_col], row[object_col]) in pairs
+        ]
+        if max_rows is not None and len(out_rows) > max_rows:
+            _raise_max_rows(max_rows)
+        return ColumnarRelation(
+            relation.variables, rows=out_rows, index=relation._index
+        )
+
+    if has_subject:
+        buckets = table.subject_buckets()
+        bound_col = relation.column(subject_var)
+        new_variable = object_var
+    else:
+        buckets = table.object_buckets()
+        bound_col = relation.column(object_var)
+        new_variable = subject_var
+    new_variables = relation.variables + (new_variable,)
+
+    out_rows = []
+    append = out_rows.append
+    for row in in_rows:
+        matches = buckets.get(row[bound_col])
+        if not matches:
+            continue
+        for value in matches:
+            if injective and value in row:
+                continue
+            append(row + (value,))
+        if max_rows is not None and len(out_rows) > max_rows:
+            _raise_max_rows(max_rows)
+    return ColumnarRelation(new_variables, rows=out_rows)
+
+
+def _extend_columnar(
+    store: VerticalPartitionStore,
+    relation: "ColumnarRelation",
+    edge: Edge,
+    injective: bool,
+    max_rows: int | None,
+) -> "ColumnarRelation":
+    """Vectorized one-edge hash join over columnar tables and relations.
+
+    Mirrors the tuple-row engine branch for branch: first edge, pure
+    filter (both endpoints bound) and one-sided probe.  The ``max_rows``
+    cap raises exactly when the tuple-row engine would (its incremental
+    checks fire iff the final surviving row count exceeds the cap); probe
+    expansions above :data:`_EXPANSION_CHUNK_ROWS` candidate rows are
+    processed in probe-row slices so the check can fire before a huge
+    intermediate is fully materialized.
+    """
+    table = store.table_or_empty(edge.label)
+    subject_var, object_var = edge.subject, edge.object
+
+    if not relation.variables:
+        subjects, objects = table.subject_ids(), table.object_ids()
+        if subject_var == object_var:
+            loops = subjects[subjects == objects]
+            out = ColumnarRelation((subject_var,), [loops])
+        else:
+            if injective:
+                keep = subjects != objects
+                subjects, objects = subjects[keep], objects[keep]
+            out = ColumnarRelation((subject_var, object_var), [subjects, objects])
+        if max_rows is not None and out.num_rows > max_rows:
+            _raise_max_rows(max_rows)
+        return out
+
+    has_subject = relation.has_variable(subject_var)
+    has_object = relation.has_variable(object_var)
+    if not has_subject and not has_object:
+        raise LatticeError(
+            f"edge {edge!r} shares no variable with the probe relation "
+            f"{relation.variables!r}; join plans must stay connected"
+        )
+
+    if not relation.prefers_columns():
+        return _extend_columnar_scalar(
+            table, relation, subject_var, object_var,
+            has_subject, has_object, injective, max_rows,
+        )
+
+    if has_subject and has_object:
+        keep = table.contains_pairs(
+            relation.columns[relation.column(subject_var)],
+            relation.columns[relation.column(object_var)],
+        )
+        out = ColumnarRelation(
+            relation.variables,
+            [column[keep] for column in relation.columns],
+            index=relation._index,
+        )
+        if max_rows is not None and out.num_rows > max_rows:
+            _raise_max_rows(max_rows)
+        return out
+
+    # One-sided probe: expand each probe row by its matches in the table.
+    if has_subject:
+        bound = relation.columns[relation.column(subject_var)]
+        count_matches = table.probe_counts_subject
+        expand = table.probe_expand_subject
+        new_variable = object_var
+    else:
+        bound = relation.columns[relation.column(object_var)]
+        count_matches = table.probe_counts_object
+        expand = table.probe_expand_object
+        new_variable = subject_var
+    new_variables = relation.variables + (new_variable,)
+
+    def probe_slice(lo: int, hi: int) -> tuple["np.ndarray", "np.ndarray"]:
+        probe_idx, new_values = expand(bound[lo:hi])
+        if injective and len(new_values):
+            violates = np.zeros(len(new_values), dtype=bool)
+            for column in relation.columns:
+                violates |= column[lo:hi][probe_idx] == new_values
+            keep = ~violates
+            probe_idx, new_values = probe_idx[keep], new_values[keep]
+        return probe_idx + lo, new_values
+
+    # The counts pre-pass exists only to bound memory under a row cap; the
+    # uncapped hot path goes straight to one expansion (a single index
+    # lookup).
+    if max_rows is None:
+        probe_idx, new_values = probe_slice(0, relation.num_rows)
+    else:
+        counts = count_matches(bound)
+        total_candidates = int(counts.sum())
+        if total_candidates <= _EXPANSION_CHUNK_ROWS:
+            probe_idx, new_values = probe_slice(0, relation.num_rows)
+            if len(new_values) > max_rows:
+                _raise_max_rows(max_rows)
+        else:
+            # Split the probe rows so each slice expands to at most
+            # roughly one chunk of candidate rows, raising as soon as the
+            # surviving row count crosses the cap.
+            boundaries = np.searchsorted(
+                np.cumsum(counts),
+                np.arange(
+                    _EXPANSION_CHUNK_ROWS, total_candidates, _EXPANSION_CHUNK_ROWS
+                ),
+                side="left",
+            )
+            cut_points = [0, *(int(b) + 1 for b in boundaries), relation.num_rows]
+            pieces: list[tuple[np.ndarray, np.ndarray]] = []
+            kept = 0
+            for lo, hi in zip(cut_points, cut_points[1:]):
+                if lo >= hi:
+                    continue
+                piece = probe_slice(lo, hi)
+                kept += len(piece[0])
+                if kept > max_rows:
+                    _raise_max_rows(max_rows)
+                pieces.append(piece)
+            probe_idx = np.concatenate([piece[0] for piece in pieces])
+            new_values = np.concatenate([piece[1] for piece in pieces])
+
+    out_columns = [column[probe_idx] for column in relation.columns]
+    out_columns.append(new_values)
+    return ColumnarRelation(new_variables, out_columns)
 
 
 def extend_with_edge(
     store: VerticalPartitionStore,
-    relation: Relation,
+    relation: "Relation | ColumnarRelation",
     edge: Edge,
     injective: bool = True,
     max_rows: int | None = None,
-) -> Relation:
+) -> "Relation | ColumnarRelation":
     """Join one more query-graph ``edge`` onto an existing ``relation``.
 
     The edge's subject/object are query-graph node names.  Whichever of the
@@ -136,7 +486,13 @@ def extend_with_edge(
         abort gracefully rather than exhaust memory.  The cap is enforced
         on every appended row, including the self-loop
         (``subject_var == object_var``) path of the first edge.
+
+    The join layout follows the store: a columnar store takes the
+    vectorized :func:`_extend_columnar` path and returns a
+    :class:`ColumnarRelation`; otherwise the tuple-row code below runs.
     """
+    if store.is_columnar:
+        return _extend_columnar(store, relation, edge, injective, max_rows)
     table = store.table_or_empty(edge.label)
     subject_var, object_var = edge.subject, edge.object
 
@@ -240,17 +596,18 @@ def evaluate_query_edges(
     edges: Sequence[Edge],
     injective: bool = True,
     max_rows: int | None = None,
-) -> Relation:
+) -> "Relation | ColumnarRelation":
     """Evaluate a weakly connected query graph given as a list of edges.
 
     Returns the relation whose columns are the query graph's nodes and whose
     rows are all matches (answer-graph node mappings).  The relation is
-    empty if the query graph has no answers.
+    empty if the query graph has no answers.  The relation layout
+    (columnar or tuple rows) follows the store's.
     """
     if not edges:
-        return _empty_relation()
+        return _empty_relation(store)
     plan = plan_join_order(edges, store)
-    relation = _empty_relation()
+    relation = _empty_relation(store)
     for edge in plan:
         relation = extend_with_edge(
             store, relation, edge, injective=injective, max_rows=max_rows
@@ -264,5 +621,11 @@ def evaluate_query_edges(
                 if node not in relation.variables
             ]
             ordered_missing = tuple(dict.fromkeys(missing))
-            return Relation(variables=relation.variables + ordered_missing, rows=[])
+            variables = relation.variables + ordered_missing
+            if store.is_columnar:
+                return ColumnarRelation(
+                    variables,
+                    [np.empty(0, dtype=np.int64) for _ in variables],
+                )
+            return Relation(variables=variables, rows=[])
     return relation

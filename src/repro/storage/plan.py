@@ -10,10 +10,18 @@ The planner is selectivity-aware in a simple, classical way: it starts from
 the edge whose table is smallest and greedily adds the connected edge with
 the smallest table next.  This keeps intermediate results small without
 requiring a full cost model.
+
+The greedy selection runs off a lazy-deletion min-heap keyed on
+``(cardinality, edge)`` that is fed incident edges as nodes become bound,
+instead of rescanning every remaining edge per step — same order, one
+heap pop per chosen edge.  Both join engines (columnar and tuple-row)
+consume the same plan, which keeps their intermediate relations — and
+therefore their ``max_rows`` behavior — aligned row for row.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -70,18 +78,43 @@ def plan_join_order(
     remaining.sort(key=lambda e: (cardinalities[e], e))
     first = remaining.pop(0)
     order = [first]
-    bound_nodes = {first.subject, first.object}
+    pending = set(remaining)
 
-    while remaining:
-        connected = [e for e in remaining if e.subject in bound_nodes or e.object in bound_nodes]
-        if not connected:
+    # node -> incident pending edges; edges enter the candidate heap when
+    # one of their endpoints becomes bound.  An edge can be pushed twice
+    # (once per endpoint) — the `pending` check on pop deduplicates, which
+    # is exactly the lazy-deletion scheme of the exploration heaps.
+    incident: dict[str, list[Edge]] = {}
+    for edge in remaining:
+        incident.setdefault(edge.subject, []).append(edge)
+        if edge.object != edge.subject:
+            incident.setdefault(edge.object, []).append(edge)
+
+    bound_nodes: set[str] = set()
+    heap: list[tuple[int, Edge]] = []
+
+    def bind(node: str) -> None:
+        if node in bound_nodes:
+            return
+        bound_nodes.add(node)
+        for edge in incident.get(node, ()):
+            heapq.heappush(heap, (cardinalities[edge], edge))
+
+    bind(first.subject)
+    bind(first.object)
+
+    while pending:
+        while heap:
+            _, nxt = heapq.heappop(heap)
+            if nxt in pending:
+                break
+        else:
             raise LatticeError(
                 "query graph edges are not weakly connected; cannot form a join plan"
             )
-        nxt = min(connected, key=lambda e: (cardinalities[e], e))
-        remaining.remove(nxt)
+        pending.discard(nxt)
         order.append(nxt)
-        bound_nodes.add(nxt.subject)
-        bound_nodes.add(nxt.object)
+        bind(nxt.subject)
+        bind(nxt.object)
 
     return JoinPlan(order=tuple(order))

@@ -13,6 +13,12 @@ never touch an entity string; decoding happens only when answers are
 materialized.  Passing an
 :class:`~repro.storage.vocabulary.IdentityVocabulary` instead reproduces
 the string-keyed engine (used as the reference in equivalence tests).
+
+Tables default to the columnar struct-of-arrays layout
+(:class:`~repro.storage.table.ColumnarEdgeTable`), which the vectorized
+numpy join engine runs on.  ``columnar=False`` — or an identity
+vocabulary, or a missing numpy — selects the tuple-row
+:class:`~repro.storage.table.EdgeTable` reference layout instead.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from collections.abc import Iterator
 
 from repro.exceptions import GraphError
 from repro.graph.knowledge_graph import KnowledgeGraph
-from repro.storage.table import EdgeTable
+from repro.storage.table import ColumnarEdgeTable, EdgeTable, np
 from repro.storage.vocabulary import IdentityVocabulary, Vocabulary
 
 
@@ -32,9 +38,18 @@ class VerticalPartitionStore:
         self,
         graph: KnowledgeGraph,
         vocabulary: Vocabulary | IdentityVocabulary | None = None,
+        columnar: bool = True,
     ) -> None:
         self._graph = graph
         self._vocabulary = vocabulary if vocabulary is not None else Vocabulary()
+        # The columnar layout needs int ids and numpy; otherwise fall back
+        # to the tuple-row reference layout.
+        self._columnar = (
+            columnar
+            and np is not None
+            and not isinstance(self._vocabulary, IdentityVocabulary)
+        )
+        table_class = ColumnarEdgeTable if self._columnar else EdgeTable
         intern = self._vocabulary.intern
         # Intern every node first (not just edge endpoints) so the
         # vocabulary covers isolated nodes too and ids follow the graph's
@@ -44,12 +59,12 @@ class VerticalPartitionStore:
         # After the node pass every endpoint is interned, so table rows are
         # filled through plain lookups.
         lookup = self._vocabulary.id_of
-        self._tables: dict[str, EdgeTable] = {}
+        self._tables: dict[str, EdgeTable | ColumnarEdgeTable] = {}
         tables = self._tables
         for edge in graph.edges:
             table = tables.get(edge.label)
             if table is None:
-                table = EdgeTable(edge.label)
+                table = table_class(edge.label)
                 tables[edge.label] = table
             table.add_row(lookup(edge.subject), lookup(edge.object))
 
@@ -57,6 +72,14 @@ class VerticalPartitionStore:
     def from_graph(cls, graph: KnowledgeGraph) -> "VerticalPartitionStore":
         """Build a store for ``graph`` (alias of the constructor)."""
         return cls(graph)
+
+    # The snapshot subsystem serializes the store *without* the graph
+    # back-reference (the graph is its own snapshot section) and re-wires
+    # ``_graph`` on load.
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_graph"] = None
+        return state
 
     @property
     def graph(self) -> KnowledgeGraph:
@@ -67,6 +90,22 @@ class VerticalPartitionStore:
     def vocabulary(self) -> Vocabulary | IdentityVocabulary:
         """The entity vocabulary the tables were interned with."""
         return self._vocabulary
+
+    @property
+    def is_columnar(self) -> bool:
+        """Whether the tables use the columnar numpy layout."""
+        return self._columnar
+
+    def build_indexes(self) -> None:
+        """Materialize every lazy probe index now.
+
+        Queries build indexes on demand; snapshot builds call this so the
+        serialized tables carry warm indexes and a loaded snapshot answers
+        its first query without an index-build pause.
+        """
+        if self._columnar:
+            for table in self._tables.values():
+                table.build_indexes()
 
     @property
     def num_tables(self) -> int:
@@ -86,24 +125,24 @@ class VerticalPartitionStore:
         """Whether a table for ``label`` exists."""
         return label in self._tables
 
-    def table(self, label: str) -> EdgeTable:
+    def table(self, label: str) -> EdgeTable | ColumnarEdgeTable:
         """Return the table for ``label``; raise for unknown labels."""
         try:
             return self._tables[label]
         except KeyError:
             raise GraphError(f"no edges with label {label!r} in the data graph") from None
 
-    def table_or_empty(self, label: str) -> EdgeTable:
+    def table_or_empty(self, label: str) -> EdgeTable | ColumnarEdgeTable:
         """Return the table for ``label`` or an empty table if unknown.
 
         The lookup must distinguish "label unknown" from "table present":
-        an :class:`EdgeTable` with zero rows is falsy, so the obvious
+        a table with zero rows is falsy, so the obvious
         ``get(label) or EdgeTable(label)`` would silently replace a stored
         (possibly indexed-but-empty) table with a fresh throwaway one.
         """
         table = self._tables.get(label)
         if table is None:
-            return EdgeTable(label)
+            return ColumnarEdgeTable(label) if self._columnar else EdgeTable(label)
         return table
 
     def cardinality(self, label: str) -> int:

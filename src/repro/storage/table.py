@@ -1,24 +1,42 @@
 """Per-label two-column edge tables with hash indexes (Sec. V-A).
 
 The vertical-partitioning scheme stores every edge label as its own
-``(subj, obj)`` table.  For efficient hash joins, each table carries two
-in-memory hash indexes, one keyed on ``subj`` and one on ``obj``, mirroring
-the paper's description of building both hash tables before any query
-arrives.
+``(subj, obj)`` table.  For efficient hash joins, each table carries
+per-column lookup indexes, mirroring the paper's description of building
+both hash tables before any query arrives.
+
+Two layouts implement the same table contract:
+
+* :class:`ColumnarEdgeTable` — the default engine.  Rows live as two
+  parallel ``array('q')`` id columns; probes are answered from lazily
+  built, numpy-sorted CSR-style group indexes so a whole *vector* of probe
+  keys is matched in a handful of C-level array operations
+  (:meth:`~ColumnarEdgeTable.probe_expand_subject` and friends).
+* :class:`EdgeTable` — the original tuple-row layout with per-key dict
+  buckets.  It is kept as the reference engine for the columnar
+  equivalence tests and as the fallback when numpy is unavailable or when
+  the store runs on raw entity strings.
 
 Rows hold **interned entity ids** (dense ints produced by the store's
 :class:`~repro.storage.vocabulary.Vocabulary`), so every probe, membership
-test and injectivity check hashes machine ints instead of entity strings.
-The table itself is agnostic to the id type: a store built with the
-:class:`~repro.storage.vocabulary.IdentityVocabulary` fills it with raw
-strings and everything still works (the reference engine used in tests).
+test and injectivity check compares machine ints instead of entity
+strings.  :class:`EdgeTable` is agnostic to the id type: a store built
+with the :class:`~repro.storage.vocabulary.IdentityVocabulary` fills it
+with raw strings and everything still works (the string reference engine
+used in tests).  :class:`ColumnarEdgeTable` requires int ids.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections.abc import Iterable, Iterator
 
 from repro.storage.vocabulary import EntityId
+
+try:  # numpy is optional: without it the store falls back to EdgeTable.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    np = None
 
 #: One ``(subj, obj)`` row of interned entity ids.
 Row = tuple[EntityId, EntityId]
@@ -119,3 +137,317 @@ class EdgeTable:
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(label={self._label!r}, rows={len(self._rows)})"
+
+
+class _SortedGroupIndex:
+    """CSR-style group index over one id column.
+
+    ``order`` is a stable permutation sorting the column; equal keys keep
+    their insertion order, so expanding a probe enumerates matches in the
+    same order as :class:`EdgeTable`'s dict buckets.  ``keys`` holds the
+    distinct sorted key values and ``bounds[i]:bounds[i+1]`` delimits the
+    rows of ``keys[i]`` inside ``order``.
+    """
+
+    __slots__ = ("keys", "bounds", "order")
+
+    def __init__(self, column: "np.ndarray") -> None:
+        self.order = np.argsort(column, kind="stable")
+        sorted_keys = column[self.order]
+        self.keys, starts = np.unique(sorted_keys, return_index=True)
+        self.bounds = np.append(starts, len(sorted_keys))
+
+    def __getstate__(self):
+        return (self.keys, self.bounds, self.order)
+
+    def __setstate__(self, state):
+        self.keys, self.bounds, self.order = state
+
+    def lookup(self, probe: "np.ndarray") -> tuple["np.ndarray", "np.ndarray"]:
+        """Per-probe-key ``(counts, starts)`` into :attr:`order`.
+
+        Keys absent from the column get count 0 (their start is unused).
+        The index is only built for non-empty columns, so ``keys`` always
+        has at least one entry.
+        """
+        position = np.searchsorted(self.keys, probe)
+        safe = np.minimum(position, len(self.keys) - 1)
+        found = self.keys[safe] == probe
+        starts = self.bounds[safe]
+        counts = np.where(found, self.bounds[safe + 1] - starts, 0)
+        return counts, starts
+
+
+class ColumnarEdgeTable:
+    """All edges of one label as two parallel id columns (struct-of-arrays).
+
+    Rows are appended to ``array('q')`` columns at build time (no per-row
+    dict buckets), and the probe indexes are materialized lazily with
+    numpy sorts on first use — so the offline build pays only two C-level
+    appends per edge and the index cost is amortized at C speed.  Any
+    mutation after an index was built invalidates the cached indexes.
+
+    Only interned **int** ids are supported; the string reference path
+    keeps using :class:`EdgeTable`.
+    """
+
+    __slots__ = (
+        "_label",
+        "_subjects",
+        "_objects",
+        "_row_set",
+        "_subject_np",
+        "_object_np",
+        "_subject_index",
+        "_object_index",
+        "_subject_buckets",
+        "_object_buckets",
+        "_pair_keys",
+        "_pair_stride",
+    )
+
+    def __init__(self, label: str, rows: Iterable[tuple[int, int]] = ()) -> None:
+        if np is None:  # pragma: no cover - numpy-less installs only
+            raise RuntimeError(
+                "ColumnarEdgeTable requires numpy; build the store with "
+                "columnar=False to use the tuple-row engine"
+            )
+        self._label = label
+        self._subjects = array("q")
+        self._objects = array("q")
+        self._row_set: set[tuple[int, int]] = set()
+        self._invalidate()
+        for subject, obj in rows:
+            self.add_row(subject, obj)
+
+    def _invalidate(self) -> None:
+        self._subject_np = None
+        self._object_np = None
+        self._subject_index = None
+        self._object_index = None
+        self._subject_buckets = None
+        self._object_buckets = None
+        self._pair_keys = None
+        self._pair_stride = 0
+
+    # Explicit (get/set)state: spelling the state out keeps the snapshot
+    # layout stable, and the dedup set — a pure function of the columns —
+    # is dropped from it (rebuilt lazily by :meth:`_dedup_set`), which is
+    # the single largest python-object cost of loading a table.
+    def __getstate__(self):
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["_row_set"] = None
+        state["_subject_buckets"] = None
+        state["_object_buckets"] = None
+        return state
+
+    def __setstate__(self, state):
+        for slot in self.__slots__:
+            object.__setattr__(self, slot, state[slot])
+
+    def _dedup_set(self) -> set[tuple[int, int]]:
+        if self._row_set is None:
+            self._row_set = set(zip(self._subjects, self._objects))
+        return self._row_set
+
+    @property
+    def label(self) -> str:
+        """The edge label this table stores."""
+        return self._label
+
+    def _has_derived_state(self) -> bool:
+        return (
+            self._subject_np is not None
+            or self._object_np is not None
+            or self._subject_index is not None
+            or self._object_index is not None
+            or self._subject_buckets is not None
+            or self._object_buckets is not None
+            or self._pair_keys is not None
+        )
+
+    def add_row(self, subject: int, obj: int) -> None:
+        """Append one ``(subj, obj)`` row (duplicates are ignored)."""
+        row = (subject, obj)
+        dedup = self._dedup_set()
+        if row in dedup:
+            return
+        dedup.add(row)
+        self._subjects.append(subject)
+        self._objects.append(obj)
+        # Every derived structure (numpy columns, sorted indexes, scalar
+        # buckets, the pair index) is a snapshot of the columns; drop them
+        # all as soon as any of them exists and the columns change.
+        if self._has_derived_state():
+            self._invalidate()
+
+    def __len__(self) -> int:
+        return len(self._subjects)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return zip(self._subjects, self._objects)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._dedup_set()
+
+    def rows(self) -> list[tuple[int, int]]:
+        """All rows as tuples, in insertion order (tests and diagnostics)."""
+        return list(zip(self._subjects, self._objects))
+
+    def has_row(self, subject: int, obj: int) -> bool:
+        """Whether the exact ``(subject, obj)`` row exists."""
+        return (subject, obj) in self._dedup_set()
+
+    def subjects(self) -> set[int]:
+        """Distinct values in the ``subj`` column."""
+        return set(self._subjects)
+
+    def objects(self) -> set[int]:
+        """Distinct values in the ``obj`` column."""
+        return set(self._objects)
+
+    # ------------------------------------------------------------------
+    # columnar access (the vectorized join engine's surface)
+    # ------------------------------------------------------------------
+    def subject_ids(self) -> "np.ndarray":
+        """The ``subj`` column as an int64 array (cached copy).
+
+        Must be a real copy (``np.array``), not ``np.asarray``: the
+        latter returns a buffer-exporting *view* of the ``array('q')``,
+        which both pins the column against future appends (BufferError)
+        and would silently alias mutations.
+        """
+        if self._subject_np is None:
+            self._subject_np = np.array(self._subjects, dtype=np.int64)
+        return self._subject_np
+
+    def object_ids(self) -> "np.ndarray":
+        """The ``obj`` column as an int64 array (cached copy)."""
+        if self._object_np is None:
+            self._object_np = np.array(self._objects, dtype=np.int64)
+        return self._object_np
+
+    def _subject_group_index(self) -> _SortedGroupIndex:
+        if self._subject_index is None:
+            self._subject_index = _SortedGroupIndex(self.subject_ids())
+        return self._subject_index
+
+    def _object_group_index(self) -> _SortedGroupIndex:
+        if self._object_index is None:
+            self._object_index = _SortedGroupIndex(self.object_ids())
+        return self._object_index
+
+    def build_indexes(self) -> None:
+        """Materialize every lazy index now (snapshot builds call this so a
+        loaded snapshot starts with warm probe indexes)."""
+        if len(self):
+            self._subject_group_index()
+            self._object_group_index()
+            self._ensure_pair_index()
+
+    def subject_buckets(self) -> dict[int, list[int]]:
+        """Scalar probe index: subject -> matched ``obj`` values, in row
+        insertion order (lazy; used by the join's small-relation tail,
+        where per-key dict lookups beat whole-array numpy calls)."""
+        if self._subject_buckets is None:
+            buckets: dict[int, list[int]] = {}
+            for subject, obj in zip(self._subjects, self._objects):
+                bucket = buckets.get(subject)
+                if bucket is None:
+                    buckets[subject] = [obj]
+                else:
+                    bucket.append(obj)
+            self._subject_buckets = buckets
+        return self._subject_buckets
+
+    def object_buckets(self) -> dict[int, list[int]]:
+        """Scalar probe index: object -> matched ``subj`` values, in row
+        insertion order (lazy)."""
+        if self._object_buckets is None:
+            buckets: dict[int, list[int]] = {}
+            for subject, obj in zip(self._subjects, self._objects):
+                bucket = buckets.get(obj)
+                if bucket is None:
+                    buckets[obj] = [subject]
+                else:
+                    bucket.append(subject)
+            self._object_buckets = buckets
+        return self._object_buckets
+
+    def probe_counts_subject(self, keys: "np.ndarray") -> "np.ndarray":
+        """Number of rows matching each probe key on the ``subj`` column."""
+        if not len(self):
+            return np.zeros(len(keys), dtype=np.int64)
+        return self._subject_group_index().lookup(keys)[0]
+
+    def probe_counts_object(self, keys: "np.ndarray") -> "np.ndarray":
+        """Number of rows matching each probe key on the ``obj`` column."""
+        if not len(self):
+            return np.zeros(len(keys), dtype=np.int64)
+        return self._object_group_index().lookup(keys)[0]
+
+    def _expand(
+        self, index: _SortedGroupIndex, keys: "np.ndarray", values: "np.ndarray"
+    ) -> tuple["np.ndarray", "np.ndarray"]:
+        counts, starts = index.lookup(keys)
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        probe_idx = np.repeat(np.arange(len(keys), dtype=np.int64), counts)
+        offsets = np.cumsum(counts)
+        # Position of each expanded slot within its probe key's group.
+        local = np.arange(total, dtype=np.int64) - np.repeat(offsets - counts, counts)
+        source_rows = index.order[np.repeat(starts, counts) + local]
+        return probe_idx, values[source_rows]
+
+    def probe_expand_subject(
+        self, keys: "np.ndarray"
+    ) -> tuple["np.ndarray", "np.ndarray"]:
+        """Vectorized subject probe for a whole column of keys.
+
+        Returns ``(probe_idx, objects)``: for every match, the position of
+        the probe key that produced it and the matched row's ``obj`` value.
+        Matches of one key appear in row insertion order, exactly like the
+        dict buckets of :class:`EdgeTable`.
+        """
+        if not len(self):
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return self._expand(self._subject_group_index(), keys, self.object_ids())
+
+    def probe_expand_object(
+        self, keys: "np.ndarray"
+    ) -> tuple["np.ndarray", "np.ndarray"]:
+        """Vectorized object probe: ``(probe_idx, subjects)`` per match."""
+        if not len(self):
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return self._expand(self._object_group_index(), keys, self.subject_ids())
+
+    def _ensure_pair_index(self) -> None:
+        if self._pair_keys is None:
+            # Encode (subj, obj) as subj * stride + obj.  Ids are dense
+            # vocabulary indexes, so stride fits comfortably in int64
+            # (overflow would need ~3e9 distinct entities).
+            self._pair_stride = int(self.object_ids().max()) + 1 if len(self) else 1
+            self._pair_keys = np.sort(
+                self.subject_ids() * self._pair_stride + self.object_ids()
+            )
+
+    def contains_pairs(
+        self, subjects: "np.ndarray", objects: "np.ndarray"
+    ) -> "np.ndarray":
+        """Vectorized row membership: a bool per ``(subjects[i], objects[i])``."""
+        if not len(self):
+            return np.zeros(len(subjects), dtype=bool)
+        self._ensure_pair_index()
+        keys = subjects * self._pair_stride + objects
+        # Objects outside the stride cannot encode an existing pair.
+        in_range = (objects >= 0) & (objects < self._pair_stride)
+        position = np.searchsorted(self._pair_keys, keys)
+        safe = np.minimum(position, len(self._pair_keys) - 1)
+        return in_range & (self._pair_keys[safe] == keys)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(label={self._label!r}, rows={len(self)})"

@@ -1,0 +1,102 @@
+"""Tests for the CI benchmark-regression gate (``benchmarks/check_regression.py``).
+
+The gate compares pytest-benchmark medians against the committed
+``benchmarks/baseline.json`` and fails CI on >tolerance regressions; these
+tests pin its comparison logic, exit codes and baseline-refresh mode, and
+sanity-check the committed baseline file itself.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "benchmarks" / "check_regression.py"
+
+
+def _results_json(medians: dict[str, float]) -> dict:
+    return {
+        "benchmarks": [
+            {"name": name, "stats": {"median": median}}
+            for name, median in medians.items()
+        ]
+    }
+
+
+def _run_gate(tmp_path, results: dict[str, float], baseline: dict[str, float], *args):
+    results_path = tmp_path / "results.json"
+    results_path.write_text(json.dumps(_results_json(results)))
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps({"meta": {}, "medians": baseline}))
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), str(results_path), str(baseline_path), *args],
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestGate:
+    def test_passes_within_tolerance(self, tmp_path):
+        run = _run_gate(
+            tmp_path, {"bench_a": 0.0014, "bench_b": 0.002}, {"bench_a": 0.001, "bench_b": 0.002}
+        )
+        assert run.returncode == 0, run.stderr
+        assert "all 2 benchmarks within tolerance" in run.stdout
+
+    def test_fails_on_regression_beyond_tolerance(self, tmp_path):
+        run = _run_gate(
+            tmp_path, {"bench_a": 0.0016, "bench_b": 0.002}, {"bench_a": 0.001, "bench_b": 0.002}
+        )
+        assert run.returncode == 1
+        assert "REGRESSION" in run.stdout
+        assert "bench_a" in run.stderr
+
+    def test_tolerance_flag_is_honored(self, tmp_path):
+        run = _run_gate(
+            tmp_path, {"bench_a": 0.0019}, {"bench_a": 0.001}, "--tolerance", "2.0"
+        )
+        assert run.returncode == 0, run.stderr
+
+    def test_new_and_missing_benchmarks_do_not_fail(self, tmp_path):
+        run = _run_gate(
+            tmp_path, {"bench_new": 0.001}, {"bench_gone": 0.001}
+        )
+        assert run.returncode == 0, run.stderr
+        assert "NEW" in run.stdout
+        assert "MISSING" in run.stdout
+
+    def test_update_rewrites_baseline(self, tmp_path):
+        results_path = tmp_path / "results.json"
+        results_path.write_text(json.dumps(_results_json({"bench_a": 0.005})))
+        baseline_path = tmp_path / "baseline.json"
+        run = subprocess.run(
+            [
+                sys.executable,
+                str(SCRIPT),
+                str(results_path),
+                str(baseline_path),
+                "--update",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert run.returncode == 0, run.stderr
+        written = json.loads(baseline_path.read_text())
+        assert written["medians"] == {"bench_a": 0.005}
+
+
+class TestCommittedBaseline:
+    def test_baseline_exists_and_covers_core_benchmarks(self):
+        baseline = json.loads((REPO_ROOT / "benchmarks" / "baseline.json").read_text())
+        medians = baseline["medians"]
+        assert all(isinstance(v, float) and v > 0 for v in medians.values())
+        for required in (
+            "test_bench_end_to_end_query",
+            "test_bench_offline_precomputation",
+            "test_bench_snapshot_warm_start",
+            "test_bench_cold_start_from_triples",
+        ):
+            assert required in medians

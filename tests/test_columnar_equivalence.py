@@ -1,0 +1,230 @@
+"""Equivalence of the columnar numpy engine and the tuple-row engine.
+
+The columnar layout (``ColumnarEdgeTable``/``ColumnarRelation`` plus the
+vectorized join paths) must be a pure performance change: a store built
+with ``columnar=False`` runs the original tuple-row join code over the
+same interned ids, so every query must return byte-identical ranked
+answers — and do identical work — on both paths.  Together with
+``test_interning_equivalence.py`` (interned vs. string ids) this pins the
+whole engine triangle: columnar-int ≡ rows-int ≡ rows-string.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.storage.join as join_module
+from repro.core.config import GQBEConfig
+from repro.core.gqbe import GQBE
+from repro.datasets.synthetic import FreebaseLikeGenerator
+from repro.exceptions import LatticeError
+from repro.graph.knowledge_graph import Edge, KnowledgeGraph
+from repro.storage.join import (
+    ColumnarRelation,
+    evaluate_query_edges,
+    extend_with_edge,
+)
+from repro.storage.store import VerticalPartitionStore
+
+
+@pytest.fixture(params=["adaptive", "vectorized", "scalar"])
+def tail_mode(request, monkeypatch):
+    """Run equivalence checks under every engine dispatch regime.
+
+    ``adaptive`` is the shipped behavior (scalar tail below the size
+    threshold); ``vectorized`` forces every columnar operation through
+    the numpy kernels; ``scalar`` forces every operation through the
+    python tails.  All three must agree with the tuple-row engine.
+    """
+    if request.param == "vectorized":
+        monkeypatch.setattr(join_module, "_SCALAR_TAIL_ROWS", -1)
+    elif request.param == "scalar":
+        monkeypatch.setattr(join_module, "_SCALAR_TAIL_ROWS", 1 << 60)
+    return request.param
+
+
+def _engine_pair(graph) -> tuple[GQBE, GQBE]:
+    columnar_config = GQBEConfig(mqg_size=8, k_prime=25, max_join_rows=100_000)
+    rows_config = GQBEConfig(
+        mqg_size=8, k_prime=25, max_join_rows=100_000, columnar=False
+    )
+    return GQBE(graph, config=columnar_config), GQBE(graph, config=rows_config)
+
+
+def _store_pair(graph) -> tuple[VerticalPartitionStore, VerticalPartitionStore]:
+    return (
+        VerticalPartitionStore(graph),
+        VerticalPartitionStore(graph, columnar=False),
+    )
+
+
+def _assert_identical_results(columnar_result, rows_result):
+    assert [a.entities for a in columnar_result.answers] == [
+        a.entities for a in rows_result.answers
+    ]
+    for left, right in zip(columnar_result.answers, rows_result.answers):
+        assert left.rank == right.rank
+        assert left.score == right.score
+        assert left.structure_score == right.structure_score
+        assert left.content_score == right.content_score
+
+
+class TestColumnarJoinEquivalence:
+    """Join-level parity: same rows, same order, same overflow behavior."""
+
+    def _assert_same_relation(self, columnar, rows):
+        assert isinstance(columnar, ColumnarRelation)
+        assert columnar.variables == rows.variables
+        assert columnar.to_rows() == rows.to_rows()
+
+    def test_single_edge_and_projection(self, figure1_graph, tail_mode):
+        columnar_store, rows_store = _store_pair(figure1_graph)
+        edges = [Edge("q_person", "founded", "q_company")]
+        self._assert_same_relation(
+            evaluate_query_edges(columnar_store, edges),
+            evaluate_query_edges(rows_store, edges),
+        )
+
+    def test_multi_edge_query_with_cycle(self, figure1_graph, tail_mode):
+        columnar_store, rows_store = _store_pair(figure1_graph)
+        edges = [
+            Edge("person", "founded", "company"),
+            Edge("person", "places_lived", "city"),
+            Edge("company", "headquartered_in", "hq"),
+            Edge("city", "in_state", "state"),
+            Edge("hq", "in_state", "state"),
+        ]
+        self._assert_same_relation(
+            evaluate_query_edges(columnar_store, edges),
+            evaluate_query_edges(rows_store, edges),
+        )
+
+    def test_extension_from_child_relation(self, figure1_graph, tail_mode):
+        columnar_store, rows_store = _store_pair(figure1_graph)
+        base_edge = [Edge("person", "founded", "company")]
+        extension = Edge("company", "headquartered_in", "city")
+        self._assert_same_relation(
+            extend_with_edge(
+                columnar_store,
+                evaluate_query_edges(columnar_store, base_edge),
+                extension,
+            ),
+            extend_with_edge(
+                rows_store, evaluate_query_edges(rows_store, base_edge), extension
+            ),
+        )
+
+    def test_object_side_probe(self, figure1_graph, tail_mode):
+        columnar_store, rows_store = _store_pair(figure1_graph)
+        base_edge = [Edge("company", "headquartered_in", "city")]
+        extension = Edge("person", "founded", "company")  # binds the object
+        self._assert_same_relation(
+            extend_with_edge(
+                columnar_store,
+                evaluate_query_edges(columnar_store, base_edge),
+                extension,
+            ),
+            extend_with_edge(
+                rows_store, evaluate_query_edges(rows_store, base_edge), extension
+            ),
+        )
+
+    @pytest.mark.parametrize("injective", [True, False])
+    def test_self_loops_and_injectivity(self, injective, tail_mode):
+        graph = KnowledgeGraph(
+            [("a", "likes", "a"), ("a", "likes", "b"), ("b", "likes", "a")]
+        )
+        columnar_store, rows_store = _store_pair(graph)
+        for edges in ([Edge("x", "likes", "y")], [Edge("x", "likes", "x")]):
+            self._assert_same_relation(
+                evaluate_query_edges(columnar_store, edges, injective=injective),
+                evaluate_query_edges(rows_store, edges, injective=injective),
+            )
+
+    def test_unknown_label_yields_empty_with_schema(self, figure1_graph):
+        columnar_store, rows_store = _store_pair(figure1_graph)
+        edges = [
+            Edge("person", "founded", "company"),
+            Edge("person", "never_seen_label", "thing"),
+        ]
+        columnar = evaluate_query_edges(columnar_store, edges)
+        rows = evaluate_query_edges(rows_store, edges)
+        assert columnar.is_empty() and rows.is_empty()
+        assert set(columnar.variables) == set(rows.variables)
+
+    @pytest.mark.parametrize("max_rows", [1, 2, 4, 1000])
+    def test_max_rows_raises_in_lockstep(self, figure1_graph, max_rows, tail_mode):
+        columnar_store, rows_store = _store_pair(figure1_graph)
+        edges = [
+            Edge("person", "nationality", "country"),
+            Edge("person", "founded", "company"),
+        ]
+        outcomes = []
+        for store in (columnar_store, rows_store):
+            try:
+                relation = evaluate_query_edges(store, edges, max_rows=max_rows)
+                outcomes.append(sorted(relation.to_rows()))
+            except LatticeError:
+                outcomes.append("overflow")
+        assert outcomes[0] == outcomes[1]
+
+    def test_disconnected_extension_rejected(self, figure1_graph):
+        columnar_store, _ = _store_pair(figure1_graph)
+        base = evaluate_query_edges(
+            columnar_store, [Edge("person", "founded", "company")]
+        )
+        with pytest.raises(LatticeError):
+            extend_with_edge(columnar_store, base, Edge("city", "in_state", "state"))
+
+
+class TestColumnarEngineMatchesRowsEngine:
+    @pytest.mark.parametrize("seed", [1, 5, 9, 13, 42])
+    def test_random_synthetic_graphs(self, seed, tail_mode):
+        """Property: on random synthetic graphs, both engines agree exactly
+        on the ranked answers *and* on the work done to produce them."""
+        dataset = FreebaseLikeGenerator(seed=seed, scale=0.2).generate()
+        columnar, rows = _engine_pair(dataset.graph)
+        assert columnar.store.is_columnar
+        assert not rows.store.is_columnar
+        for table_name in dataset.table_names()[:3]:
+            query_tuple = tuple(dataset.table(table_name)[0])
+            columnar_result = columnar.query(query_tuple, k=10)
+            rows_result = rows.query(query_tuple, k=10)
+            _assert_identical_results(columnar_result, rows_result)
+            assert (
+                columnar_result.statistics.nodes_evaluated
+                == rows_result.statistics.nodes_evaluated
+            )
+            assert (
+                columnar_result.statistics.null_nodes
+                == rows_result.statistics.null_nodes
+            )
+            assert (
+                columnar_result.statistics.nodes_skipped
+                == rows_result.statistics.nodes_skipped
+            )
+
+    def test_multi_tuple_queries_agree(self):
+        dataset = FreebaseLikeGenerator(seed=3, scale=0.2).generate()
+        columnar, rows = _engine_pair(dataset.graph)
+        table = dataset.table(dataset.table_names()[0])
+        tuples = [tuple(table[0]), tuple(table[1])]
+        _assert_identical_results(
+            columnar.query_multi(tuples, k=10), rows.query_multi(tuples, k=10)
+        )
+
+    def test_tight_join_caps_agree(self):
+        """max_rows small enough to skip nodes: the skip bookkeeping must
+        stay in lockstep too."""
+        dataset = FreebaseLikeGenerator(seed=11, scale=0.2).generate()
+        config = {"mqg_size": 8, "k_prime": 20, "max_join_rows": 40}
+        columnar = GQBE(dataset.graph, config=GQBEConfig(**config))
+        rows = GQBE(dataset.graph, config=GQBEConfig(columnar=False, **config))
+        query_tuple = tuple(dataset.table(dataset.table_names()[0])[0])
+        columnar_result = columnar.query(query_tuple, k=10)
+        rows_result = rows.query(query_tuple, k=10)
+        _assert_identical_results(columnar_result, rows_result)
+        assert (
+            columnar_result.statistics.nodes_skipped
+            == rows_result.statistics.nodes_skipped
+        )

@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.discovery.merge import merge_maximal_query_graphs, virtual_entity
-from repro.discovery.mqg import discover_maximal_query_graph, select_mqg_edges
+from repro.discovery.mqg import (
+    _component_containing,
+    _trim_component,
+    discover_maximal_query_graph,
+    select_mqg_edges,
+)
 from repro.discovery.reduction import reduce_neighborhood_graph
 from repro.discovery.weights import discovery_edge_weights, edge_depths, mqg_edge_weights
 from repro.exceptions import DisconnectedQueryError, DiscoveryError
@@ -121,6 +126,77 @@ class TestMQGDiscovery:
         mqg = discover_maximal_query_graph(figure1_neighborhood, figure1_stats, r=10)
         assert mqg.total_weight() == pytest.approx(sum(mqg.edge_weights.values()))
         assert mqg.incident_count("Jerry Yang") >= 1
+
+
+def _trim_component_reference(component, required, weights, target):
+    """The original quadratic greedy — kept as the executable spec for
+    :func:`_trim_component`'s union-find reimplementation."""
+    if len(component) <= target:
+        return component
+    current = set(component)
+    removable = sorted(current, key=lambda e: (weights.get(e, 0.0), e))
+    for edge in removable:
+        if len(current) <= target:
+            break
+        if edge not in current:
+            continue
+        candidate = current - {edge}
+        trimmed, exists = _component_containing(sorted(candidate), required)
+        if exists:
+            current = trimmed
+    return current
+
+
+class TestTrimComponent:
+    @staticmethod
+    def _random_case(seed: int):
+        """A random connected multigraph, required nodes and tie-heavy weights."""
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(4, 18)
+        nodes = [f"v{i}" for i in range(n)]
+        edges = set()
+        # Random spanning tree keeps everything connected, then extra
+        # edges create the cycles/fragments trimming feeds on.
+        for i in range(1, n):
+            edges.add(Edge(nodes[rng.randrange(i)], f"r{rng.randrange(3)}", nodes[i]))
+        for _ in range(rng.randint(0, 2 * n)):
+            a, b = rng.choice(nodes), rng.choice(nodes)
+            edges.add(Edge(a, f"r{rng.randrange(3)}", b))
+        # Coarse weights force plenty of sort ties.
+        weights = {edge: rng.randrange(5) / 2.0 for edge in edges}
+        required = set(rng.sample(nodes, rng.randint(1, min(3, n))))
+        component, exists = _component_containing(sorted(edges), required)
+        assert exists
+        target = rng.randint(1, max(1, len(component)))
+        return component, required, weights, target
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_matches_quadratic_reference(self, seed):
+        component, required, weights, target = self._random_case(seed)
+        fast = _trim_component(set(component), required, weights, target)
+        reference = _trim_component_reference(set(component), required, weights, target)
+        assert fast == reference
+
+    def test_untrimmed_when_small_enough(self):
+        edges = {Edge("a", "r", "b"), Edge("b", "r", "c")}
+        assert _trim_component(set(edges), {"a"}, {}, 5) == edges
+
+    def test_keeps_required_bridge(self):
+        # a-b is the only connection between the required nodes and has the
+        # lowest weight: trimming must keep it no matter the target.
+        bridge = Edge("a", "bridge", "b")
+        edges = {
+            bridge,
+            Edge("b", "r", "c"),
+            Edge("c", "r", "d"),
+            Edge("d", "r", "b"),
+        }
+        weights = {edge: 1.0 for edge in edges}
+        weights[bridge] = 0.0
+        trimmed = _trim_component(set(edges), {"a", "b"}, weights, 1)
+        assert bridge in trimmed
 
 
 class TestMerging:

@@ -1,0 +1,189 @@
+"""Tests for the on-disk index snapshot subsystem (``storage/snapshot.py``).
+
+Covers the property the warm-start path must guarantee — a loaded
+snapshot answers queries byte-identically to the cold build it was saved
+from, on random synthetic graphs — plus the failure modes of the
+versioned envelope: wrong magic, unsupported version, truncation and
+bit-level corruption, all surfaced as ``SnapshotError`` before any pickle
+bytes are trusted.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import GQBEConfig
+from repro.core.gqbe import GQBE
+from repro.datasets.synthetic import FreebaseLikeGenerator
+from repro.exceptions import SnapshotError
+from repro.graph.triples import write_triples
+from repro.storage.snapshot import (
+    FORMAT_VERSION,
+    MAGIC,
+    GraphStore,
+    read_snapshot_meta,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return FreebaseLikeGenerator(seed=5, scale=0.2).generate()
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(dataset, tmp_path_factory):
+    path = tmp_path_factory.mktemp("snap") / "freebase.snap"
+    GraphStore.build(dataset.graph).save(path)
+    return path
+
+
+def _assert_identical_results(left, right):
+    assert [a.entities for a in left.answers] == [a.entities for a in right.answers]
+    for first, second in zip(left.answers, right.answers):
+        assert first.score == second.score
+        assert first.structure_score == second.structure_score
+        assert first.content_score == second.content_score
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", [2, 7, 21])
+    def test_ranked_answers_survive_round_trip(self, seed, tmp_path):
+        """Property: load(save(store)) answers byte-identically to the
+        cold build, on random synthetic graphs."""
+        graph = FreebaseLikeGenerator(seed=seed, scale=0.2).generate()
+        config = GQBEConfig(mqg_size=8, k_prime=25, max_join_rows=100_000)
+        cold = GQBE(graph.graph, config=config)
+
+        path = tmp_path / "store.snap"
+        GraphStore(cold.graph, cold.statistics, cold.store).save(path)
+        warm = GQBE(config=config, graph_store=GraphStore.load(path))
+
+        for table_name in graph.table_names()[:2]:
+            query_tuple = tuple(graph.table(table_name)[0])
+            _assert_identical_results(
+                cold.query(query_tuple, k=10), warm.query(query_tuple, k=10)
+            )
+
+    def test_round_trip_preserves_shape_and_flags(self, dataset, snapshot_path):
+        loaded = GraphStore.load(snapshot_path)
+        assert loaded.graph.num_edges == dataset.graph.num_edges
+        assert loaded.graph.num_nodes == dataset.graph.num_nodes
+        assert loaded.store.num_rows == dataset.graph.num_edges
+        assert loaded.columnar and loaded.intern_entities
+        assert loaded.statistics.total_edges == dataset.graph.num_edges
+
+    def test_rows_engine_round_trip(self, dataset, tmp_path):
+        path = tmp_path / "rows.snap"
+        GraphStore.build(dataset.graph, columnar=False).save(path)
+        loaded = GraphStore.load(path)
+        assert not loaded.columnar
+        system = GQBE.from_snapshot(path)
+        assert not system.store.is_columnar
+
+    def test_meta_readable_without_adopting_store(self, snapshot_path, dataset):
+        meta = read_snapshot_meta(snapshot_path)
+        assert meta["columnar"] is True
+        assert meta["intern_entities"] is True
+        assert meta["num_edges"] == dataset.graph.num_edges
+
+    def test_from_snapshot_rejects_mismatched_config(self, snapshot_path):
+        with pytest.raises(SnapshotError):
+            GQBE.from_snapshot(snapshot_path, config=GQBEConfig(columnar=False))
+        with pytest.raises(SnapshotError):
+            GQBE.from_snapshot(
+                snapshot_path, config=GQBEConfig(intern_entities=False)
+            )
+
+
+class TestEnvelopeFailureModes:
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "bogus.snap"
+        path.write_bytes(b"NOTASNAP" + b"\x00" * 64)
+        with pytest.raises(SnapshotError, match="bad magic"):
+            GraphStore.load(path)
+
+    def test_too_short_to_hold_a_header(self, tmp_path):
+        path = tmp_path / "tiny.snap"
+        path.write_bytes(MAGIC)
+        with pytest.raises(SnapshotError, match="bad magic"):
+            GraphStore.load(path)
+
+    def test_version_mismatch(self, snapshot_path, tmp_path):
+        data = bytearray(snapshot_path.read_bytes())
+        data[8:12] = struct.pack("<I", FORMAT_VERSION + 1)
+        path = tmp_path / "future.snap"
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="format version"):
+            GraphStore.load(path)
+
+    def test_truncated_payload(self, snapshot_path, tmp_path):
+        data = snapshot_path.read_bytes()
+        path = tmp_path / "truncated.snap"
+        path.write_bytes(data[: len(data) - 100])
+        with pytest.raises(SnapshotError, match="truncated"):
+            GraphStore.load(path)
+
+    def test_flipped_payload_byte_fails_checksum(self, snapshot_path, tmp_path):
+        data = bytearray(snapshot_path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path = tmp_path / "corrupt.snap"
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="corrupt"):
+            GraphStore.load(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            GraphStore.load(tmp_path / "does_not_exist.snap")
+
+    def test_meta_reader_wraps_read_errors(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            read_snapshot_meta(tmp_path / "does_not_exist.snap")
+
+
+class TestCLIWorkflow:
+    def test_build_index_then_query(self, tmp_path, capsys, figure1_graph):
+        triples = tmp_path / "fig1.tsv"
+        write_triples(sorted(figure1_graph.edges), triples)
+        snapshot = tmp_path / "fig1.snap"
+
+        assert main(["build-index", str(triples), str(snapshot)]) == 0
+        assert "indexed" in capsys.readouterr().out
+        assert snapshot.exists()
+
+        code = main(
+            [
+                "query",
+                "--snapshot",
+                str(snapshot),
+                "--tuple",
+                "Jerry Yang,Yahoo!",
+                "--k",
+                "3",
+                "--mqg-size",
+                "8",
+            ]
+        )
+        assert code == 0
+        assert "Top-3 answers" in capsys.readouterr().out
+
+    def test_query_rejects_graph_plus_snapshot(self, tmp_path, capsys):
+        code = main(
+            [
+                "query",
+                "some.tsv",
+                "--snapshot",
+                "some.snap",
+                "--tuple",
+                "a,b",
+            ]
+        )
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_query_requires_a_source(self, capsys):
+        code = main(["query", "--tuple", "a,b"])
+        assert code == 2
+        assert "graph file or --snapshot" in capsys.readouterr().err

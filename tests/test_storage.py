@@ -68,6 +68,44 @@ class TestEdgeTable:
         assert list(table) == [(0, 1)]
 
 
+class TestColumnarEdgeTable:
+    def test_mutation_invalidates_scalar_buckets(self):
+        """Regression: buckets built before numpy columns existed went
+        stale because add_row only checked the numpy cache."""
+        from repro.storage.table import ColumnarEdgeTable
+
+        table = ColumnarEdgeTable("r", [(1, 2)])
+        assert table.subject_buckets() == {1: [2]}
+        assert table.object_buckets() == {2: [1]}
+        table.add_row(1, 3)
+        assert table.subject_buckets() == {1: [2, 3]}
+        assert table.object_buckets() == {2: [1], 3: [1]}
+
+    def test_mutation_invalidates_vector_indexes(self):
+        from repro.storage.table import ColumnarEdgeTable
+        import numpy as np
+
+        table = ColumnarEdgeTable("r", [(1, 2), (1, 4), (5, 2)])
+        table.build_indexes()
+        assert table.contains_pairs(np.array([1]), np.array([4])).all()
+        table.add_row(7, 8)
+        assert list(table.subject_ids()) == [1, 1, 5, 7]
+        assert table.contains_pairs(np.array([7]), np.array([8])).all()
+        probe_idx, objects = table.probe_expand_subject(np.array([7, 1]))
+        assert probe_idx.tolist() == [0, 1, 1]
+        assert objects.tolist() == [8, 2, 4]
+
+    def test_duplicates_ignored_and_iteration(self):
+        from repro.storage.table import ColumnarEdgeTable
+
+        table = ColumnarEdgeTable("r", [(0, 1), (0, 1), (2, 3)])
+        assert len(table) == 2
+        assert list(table) == [(0, 1), (2, 3)]
+        assert table.has_row(0, 1) and not table.has_row(1, 0)
+        assert table.subjects() == {0, 2}
+        assert table.objects() == {1, 3}
+
+
 class TestStore:
     def test_one_table_per_label(self, figure1_graph):
         store = VerticalPartitionStore(figure1_graph)
@@ -112,7 +150,7 @@ class TestStore:
         """Regression: an *empty* stored table is falsy, and the old
         ``get(label) or EdgeTable(label)`` replaced it with a throwaway."""
         graph = KnowledgeGraph([("a", "r", "b")])
-        store = VerticalPartitionStore(graph)
+        store = VerticalPartitionStore(graph, columnar=False)
         table = store.table("r")
         # Force the stored table empty (simulates a label whose rows were
         # all removed, e.g. by a future delete path).
@@ -124,6 +162,14 @@ class TestStore:
         # Unknown labels still yield a fresh empty table, not an error.
         assert store.table_or_empty("missing") is not table
         assert len(store.table_or_empty("missing")) == 0
+
+    def test_columnar_flag_and_fallbacks(self, figure1_graph):
+        assert VerticalPartitionStore(figure1_graph).is_columnar
+        assert not VerticalPartitionStore(figure1_graph, columnar=False).is_columnar
+        # The string reference path never goes columnar.
+        assert not VerticalPartitionStore(
+            figure1_graph, vocabulary=IdentityVocabulary()
+        ).is_columnar
 
 
 class TestJoinPlanning:
