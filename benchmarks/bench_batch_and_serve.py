@@ -1,0 +1,101 @@
+"""Batched multi-query execution vs sequential queries (Fig. 14 workload).
+
+Two workload shapes, both answering with byte-identical ranked results
+(pinned by ``tests/test_batch_equivalence.py``):
+
+* the **20 unique queries** of the Fig. 14 workload — here the batch
+  arena can only share what the queries' MQGs actually overlap on
+  (~5-10% of lattice evaluations on the synthetic graphs, since the 20
+  ground-truth regions are nearly disjoint), so batch ≈ sequential;
+* the **serving window**: the same workload arriving from several
+  concurrent users (duplicates in one batching window) — duplicate
+  collapse makes ``query_batch`` several times faster than the
+  sequential loop, which is the case the serve layer's batcher exists
+  for.
+
+A third benchmark times one steady-state serve-layer load pass over HTTP
+(threaded server + batcher + answer cache) to keep the full frontend
+under the regression gate.  The absolute serve-throughput artifact for CI
+comes from ``gqbe bench-serve`` (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GQBEConfig
+from repro.core.gqbe import GQBE
+
+#: Concurrent users replaying the Fig. 14 workload inside one window.
+WINDOW_USERS = 3
+
+
+@pytest.fixture(scope="module")
+def batch_system(harness):
+    """A dedicated system + the Fig. 14 query tuples (harness scale)."""
+    workload = harness.freebase_workload()
+    config = GQBEConfig(
+        mqg_size=10, k_prime=25, node_budget=1000, max_join_rows=100_000
+    )
+    system = GQBE(workload.dataset.graph, config=config)
+    tuples = [query.query_tuple for query in workload.queries]
+    # Warm the table-level lazy indexes so both variants measure
+    # steady-state query work, not first-touch index builds.
+    for query_tuple in tuples:
+        system.query(query_tuple, k=10)
+    return system, tuples
+
+
+def test_bench_fig14_sequential_queries(batch_system, benchmark):
+    system, tuples = batch_system
+    results = benchmark(lambda: [system.query(t, k=10) for t in tuples])
+    assert len(results) == 20 and all(r.answers for r in results)
+
+
+def test_bench_fig14_query_batch(batch_system, benchmark):
+    system, tuples = batch_system
+    results = benchmark(system.query_batch, tuples, 10)
+    assert len(results) == 20 and all(r.answers for r in results)
+
+
+def test_bench_fig14_serving_window_sequential(batch_system, benchmark):
+    system, tuples = batch_system
+    window = tuples * WINDOW_USERS
+    results = benchmark(lambda: [system.query(t, k=10) for t in window])
+    assert len(results) == 20 * WINDOW_USERS
+
+
+def test_bench_fig14_serving_window_query_batch(batch_system, benchmark):
+    system, tuples = batch_system
+    window = tuples * WINDOW_USERS
+    results = benchmark(system.query_batch, window, 10)
+    assert len(results) == 20 * WINDOW_USERS
+    # The window's duplicates collapse to 20 evaluations; answers fan out.
+    assert all(results[i].answers for i in range(len(window)))
+
+
+def test_bench_serve_layer_load_pass(batch_system, benchmark):
+    """One steady-state HTTP load pass through batcher + answer cache."""
+    from repro.serving.loadgen import run_load
+    from repro.serving.server import GQBEServer
+
+    system, tuples = batch_system
+    server = GQBEServer(
+        system, port=0, batch_window_seconds=0.001, cache_size=256
+    ).start()
+    try:
+        # Warm pass fills the answer cache; the measured pass is the
+        # cache-hot serving hot path.
+        run_load(server.host, server.port, tuples, k=10, requests=20, concurrency=4)
+        report = benchmark(
+            run_load,
+            server.host,
+            server.port,
+            tuples,
+            10,
+            40,
+            4,
+        )
+        assert report["errors"] == 0 and report["completed"] == 40
+    finally:
+        server.stop()

@@ -1,13 +1,27 @@
-"""Command-line interface: ``gqbe`` — query, generate and benchmark.
+"""Command-line interface: ``gqbe`` — query, serve, generate and benchmark.
 
 Subcommands
 -----------
 ``gqbe query``
     Load a triple file (or a prebuilt index snapshot via ``--snapshot``),
-    run a query tuple and print the ranked answers.
+    run a query tuple and print the ranked answers::
+
+        gqbe query --snapshot data.snap --tuple "Jerry Yang,Yahoo!"
 ``gqbe build-index``
     Run the offline build for a triple file and save it as an index
-    snapshot for instant warm starts.
+    snapshot for instant warm starts::
+
+        gqbe build-index data.tsv data.snap
+``gqbe serve``
+    Start the long-lived HTTP serving frontend over one warm snapshot
+    (request batching + LRU answer cache; see :mod:`repro.serving`)::
+
+        gqbe serve --snapshot data.snap --port 8080
+``gqbe bench-serve``
+    Load-test a serving frontend (embedded, over a snapshot or a built-in
+    synthetic workload) and report throughput/latency::
+
+        gqbe bench-serve --workload freebase --requests 200 --json out.json
 ``gqbe generate``
     Generate a synthetic Freebase-like or DBpedia-like dataset to a TSV file.
 ``gqbe experiment``
@@ -18,6 +32,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from collections.abc import Sequence
@@ -110,6 +125,136 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_system(args: argparse.Namespace) -> tuple[GQBE, str | None] | int:
+    """Build a system from ``--snapshot`` or a triple file (shared by
+    ``serve`` and ``bench-serve``); returns an exit code on usage errors."""
+    if args.snapshot is not None and args.graph is not None:
+        print("pass either a graph file or --snapshot, not both", file=sys.stderr)
+        return 2
+    if args.snapshot is not None:
+        return GQBE.from_snapshot(args.snapshot), args.snapshot
+    if args.graph is not None:
+        return GQBE(load_graph(args.graph)), None
+    print("pass a graph file or --snapshot", file=sys.stderr)
+    return 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving.server import GQBEServer
+
+    loaded = _load_system(args)
+    if isinstance(loaded, int):
+        return loaded
+    system, snapshot_path = loaded
+    server = GQBEServer(
+        system,
+        snapshot_path=snapshot_path,
+        host=args.host,
+        port=args.port,
+        batch_window_seconds=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+        cache_size=args.cache_size,
+    )
+    meta = system.graph_store.meta()
+    print(
+        f"serving {meta.get('num_edges')} edges ({meta.get('num_nodes')} nodes) "
+        f"on http://{server.host}:{server.port}  "
+        f"[batch window {args.batch_window_ms:g}ms, max batch {args.max_batch}, "
+        f"cache {args.cache_size}]"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        server.stop()
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.serving.loadgen import bench_serve
+    from repro.serving.server import GQBEServer
+
+    if args.workload is not None:
+        if args.snapshot is not None or args.graph is not None:
+            print(
+                "pass either --workload or a graph/--snapshot, not both",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.datasets.workloads import (
+            build_dbpedia_workload,
+            build_freebase_workload,
+        )
+
+        build = (
+            build_freebase_workload
+            if args.workload == "freebase"
+            else build_dbpedia_workload
+        )
+        workload = build(scale=args.scale)
+        system = GQBE(workload.dataset.graph)
+        snapshot_path = None
+        tuples = [list(query.query_tuple) for query in workload.queries]
+    else:
+        loaded = _load_system(args)
+        if isinstance(loaded, int):
+            return loaded
+        system, snapshot_path = loaded
+        if not args.tuple:
+            print(
+                "bench-serve needs --tuple (repeatable) unless --workload is used",
+                file=sys.stderr,
+            )
+            return 2
+        tuples = [t.split(",") for t in args.tuple]
+
+    server = GQBEServer(
+        system,
+        snapshot_path=snapshot_path,
+        host=args.host,
+        port=args.port,
+        batch_window_seconds=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+        cache_size=args.cache_size,
+    ).start()
+    try:
+        report = bench_serve(
+            server,
+            tuples,
+            k=args.k,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            warmup_requests=args.warmup,
+        )
+    finally:
+        server.stop()
+
+    latency = report["latency_ms"]
+    print(
+        f"{report['completed']}/{report['requests']} requests ok "
+        f"({report['errors']} errors, {report['cached_responses']} cached) "
+        f"in {report['duration_seconds']:.2f}s from {report['concurrency']} workers"
+    )
+    print(
+        f"throughput {report['throughput_rps']:.1f} req/s   latency ms: "
+        f"mean {latency['mean']:.2f}  p50 {latency['p50']:.2f}  "
+        f"p95 {latency['p95']:.2f}  p99 {latency['p99']:.2f}"
+    )
+    batcher = report.get("server_stats", {}).get("batcher", {})
+    if batcher:
+        print(
+            f"batches {batcher.get('batches_run')}  "
+            f"mean batch size {batcher.get('mean_batch_size', 0):.2f}  "
+            f"largest {batcher.get('largest_batch')}"
+        )
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote report to {args.json}")
+    return 0 if report["errors"] == 0 else 1
+
+
 _EXPERIMENTS = (
     "table1",
     "table2",
@@ -193,6 +338,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="build tuple-row tables (the reference engine) instead of columnar",
     )
     build_index.set_defaults(func=_cmd_build_index)
+
+    def add_serving_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "graph", nargs="?", default=None, help="path to a TSV or NT triple file"
+        )
+        parser.add_argument(
+            "--snapshot",
+            default=None,
+            help="serve from an index snapshot built with `gqbe build-index`",
+        )
+        parser.add_argument("--host", default="127.0.0.1")
+        parser.add_argument(
+            "--port",
+            type=int,
+            default=8080,
+            help="TCP port (0 picks an ephemeral port)",
+        )
+        parser.add_argument(
+            "--batch-window-ms",
+            type=float,
+            default=5.0,
+            dest="batch_window_ms",
+            help="how long to keep collecting concurrent requests into one "
+            "query_batch call",
+        )
+        parser.add_argument(
+            "--max-batch",
+            type=int,
+            default=64,
+            dest="max_batch",
+            help="maximum requests per batched execution",
+        )
+        parser.add_argument(
+            "--cache-size",
+            type=int,
+            default=1024,
+            dest="cache_size",
+            help="LRU answer-cache capacity (0 disables caching)",
+        )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve JSON queries over HTTP from one warm snapshot",
+    )
+    add_serving_options(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    bench_serve = subparsers.add_parser(
+        "bench-serve",
+        help="load-test an embedded serving frontend and report throughput",
+    )
+    add_serving_options(bench_serve)
+    bench_serve.add_argument(
+        "--workload",
+        choices=("freebase", "dbpedia"),
+        default=None,
+        help="serve a built-in synthetic workload (its Table I queries become "
+        "the request mix) instead of a snapshot/graph",
+    )
+    bench_serve.add_argument(
+        "--scale", type=float, default=0.5, help="workload scale for --workload"
+    )
+    bench_serve.add_argument(
+        "--tuple",
+        action="append",
+        default=None,
+        help="comma-separated query tuple for the request mix; repeatable",
+    )
+    bench_serve.add_argument("--k", type=int, default=10)
+    bench_serve.add_argument("--requests", type=int, default=200)
+    bench_serve.add_argument("--concurrency", type=int, default=8)
+    bench_serve.add_argument(
+        "--warmup", type=int, default=20, help="unmeasured warm-up requests"
+    )
+    bench_serve.add_argument(
+        "--json", default=None, help="write the JSON report to this path"
+    )
+    bench_serve.set_defaults(func=_cmd_bench_serve)
 
     generate = subparsers.add_parser("generate", help="generate a synthetic dataset")
     generate.add_argument("dataset", choices=("freebase", "dbpedia"))

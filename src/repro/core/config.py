@@ -47,6 +47,19 @@ class GQBEConfig:
         engine — the reference path of the columnar equivalence tests.
         The columnar engine requires interned ids and numpy; when either
         is missing the store silently falls back to tuple rows.
+    batch_join_memo:
+        Share join work across the queries of one
+        :meth:`~repro.core.gqbe.GQBE.query_batch` call through a
+        batch-scoped :class:`~repro.storage.batch.JoinMemoArena`
+        (memoized join plans, plan-prefix relations and first-edge
+        scans).  Answers are byte-identical either way; disabling it
+        makes ``query_batch`` a plain loop over ``query`` (useful to
+        measure the batching win, or to bound memory on huge graphs).
+    batch_memo_max_rows:
+        Per-relation cap on what the batch arena may cache: intermediate
+        relations with more rows are recomputed instead of memoized, so
+        a single hub-heavy prefix cannot pin an arbitrarily large array
+        for the lifetime of the batch.  ``None`` caches everything.
     """
 
     d: int = 2
@@ -57,6 +70,8 @@ class GQBEConfig:
     node_budget: int | None = None
     intern_entities: bool = True
     columnar: bool = True
+    batch_join_memo: bool = True
+    batch_memo_max_rows: int | None = 1_000_000
 
     def __post_init__(self) -> None:
         if self.d < 1:
@@ -71,3 +86,7 @@ class GQBEConfig:
             )
         if self.node_budget is not None and self.node_budget < 1:
             raise EvaluationError(f"node_budget must be >= 1, got {self.node_budget}")
+        if self.batch_memo_max_rows is not None and self.batch_memo_max_rows < 0:
+            raise EvaluationError(
+                f"batch_memo_max_rows must be >= 0, got {self.batch_memo_max_rows}"
+            )

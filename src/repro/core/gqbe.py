@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Sequence
+from dataclasses import replace
 from os import PathLike
 
 from repro.core.answer import AnswerTuple, QueryResult
@@ -29,6 +30,7 @@ from repro.graph.neighborhood import neighborhood_graph
 from repro.graph.statistics import GraphStatistics
 from repro.lattice.exploration import BestFirstExplorer, ExplorationResult
 from repro.lattice.query_graph import LatticeSpace
+from repro.storage.batch import JoinMemoArena
 from repro.storage.snapshot import GraphStore
 from repro.storage.store import VerticalPartitionStore
 from repro.storage.vocabulary import IdentityVocabulary
@@ -120,6 +122,15 @@ class GQBE:
         entire offline build.  When ``config`` is omitted, a default
         config matching the snapshot's engine flags is used; an explicit
         config must agree with them (see :class:`GQBE`).
+
+        Example::
+
+            from repro import GQBE
+            from repro.storage.snapshot import GraphStore
+
+            GraphStore.build(graph).save("data.snap")   # offline, once
+            system = GQBE.from_snapshot("data.snap")    # warm start
+            result = system.query(("Jerry Yang", "Yahoo!"), k=10)
         """
         graph_store = GraphStore.load(path)
         if config is None:
@@ -169,12 +180,15 @@ class GQBE:
         k: int = 10,
         excluded_tuples: set[tuple[str, ...]] = frozenset(),
         k_prime: int | None = None,
+        arena: JoinMemoArena | None = None,
     ) -> ExplorationResult:
         """Run the best-first lattice exploration over an existing MQG.
 
         Lets callers that cache or share discovered MQGs (e.g. the
         experiment harness, which feeds the same MQG to every compared
         system) skip re-discovery and pay only for query processing.
+        ``arena`` optionally shares from-scratch join work with other
+        explorations of one batch (see :meth:`query_batch`).
         """
         entry = self._space_cache.get(id(mqg))
         if entry is not None and entry[0] is mqg:
@@ -192,6 +206,7 @@ class GQBE:
             excluded_tuples=excluded_tuples,
             max_rows=self.config.max_join_rows,
             node_budget=self.config.node_budget,
+            arena=arena,
         )
         return explorer.run()
 
@@ -215,17 +230,112 @@ class GQBE:
 
         ``k_prime`` overrides the configured stage-one oversampling for this
         query only (the efficiency experiments use ``k_prime = k``).
+
+        Example::
+
+            from repro import GQBE, GQBEConfig
+            from repro.datasets.example_graph import figure1_excerpt
+
+            system = GQBE(figure1_excerpt(), config=GQBEConfig(mqg_size=10))
+            result = system.query(("Jerry Yang", "Yahoo!"), k=5)
+            for answer in result.answers:
+                print(answer.rank, answer.entities, round(answer.score, 3))
         """
         entities = tuple(query_tuple)
         if not entities:
             raise QueryError("query tuples must contain at least one entity")
+        return self._query_single(entities, k, k_prime, arena=None)
 
+    def query_batch(
+        self,
+        query_tuples: Sequence[Sequence[str]],
+        k: int = 10,
+        k_prime: int | None = None,
+    ) -> list[QueryResult]:
+        """Answer a batch of single-tuple queries, sharing join work.
+
+        Returns one :class:`~repro.core.answer.QueryResult` per input
+        tuple, in input order, with ranked answers **byte-identical** to
+        calling :meth:`query` once per tuple (pinned by
+        ``tests/test_batch_equivalence.py``).  The batch is cheaper than
+        the sequential loop in two exact ways:
+
+        * a batch-scoped :class:`~repro.storage.batch.JoinMemoArena`
+          evaluates each shared join-plan prefix once — across the
+          lattice nodes of one query *and* across queries whose maximal
+          query graphs overlap (MQG nodes are data-graph entities, so
+          queries about nearby entities produce literally identical
+          edges) — and caches every per-label first-edge table scan;
+        * duplicate query tuples are evaluated once and fanned back out
+          (the pipeline is deterministic, so a repeat run would return
+          the same answers anyway).
+
+        The arena is controlled by ``GQBEConfig.batch_join_memo`` /
+        ``batch_memo_max_rows`` and is discarded when the call returns.
+        The serving layer (:mod:`repro.serving`) builds its request
+        batches on top of this method.
+
+        Example::
+
+            results = system.query_batch(
+                [("Jerry Yang", "Yahoo!"), ("Bill Gates", "Microsoft")], k=5
+            )
+            assert [r.query_tuples[0] for r in results] == [
+                ("Jerry Yang", "Yahoo!"), ("Bill Gates", "Microsoft")
+            ]
+        """
+        tuples = [tuple(t) for t in query_tuples]
+        for entities in tuples:
+            if not entities:
+                raise QueryError("query tuples must contain at least one entity")
+        if not tuples:
+            return []
+        arena = (
+            JoinMemoArena(
+                max_rows=self.config.max_join_rows,
+                cache_row_cap=self.config.batch_memo_max_rows,
+            )
+            if self.config.batch_join_memo
+            else None
+        )
+        first_runs: dict[tuple[str, ...], QueryResult] = {}
+        results: list[QueryResult] = []
+        for entities in tuples:
+            result = first_runs.get(entities)
+            if result is None:
+                result = self._query_single(entities, k, k_prime, arena=arena)
+                first_runs[entities] = result
+            else:
+                # Deterministic pipeline: a re-run would reproduce these
+                # answers, so duplicates share them — fresh result and
+                # statistics objects (both mutable), same ranked answers.
+                result = replace(
+                    result,
+                    answers=list(result.answers),
+                    statistics=replace(result.statistics),
+                    per_tuple_discovery_seconds=list(
+                        result.per_tuple_discovery_seconds
+                    ),
+                )
+            results.append(result)
+        return results
+
+    def _query_single(
+        self,
+        entities: tuple[str, ...],
+        k: int,
+        k_prime: int | None,
+        arena: JoinMemoArena | None,
+    ) -> QueryResult:
+        """One single-tuple query, optionally inside a batch arena."""
         started = time.perf_counter()
         mqg = self.discover_query_graph(entities)
         discovery_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
-        exploration = self.explore_mqg(mqg, k, excluded_tuples={entities}, k_prime=k_prime)
+        exploration = self.explore_mqg(
+            mqg, k, excluded_tuples={entities}, k_prime=k_prime, arena=arena
+        )
         processing_seconds = time.perf_counter() - started
 
         return QueryResult(

@@ -53,10 +53,12 @@ from itertools import filterfalse
 from operator import itemgetter
 
 from repro.exceptions import LatticeError
+from repro.storage.batch import OVERFLOW
 from repro.lattice.minimal_trees import minimal_query_trees
 from repro.lattice.query_graph import LatticeSpace
 from repro.lattice.scoring import content_score_from_matched, structure_score
 from repro.storage.join import (
+    _SCALAR_TAIL_ROWS,
     ColumnarRelation,
     Relation,
     evaluate_query_edges,
@@ -395,8 +397,14 @@ class LatticeNodeEvaluator:
     """Null-node pruning and node materialization shared by the explorers.
 
     Subclasses provide ``space``, ``store``, ``max_rows``, an
-    ``_evaluated`` mask-to-relation dict and a ``_null_masks`` list.
+    ``_evaluated`` mask-to-relation dict and a ``_null_masks`` list.  They
+    may also set ``arena`` (a batch-scoped
+    :class:`~repro.storage.batch.JoinMemoArena`) to share from-scratch
+    evaluation work with other explorations of the same batch.
     """
+
+    #: Optional cross-query join memo; ``None`` keeps every evaluation local.
+    arena = None
 
     def _is_pruned(self, mask: int) -> bool:
         """Whether ``mask`` subsumes some null node (Property 3)."""
@@ -442,20 +450,50 @@ class LatticeNodeEvaluator:
                 rows = child_relation.num_rows
                 if best_child is None or rows < best_child[0]:
                     best_child = (rows, low)
-        try:
-            if best_child is not None:
-                low = best_child[1]
+        arena = self.arena
+        if best_child is not None:
+            # A child extension's outcome (row multiset, overflow) is a
+            # pure function of the mask's edge set, so a batch arena may
+            # replay another query's extension result here — see
+            # ``JoinMemoArena.extended_get`` for the equivalence argument.
+            # Only extensions of probe relations past the scalar-tail
+            # threshold are memoized: for tiny children the extension is
+            # cheaper than the memo-key bookkeeping itself.
+            key = None
+            if arena is not None and best_child[0] > _SCALAR_TAIL_ROWS:
+                edge_ids = self._arena_edge_ids
+                ids = []
+                remaining = mask
+                while remaining:
+                    low = remaining & -remaining
+                    remaining ^= low
+                    ids.append(edge_ids[low.bit_length() - 1])
+                key = frozenset(ids)
+                cached = arena.extended_get(key)
+                if cached is not None:
+                    return None if cached is OVERFLOW else cached
+            low = best_child[1]
+            try:
                 relation = extend_with_edge(
                     self.store,
                     evaluated[mask ^ low],
                     edge_list[low.bit_length() - 1],
                     max_rows=self.max_rows,
                 )
-            else:
-                relation = evaluate_query_edges(
-                    self.store, self.space.edges_of(mask), max_rows=self.max_rows
-                )
+            except LatticeError:
+                if key is not None:
+                    arena.extended_put(key, OVERFLOW)
+                return None
+            if key is not None:
+                arena.extended_put(key, relation)
             return relation
+        try:
+            return evaluate_query_edges(
+                self.store,
+                self.space.edges_of(mask),
+                max_rows=self.max_rows,
+                arena=arena,
+            )
         except LatticeError:
             return None
 
@@ -472,6 +510,7 @@ class BestFirstExplorer(LatticeNodeEvaluator):
         excluded_tuples: Iterable[tuple[str, ...]] = (),
         max_rows: int | None = None,
         node_budget: int | None = None,
+        arena=None,
     ) -> None:
         if k < 1:
             raise LatticeError(f"k must be positive, got {k}")
@@ -481,6 +520,14 @@ class BestFirstExplorer(LatticeNodeEvaluator):
         self.k_prime = k_prime if k_prime is not None else max(DEFAULT_K_PRIME, 4 * k)
         self.max_rows = max_rows
         self.node_budget = node_budget
+        #: Batch-scoped join memo shared across the explorations of one
+        #: :meth:`~repro.core.gqbe.GQBE.query_batch`; ``None`` outside one.
+        self.arena = arena
+        #: Arena-interned ids of this space's edges (bit order), so the
+        #: per-evaluation memo keys hash small ints, not Edge tuples.
+        self._arena_edge_ids = (
+            arena.intern_edges(space.edge_list) if arena is not None else None
+        )
 
         self._evaluated: dict[int, Relation] = {}
         self._null_masks: list[int] = []

@@ -1,0 +1,35 @@
+"""Long-lived serving frontend: one warm snapshot, many concurrent queries.
+
+The paper's system answers one query at a time from a Python process; the
+north star is serving heavy traffic.  This package adds the missing layer:
+
+* :class:`~repro.serving.cache.AnswerCache` — a thread-safe LRU of
+  serialized answers keyed on the canonicalized query, with
+  generation-based invalidation so a snapshot reload can never serve a
+  stale answer;
+* :class:`~repro.serving.batching.QueryBatcher` — a micro-batching worker
+  that groups requests arriving within a small window into one
+  :meth:`~repro.core.gqbe.GQBE.query_batch` call;
+* :class:`~repro.serving.server.GQBEServer` — a threaded HTTP server
+  (stdlib ``ThreadingHTTPServer``) exposing ``POST /query``,
+  ``GET /healthz``, ``GET /stats`` and ``POST /admin/reload``;
+* :mod:`~repro.serving.loadgen` — the ``gqbe bench-serve`` load driver
+  that measures serve throughput and latency percentiles.
+
+Start a server from the CLI (``gqbe serve --snapshot data.snap``) or
+programmatically::
+
+    from repro.serving.server import GQBEServer
+
+    server = GQBEServer.from_snapshot("data.snap", port=0)
+    server.start()
+    print("listening on", server.port)
+    ...
+    server.stop()
+"""
+
+from repro.serving.batching import QueryBatcher
+from repro.serving.cache import AnswerCache
+from repro.serving.server import GQBEServer
+
+__all__ = ["AnswerCache", "QueryBatcher", "GQBEServer"]

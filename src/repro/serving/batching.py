@@ -1,0 +1,205 @@
+"""Micro-batching of concurrent queries into ``query_batch`` calls.
+
+Requests that arrive while the engine is busy (or within a small batching
+window of each other) are grouped and executed as one
+:meth:`~repro.core.gqbe.GQBE.query_batch` call: duplicates collapse to a
+single evaluation and shared join prefixes are paid once, while every
+caller still receives the exact answers a standalone
+:meth:`~repro.core.gqbe.GQBE.query` would have produced.
+
+The batcher owns one daemon worker thread.  :meth:`QueryBatcher.submit`
+enqueues a request and blocks the calling (HTTP handler) thread until the
+worker fills in the result.  The worker sleeps until a request arrives,
+then keeps collecting until the window elapses or ``max_batch`` requests
+are pending, groups the collected requests by ``(k, k_prime)`` (a batch
+call has uniform ranking parameters) and runs each group.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Sequence
+
+from repro.core.answer import QueryResult
+
+
+class _Pending:
+    """One submitted query waiting for its batch to run."""
+
+    __slots__ = ("query_tuple", "k", "k_prime", "event", "result", "error", "abandoned")
+
+    def __init__(self, query_tuple: tuple[str, ...], k: int, k_prime: int | None):
+        self.query_tuple = query_tuple
+        self.k = k
+        self.k_prime = k_prime
+        self.event = threading.Event()
+        self.result: QueryResult | None = None
+        self.error: BaseException | None = None
+        #: Set when the submitter gave up (timeout); the worker sheds
+        #: abandoned requests instead of computing answers nobody reads.
+        self.abandoned = False
+
+
+class QueryBatcher:
+    """Groups concurrent single-tuple queries into batched executions.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(tuples, k, k_prime) -> list[QueryResult | BaseException]``
+        — normally a bound :meth:`GQBE.query_batch
+        <repro.core.gqbe.GQBE.query_batch>` (the server wraps it to pick
+        the current snapshot's system).  A list element that is an
+        exception is delivered to that query's caller alone, so one
+        invalid query cannot poison its batch-mates; an exception
+        *raised* by the runner is delivered to every caller of the batch.
+    window_seconds:
+        How long the worker keeps collecting after the first request of a
+        batch arrives.  ``0`` still batches whatever queued up while the
+        previous batch was executing.
+    max_batch:
+        Hard cap on requests per batch; the rest wait for the next one.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[Sequence[tuple[str, ...]], int, int | None], list[QueryResult]],
+        window_seconds: float = 0.005,
+        max_batch: int = 64,
+    ) -> None:
+        if window_seconds < 0:
+            raise ValueError(f"window_seconds must be >= 0, got {window_seconds}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._runner = runner
+        self.window_seconds = window_seconds
+        self.max_batch = max_batch
+        self._pending: list[_Pending] = []
+        self._condition = threading.Condition()
+        self._closed = False
+        self.batches_run = 0
+        self.queries_batched = 0
+        self.largest_batch = 0
+        self._worker = threading.Thread(
+            target=self._run_worker, name="gqbe-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query_tuple: Sequence[str],
+        k: int = 10,
+        k_prime: int | None = None,
+        timeout: float | None = None,
+    ) -> QueryResult:
+        """Enqueue one query and block until its batch has run.
+
+        Raises whatever the engine raised for the batch this query was
+        grouped into, or ``TimeoutError`` after ``timeout`` seconds.
+        """
+        pending = _Pending(tuple(query_tuple), k, k_prime)
+        with self._condition:
+            if self._closed:
+                raise RuntimeError("QueryBatcher is closed")
+            self._pending.append(pending)
+            self._condition.notify_all()
+        if not pending.event.wait(timeout):
+            # Shed the load: drop the entry if still queued, and mark it
+            # abandoned so a worker that already dequeued it skips it —
+            # otherwise every timed-out request would still consume a
+            # full execution slot during exactly the overload that made
+            # it time out.
+            with self._condition:
+                pending.abandoned = True
+                try:
+                    self._pending.remove(pending)
+                except ValueError:
+                    pass
+            raise TimeoutError(
+                f"query {pending.query_tuple!r} timed out after {timeout}s"
+            )
+        if pending.error is not None:
+            raise pending.error
+        assert pending.result is not None
+        return pending.result
+
+    def close(self) -> None:
+        """Stop the worker; outstanding requests fail with ``RuntimeError``."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+        self._worker.join(timeout=5)
+
+    # ------------------------------------------------------------------
+    def _take_batch(self) -> list[_Pending]:
+        """Block until requests exist, collect through the window, dequeue."""
+        with self._condition:
+            while not self._pending and not self._closed:
+                self._condition.wait()
+            if self._closed:
+                group = self._pending[:]
+                self._pending.clear()
+                return group
+            deadline = time.monotonic() + self.window_seconds
+            while len(self._pending) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._closed:
+                    break
+                self._condition.wait(remaining)
+            group = self._pending[: self.max_batch]
+            del self._pending[: self.max_batch]
+            return group
+
+    def _run_worker(self) -> None:
+        while True:
+            group = self._take_batch()
+            with self._condition:
+                closed = self._closed
+            if closed:
+                for pending in group:
+                    pending.error = RuntimeError("QueryBatcher is closed")
+                    pending.event.set()
+                return
+            if not group:
+                continue
+            self.batches_run += 1
+            self.queries_batched += len(group)
+            self.largest_batch = max(self.largest_batch, len(group))
+            # One query_batch call needs uniform (k, k_prime); group by it,
+            # preserving arrival order inside each subgroup.
+            subgroups: dict[tuple[int, int | None], list[_Pending]] = {}
+            for pending in group:
+                subgroups.setdefault((pending.k, pending.k_prime), []).append(pending)
+            for (k, k_prime), members in subgroups.items():
+                members = [member for member in members if not member.abandoned]
+                if not members:
+                    continue
+                try:
+                    results = self._runner(
+                        [member.query_tuple for member in members], k, k_prime
+                    )
+                except BaseException as error:  # noqa: BLE001 - forwarded to callers
+                    for member in members:
+                        member.error = error
+                else:
+                    for member, result in zip(members, results):
+                        if isinstance(result, BaseException):
+                            member.error = result
+                        else:
+                            member.result = result
+                for member in members:
+                    member.event.set()
+
+    def stats(self) -> dict[str, float]:
+        """Counter snapshot for the ``/stats`` endpoint."""
+        batches = self.batches_run
+        return {
+            "window_seconds": self.window_seconds,
+            "max_batch": self.max_batch,
+            "batches_run": batches,
+            "queries_batched": self.queries_batched,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": (self.queries_batched / batches) if batches else 0.0,
+        }

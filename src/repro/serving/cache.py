@@ -1,0 +1,113 @@
+"""Thread-safe LRU answer cache with generation-based invalidation.
+
+The serve layer caches *serialized response payloads* keyed on the
+canonicalized query (``(query tuples, k, k_prime)``).  Two properties
+matter beyond plain LRU semantics:
+
+* **Thread safety** — the HTTP server handles requests on one thread per
+  connection; every cache operation holds one lock.
+* **Staleness safety across snapshot reloads** — a request may be in
+  flight (computing against the *old* snapshot) while an operator swaps
+  in a new one.  A plain ``put`` after the swap would poison the cache
+  with a stale answer.  The cache therefore carries a monotonically
+  increasing *generation*: :meth:`AnswerCache.invalidate` clears all
+  entries and bumps the generation, and :meth:`AnswerCache.put` requires
+  the generation the caller observed *before* it started computing — a
+  put tagged with an outdated generation is dropped.  This is pinned by
+  ``tests/test_serving.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+
+class AnswerCache:
+    """LRU mapping of canonical query keys to answer payloads.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached answers; the least recently used entry
+        is evicted first.  ``0`` disables caching entirely (every
+        ``get`` misses, every ``put`` is dropped).
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.stale_puts = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def generation(self) -> int:
+        """The current cache generation (bumped by :meth:`invalidate`)."""
+        with self._lock:
+            return self._generation
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached payload for ``key`` (marking it recently used)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: Hashable, value: Any, generation: int) -> bool:
+        """Insert ``value`` if ``generation`` is still current.
+
+        ``generation`` must be the value of :attr:`generation` read
+        *before* the caller started computing ``value``; if the cache has
+        been invalidated since, the value describes an outdated snapshot
+        and is dropped.  Returns whether the value was stored.
+        """
+        with self._lock:
+            if generation != self._generation:
+                self.stale_puts += 1
+                return False
+            if self.capacity == 0:
+                return False
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return True
+
+    def invalidate(self) -> int:
+        """Drop every entry and start a new generation; returns it."""
+        with self._lock:
+            self._entries.clear()
+            self._generation += 1
+            self.invalidations += 1
+            return self._generation
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for the ``/stats`` endpoint."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "generation": self._generation,
+                "hits": self.hits,
+                "misses": self.misses,
+                "stale_puts": self.stale_puts,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

@@ -1,0 +1,188 @@
+"""Load driver for the serve layer (the ``gqbe bench-serve`` subcommand).
+
+Fires ``requests`` HTTP queries at a running :class:`GQBEServer` from
+``concurrency`` worker threads (stdlib ``http.client``; one persistent
+connection per worker), measures per-request latency, and folds in the
+server's own ``/stats`` counters (cache hit rate, batch sizes).  The
+report is printed as a table by the CLI and written as JSON for CI to
+upload next to the bench-gate artifact.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from collections.abc import Sequence
+
+from repro.serving.server import GQBEServer
+
+
+def _connect(host: str, port: int, timeout: float) -> http.client.HTTPConnection:
+    """A keep-alive connection with Nagle's algorithm off.
+
+    ``http.client`` writes request headers and body in separate segments;
+    with Nagle on, the body then waits for the server's delayed ACK —
+    a flat ~40ms stall on every request after the first on a persistent
+    connection.
+    """
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    connection.connect()
+    connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return connection
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 for empty)."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def run_load(
+    host: str,
+    port: int,
+    query_tuples: Sequence[Sequence[str]],
+    k: int = 10,
+    requests: int = 200,
+    concurrency: int = 8,
+    timeout: float = 60.0,
+) -> dict:
+    """Issue ``requests`` queries round-robin over ``query_tuples``.
+
+    Returns the load report: throughput, latency percentiles (ms),
+    error/cached counts and the server's ``/stats`` snapshot.
+    """
+    if not query_tuples:
+        raise ValueError("bench-serve needs at least one query tuple")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    concurrency = max(1, min(concurrency, requests))
+    tuples = [list(t) for t in query_tuples]
+    counter = {"next": 0}
+    counter_lock = threading.Lock()
+    latencies: list[list[float]] = [[] for _ in range(concurrency)]
+    outcomes = {"ok": 0, "cached": 0, "errors": 0}
+    outcome_lock = threading.Lock()
+
+    def worker(slot: int) -> None:
+        connection = _connect(host, port, timeout)
+        try:
+            while True:
+                with counter_lock:
+                    index = counter["next"]
+                    if index >= requests:
+                        return
+                    counter["next"] = index + 1
+                # Bytes body: http.client then writes headers + body in one
+                # send, avoiding a Nagle/delayed-ACK stall per request.
+                body = json.dumps(
+                    {"tuple": tuples[index % len(tuples)], "k": k}
+                ).encode("utf-8")
+                started = time.perf_counter()
+                try:
+                    connection.request(
+                        "POST",
+                        "/query",
+                        body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    payload = json.loads(response.read())
+                    elapsed = time.perf_counter() - started
+                    with outcome_lock:
+                        if response.status == 200:
+                            outcomes["ok"] += 1
+                            if payload.get("cached"):
+                                outcomes["cached"] += 1
+                            latencies[slot].append(elapsed)
+                        else:
+                            outcomes["errors"] += 1
+                except (OSError, http.client.HTTPException, ValueError):
+                    with outcome_lock:
+                        outcomes["errors"] += 1
+                    connection.close()
+                    connection = _connect(host, port, timeout)
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,), daemon=True)
+        for slot in range(concurrency)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+
+    merged = sorted(value for slot in latencies for value in slot)
+    server_stats: dict = {}
+    try:
+        connection = _connect(host, port, timeout)
+        connection.request("GET", "/stats")
+        server_stats = json.loads(connection.getresponse().read())
+        connection.close()
+    except (OSError, http.client.HTTPException, ValueError):
+        pass
+
+    completed = outcomes["ok"]
+    return {
+        "requests": requests,
+        "concurrency": concurrency,
+        "distinct_queries": len(tuples),
+        "k": k,
+        "duration_seconds": duration,
+        "throughput_rps": completed / duration if duration > 0 else 0.0,
+        "completed": completed,
+        "cached_responses": outcomes["cached"],
+        "errors": outcomes["errors"],
+        "latency_ms": {
+            "mean": (sum(merged) / len(merged) * 1000) if merged else 0.0,
+            "p50": _percentile(merged, 0.50) * 1000,
+            "p95": _percentile(merged, 0.95) * 1000,
+            "p99": _percentile(merged, 0.99) * 1000,
+            "max": merged[-1] * 1000 if merged else 0.0,
+        },
+        "server_stats": server_stats,
+    }
+
+
+def bench_serve(
+    server: GQBEServer,
+    query_tuples: Sequence[Sequence[str]],
+    k: int = 10,
+    requests: int = 200,
+    concurrency: int = 8,
+    warmup_requests: int = 0,
+    timeout: float = 60.0,
+) -> dict:
+    """Run a load pass against an (already started) embedded server.
+
+    ``warmup_requests`` are issued and discarded first — with a cold
+    snapshot they absorb lazy deserialization and index builds so the
+    measured pass reflects steady-state serving.
+    """
+    if warmup_requests:
+        run_load(
+            server.host,
+            server.port,
+            query_tuples,
+            k=k,
+            requests=warmup_requests,
+            concurrency=min(concurrency, warmup_requests),
+            timeout=timeout,
+        )
+    return run_load(
+        server.host,
+        server.port,
+        query_tuples,
+        k=k,
+        requests=requests,
+        concurrency=concurrency,
+        timeout=timeout,
+    )

@@ -1,0 +1,407 @@
+"""Threaded HTTP frontend serving GQBE queries from one warm snapshot.
+
+``gqbe serve --snapshot data.snap`` wires this up from the CLI; tests and
+the ``bench-serve`` load driver embed :class:`GQBEServer` directly.  The
+server is deliberately stdlib-only (``http.server``): one daemon thread
+runs a ``ThreadingHTTPServer`` (a handler thread per connection), handler
+threads funnel single-tuple queries through the shared
+:class:`~repro.serving.batching.QueryBatcher` (so concurrent requests
+are executed as one :meth:`~repro.core.gqbe.GQBE.query_batch`), and a
+generation-guarded :class:`~repro.serving.cache.AnswerCache` short-cuts
+repeat queries entirely.
+
+Endpoints
+---------
+``POST /query``
+    Body ``{"tuple": ["Jerry Yang", "Yahoo!"], "k": 10}`` for a
+    single-tuple query, or ``{"tuples": [[...], [...]], ...}`` for a
+    multi-tuple (merged-MQG) query; optional ``k_prime``.  Responds with
+    the ranked answers, timing, and whether the answer came from cache.
+``GET /healthz``
+    Liveness plus snapshot metadata (cheap: never materializes lazy
+    snapshot sections).
+``GET /stats``
+    Serve counters: cache hits/misses, batch sizes, request totals.
+``POST /admin/reload``
+    Body ``{"snapshot": "path"}`` — load a new snapshot, swap it in and
+    invalidate the answer cache (in-flight computations against the old
+    snapshot can no longer be cached; see
+    :mod:`repro.serving.cache`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from os import PathLike
+
+from repro.core.answer import QueryResult
+from repro.core.config import GQBEConfig
+from repro.core.gqbe import GQBE
+from repro.exceptions import GQBEError
+from repro.serving.batching import QueryBatcher
+from repro.serving.cache import AnswerCache
+from repro.storage.snapshot import GraphStore
+
+
+def _result_payload(result: QueryResult) -> dict:
+    """The JSON-serializable body describing one query result."""
+    return {
+        "answers": [
+            {
+                "rank": answer.rank,
+                "entities": list(answer.entities),
+                "score": answer.score,
+                "structure_score": answer.structure_score,
+                "content_score": answer.content_score,
+            }
+            for answer in result.answers
+        ],
+        "mqg_edges": result.mqg.num_edges,
+        "nodes_evaluated": result.statistics.nodes_evaluated,
+        "timing": {
+            "discovery_seconds": result.discovery_seconds,
+            "processing_seconds": result.processing_seconds,
+            "total_seconds": result.total_seconds,
+        },
+    }
+
+
+class GQBEServer:
+    """One warm GQBE system behind a threaded HTTP server.
+
+    Parameters
+    ----------
+    system:
+        The (already built or snapshot-loaded) engine to serve.
+    snapshot_path:
+        Recorded for ``/healthz`` and reload bookkeeping (optional).
+    host / port:
+        Bind address.  ``port=0`` picks an ephemeral port; read
+        :attr:`port` after construction.
+    batch_window_seconds / max_batch:
+        Micro-batching knobs (see :class:`~repro.serving.batching.QueryBatcher`).
+    cache_size:
+        LRU answer-cache capacity (``0`` disables caching).
+    request_timeout:
+        Per-request cap on waiting for a batch slot plus execution.
+    """
+
+    def __init__(
+        self,
+        system: GQBE,
+        snapshot_path: str | PathLike | None = None,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        batch_window_seconds: float = 0.005,
+        max_batch: int = 64,
+        cache_size: int = 1024,
+        request_timeout: float = 60.0,
+    ) -> None:
+        self._system = system
+        self.snapshot_path = str(snapshot_path) if snapshot_path is not None else None
+        self.request_timeout = request_timeout
+        self._exec_lock = threading.Lock()
+        self._cache = AnswerCache(cache_size)
+        self._batcher = QueryBatcher(
+            self._run_batch, window_seconds=batch_window_seconds, max_batch=max_batch
+        )
+        self._http = _Http((host, port), _Handler)
+        self._http.daemon_threads = True
+        self._http.app = self  # type: ignore[attr-defined] - handler backref
+        self._thread: threading.Thread | None = None
+        self._started_at = time.monotonic()
+        # Handler threads are concurrent; counter updates take this lock
+        # (a bare += is a lost-update race across threads).
+        self._counter_lock = threading.Lock()
+        self.requests_served = 0
+        self.request_errors = 0
+
+    def _count(self, counter: str) -> None:
+        with self._counter_lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_snapshot(cls, path: str | PathLike, **kwargs) -> "GQBEServer":
+        """Build a server around :meth:`GQBE.from_snapshot`."""
+        return cls(GQBE.from_snapshot(path), snapshot_path=path, **kwargs)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """The bound host address."""
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        return self._http.server_address[1]
+
+    @property
+    def system(self) -> GQBE:
+        """The engine currently serving queries."""
+        return self._system
+
+    def start(self) -> "GQBEServer":
+        """Serve in a background daemon thread; returns ``self``."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._http.serve_forever, name="gqbe-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``gqbe serve`` entry point)."""
+        self._http.serve_forever()
+
+    def stop(self) -> None:
+        """Shut the HTTP listener and the batching worker down."""
+        self._http.shutdown()
+        self._http.server_close()
+        self._batcher.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    # snapshot reloads
+    # ------------------------------------------------------------------
+    def load_snapshot(self, path: str | PathLike) -> int:
+        """Swap in a new snapshot; returns the new cache generation.
+
+        The swap holds the execution lock, so it serializes against any
+        running batch; requests computed against the old snapshot can no
+        longer enter the cache because their recorded generation is
+        outdated after :meth:`AnswerCache.invalidate`.
+        """
+        graph_store = GraphStore.load(path)
+        config = GQBEConfig(
+            intern_entities=graph_store.intern_entities,
+            columnar=graph_store.columnar,
+        )
+        system = GQBE(config=config, graph_store=graph_store)
+        with self._exec_lock:
+            self._system = system
+            self.snapshot_path = str(path)
+        return self._cache.invalidate()
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+    def _run_batch(self, tuples, k, k_prime):
+        """Batcher runner: one ``query_batch`` under the execution lock.
+
+        Falls back to per-query execution when the batch raises (e.g. one
+        tuple references an unknown entity) so each caller receives its
+        own result or its own error.
+        """
+        with self._exec_lock:
+            # Read the system inside the lock: a snapshot reload swaps it
+            # under the same lock, so a batch never computes against the
+            # pre-reload engine after the reload was acknowledged.
+            system = self._system
+            try:
+                return system.query_batch(list(tuples), k=k, k_prime=k_prime)
+            except GQBEError:
+                results: list[QueryResult | BaseException] = []
+                for query_tuple in tuples:
+                    try:
+                        results.append(system.query(query_tuple, k=k, k_prime=k_prime))
+                    except GQBEError as error:
+                        results.append(error)
+                return results
+
+    @staticmethod
+    def _parse_query_payload(payload) -> tuple[tuple[tuple[str, ...], ...], int, int | None]:
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        if ("tuple" in payload) == ("tuples" in payload):
+            raise ValueError('pass exactly one of "tuple" or "tuples"')
+        raw = [payload["tuple"]] if "tuple" in payload else payload["tuples"]
+        if not isinstance(raw, list) or not raw:
+            raise ValueError('"tuples" must be a non-empty list of entity tuples')
+        tuples = []
+        for entry in raw:
+            if (
+                not isinstance(entry, list)
+                or not entry
+                or not all(isinstance(item, str) for item in entry)
+            ):
+                raise ValueError(
+                    "each query tuple must be a non-empty list of entity strings"
+                )
+            tuples.append(tuple(entry))
+        k = payload.get("k", 10)
+        k_prime = payload.get("k_prime")
+        if not isinstance(k, int) or k < 1:
+            raise ValueError(f'"k" must be a positive integer, got {k!r}')
+        if k_prime is not None and (not isinstance(k_prime, int) or k_prime < 1):
+            raise ValueError(f'"k_prime" must be a positive integer, got {k_prime!r}')
+        return tuple(tuples), k, k_prime
+
+    def handle_query(self, payload) -> tuple[int, dict]:
+        """Answer one ``POST /query`` body; returns ``(status, response)``.
+
+        Exposed as a method so tests can exercise request handling
+        without sockets.
+        """
+        try:
+            tuples, k, k_prime = self._parse_query_payload(payload)
+        except ValueError as error:
+            self._count("request_errors")
+            return 400, {"error": str(error)}
+        key = (tuples, k, k_prime)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._count("requests_served")
+            return 200, {**cached, "cached": True}
+        # The generation must be read before computing: if a snapshot
+        # reload lands mid-flight, this answer describes the old graph
+        # and the put below is dropped.
+        generation = self._cache.generation
+        try:
+            if len(tuples) == 1:
+                result = self._batcher.submit(
+                    tuples[0], k=k, k_prime=k_prime, timeout=self.request_timeout
+                )
+            else:
+                # Multi-tuple (merged-MQG) queries are rare and heavier;
+                # they run directly under the execution lock instead of
+                # passing through the single-tuple batcher.
+                with self._exec_lock:
+                    result = self._system.query_multi(
+                        [list(t) for t in tuples], k=k, k_prime=k_prime
+                    )
+        except GQBEError as error:
+            self._count("request_errors")
+            return 400, {"error": str(error), "type": type(error).__name__}
+        except TimeoutError as error:
+            self._count("request_errors")
+            return 503, {"error": str(error)}
+        body = {
+            "query": [list(t) for t in tuples],
+            "k": k,
+            "k_prime": k_prime,
+            "generation": generation,
+            **_result_payload(result),
+        }
+        self._cache.put(key, body, generation)
+        self._count("requests_served")
+        return 200, {**body, "cached": False}
+
+    # ------------------------------------------------------------------
+    # info endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """The ``/healthz`` body (cheap; no lazy sections materialized)."""
+        meta = self._system.graph_store.meta()
+        return {
+            "status": "ok",
+            "snapshot": self.snapshot_path,
+            "generation": self._cache.generation,
+            "graph": {
+                "nodes": meta.get("num_nodes"),
+                "edges": meta.get("num_edges"),
+                "labels": meta.get("num_labels"),
+            },
+            "engine": {
+                "intern_entities": bool(meta.get("intern_entities")),
+                "columnar": bool(meta.get("columnar")),
+            },
+        }
+
+    def stats(self) -> dict:
+        """The ``/stats`` body."""
+        return {
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "requests_served": self.requests_served,
+            "request_errors": self.request_errors,
+            "cache": self._cache.stats(),
+            "batcher": self._batcher.stats(),
+        }
+
+
+class _Http(ThreadingHTTPServer):
+    daemon_threads = True
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Maps HTTP routes onto the owning :class:`GQBEServer`."""
+
+    server_version = "gqbe-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    # Send each small JSON response immediately instead of letting Nagle's
+    # algorithm hold the tail segment for the client's delayed ACK — that
+    # interaction costs a flat ~40ms per keep-alive request on loopback.
+    disable_nagle_algorithm = True
+
+    @property
+    def app(self) -> GQBEServer:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # access logs stay off; /stats carries the counters
+
+    def _send_json(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return None
+        return json.loads(raw)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            self._send_json(200, self.app.healthz())
+        elif self.path == "/stats":
+            self._send_json(200, self.app.stats())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            payload = self._read_json()
+        except ValueError:
+            self._send_json(400, {"error": "request body is not valid JSON"})
+            return
+        try:
+            if self.path == "/query":
+                status, body = self.app.handle_query(payload)
+            elif self.path == "/admin/reload":
+                status, body = self._handle_reload(payload)
+            else:
+                status, body = 404, {"error": f"unknown path {self.path!r}"}
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            status, body = 500, {"error": f"{type(error).__name__}: {error}"}
+        self._send_json(status, body)
+
+    def _handle_reload(self, payload) -> tuple[int, dict]:
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("snapshot"), str
+        ):
+            return 400, {"error": 'body must be {"snapshot": "<path>"}'}
+        try:
+            generation = self.app.load_snapshot(payload["snapshot"])
+        except GQBEError as error:
+            return 400, {"error": str(error), "type": type(error).__name__}
+        return 200, {
+            "reloaded": True,
+            "snapshot": payload["snapshot"],
+            "generation": generation,
+        }

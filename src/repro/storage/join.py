@@ -591,11 +591,36 @@ def extend_with_edge(
     return Relation(new_variables, out_rows)
 
 
+def _pad_empty_schema(
+    store: VerticalPartitionStore,
+    relation: "Relation | ColumnarRelation",
+    plan_edges: Iterable[Edge],
+) -> "Relation | ColumnarRelation":
+    """An empty relation carrying every node of the plan as a column.
+
+    Joins short-circuit as soon as an intermediate relation runs dry; the
+    full schema is preserved so projections still work downstream.
+    """
+    missing = [
+        node
+        for e in plan_edges
+        for node in (e.subject, e.object)
+        if node not in relation.variables
+    ]
+    variables = relation.variables + tuple(dict.fromkeys(missing))
+    if store.is_columnar:
+        return ColumnarRelation(
+            variables, [np.empty(0, dtype=np.int64) for _ in variables]
+        )
+    return Relation(variables=variables, rows=[])
+
+
 def evaluate_query_edges(
     store: VerticalPartitionStore,
     edges: Sequence[Edge],
     injective: bool = True,
     max_rows: int | None = None,
+    arena=None,
 ) -> "Relation | ColumnarRelation":
     """Evaluate a weakly connected query graph given as a list of edges.
 
@@ -603,29 +628,57 @@ def evaluate_query_edges(
     rows are all matches (answer-graph node mappings).  The relation is
     empty if the query graph has no answers.  The relation layout
     (columnar or tuple rows) follows the store's.
+
+    ``arena`` — an optional :class:`~repro.storage.batch.JoinMemoArena` —
+    memoizes the join plan and every plan-prefix relation so overlapping
+    evaluations (across the lattice nodes of one query and across the
+    queries of a batch) pay for each shared prefix once.  Results are
+    byte-identical with or without an arena; an arena whose ``max_rows``
+    does not match this call's (or a non-injective call) is ignored, since
+    its memos would describe a different join.
     """
     if not edges:
         return _empty_relation(store)
-    plan = plan_join_order(edges, store)
-    relation = _empty_relation(store)
-    for edge in plan:
-        relation = extend_with_edge(
-            store, relation, edge, injective=injective, max_rows=max_rows
-        )
+    if arena is not None and (not injective or max_rows != arena.max_rows):
+        arena = None
+    if arena is None:
+        plan = plan_join_order(edges, store)
+        relation = _empty_relation(store)
+        for edge in plan:
+            relation = extend_with_edge(
+                store, relation, edge, injective=injective, max_rows=max_rows
+            )
+            if relation.is_empty():
+                return _pad_empty_schema(store, relation, plan)
+        return relation
+
+    order = arena.plan_for(edges, store).order
+    start, cached = arena.longest_prefix(order)
+    if cached is not None:
+        from repro.storage.batch import OVERFLOW
+
+        if cached is OVERFLOW:
+            _raise_max_rows(max_rows)
+        relation = cached
+    else:
+        relation = arena.first_edge_relation(store, order[0], injective)
+        if max_rows is not None and relation.num_rows > max_rows:
+            _raise_max_rows(max_rows)
+        arena.remember_prefix(order[:1], relation)
+        start = 1
+    if relation.is_empty():
+        return _pad_empty_schema(store, relation, order)
+    for at in range(start, len(order)):
+        try:
+            relation = extend_with_edge(
+                store, relation, order[at], injective=injective, max_rows=max_rows
+            )
+        except LatticeError:
+            from repro.storage.batch import OVERFLOW
+
+            arena.remember_prefix(order[: at + 1], OVERFLOW)
+            raise
+        arena.remember_prefix(order[: at + 1], relation)
         if relation.is_empty():
-            # Preserve the full schema so projections still work downstream.
-            missing = [
-                node
-                for e in plan
-                for node in (e.subject, e.object)
-                if node not in relation.variables
-            ]
-            ordered_missing = tuple(dict.fromkeys(missing))
-            variables = relation.variables + ordered_missing
-            if store.is_columnar:
-                return ColumnarRelation(
-                    variables,
-                    [np.empty(0, dtype=np.int64) for _ in variables],
-                )
-            return Relation(variables=variables, rows=[])
+            return _pad_empty_schema(store, relation, order)
     return relation

@@ -206,6 +206,14 @@ class GraphStore:
         Probe indexes are materialized first so the snapshot carries them
         and a loaded store answers its first query without an index-build
         pause.
+
+        Example::
+
+            from repro.storage.snapshot import GraphStore
+
+            bundle = GraphStore.build(graph)        # offline phase, once
+            size = bundle.save("data.snap")
+            assert size > 0
         """
         self.materialize()
         self.store.build_indexes()
@@ -234,6 +242,15 @@ class GraphStore:
     @classmethod
     def load(cls, path: str | PathLike) -> "GraphStore":
         """Read and verify a snapshot; sections stay lazy until accessed.
+
+        Example::
+
+            from repro.core.gqbe import GQBE
+            from repro.storage.snapshot import GraphStore
+
+            bundle = GraphStore.load("data.snap")   # verify + lazy sections
+            system = GQBE(graph_store=bundle)       # warm start
+            # or in one step: GQBE.from_snapshot("data.snap")
 
         Raises
         ------

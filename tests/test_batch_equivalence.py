@@ -1,0 +1,169 @@
+"""`query_batch` must be byte-identical to sequential `query()` calls.
+
+The batch arena (:mod:`repro.storage.batch`) memoizes join plans,
+plan-prefix relations, first-edge scans and child-extension relations
+across the queries of one batch.  Every memo replays work a sequential
+query would have computed identically, so the ranked answers — entities,
+scores, ranks — and the exploration statistics must match exactly, for
+every engine layout and batch size.  These tests pin that contract on the
+Fig. 14-style synthetic workload (batch sizes 1, 2 and the full 20-query
+workload) and on the Fig. 1 running example.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GQBEConfig
+from repro.core.gqbe import GQBE
+from repro.datasets.workloads import build_freebase_workload
+from repro.exceptions import QueryError
+
+#: Engine layouts under test: the default columnar engine, the tuple-row
+#: interned engine, and the string-id reference engine.
+ENGINES = {
+    "columnar": {"intern_entities": True, "columnar": True},
+    "rows-int": {"intern_entities": True, "columnar": False},
+    "rows-str": {"intern_entities": False, "columnar": False},
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_freebase_workload(seed=7, scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def systems(workload):
+    graph = workload.dataset.graph
+    built = {}
+    for name, flags in ENGINES.items():
+        config = GQBEConfig(
+            mqg_size=8,
+            k_prime=20,
+            node_budget=500,
+            max_join_rows=50_000,
+            **flags,
+        )
+        built[name] = GQBE(graph, config=config)
+    return built
+
+
+def answer_key(result):
+    """Everything observable about a result's ranked answers."""
+    return [
+        (
+            answer.rank,
+            answer.entities,
+            answer.score,
+            answer.structure_score,
+            answer.content_score,
+        )
+        for answer in result.answers
+    ]
+
+
+def stats_key(result):
+    stats = result.statistics
+    return (
+        stats.nodes_evaluated,
+        stats.null_nodes,
+        stats.nodes_skipped,
+        stats.answers_found,
+        stats.terminated_early,
+        stats.node_budget_exhausted,
+    )
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("batch_size", [1, 2, 20])
+def test_batch_matches_sequential(systems, workload, engine, batch_size):
+    system = systems[engine]
+    tuples = [query.query_tuple for query in workload.queries][:batch_size]
+    assert len(tuples) == batch_size
+
+    sequential = [system.query(t, k=5) for t in tuples]
+    batched = system.query_batch(tuples, k=5)
+
+    assert len(batched) == batch_size
+    for seq, bat, query_tuple in zip(sequential, batched, tuples):
+        assert bat.query_tuples == (query_tuple,)
+        assert answer_key(seq) == answer_key(bat)
+        assert stats_key(seq) == stats_key(bat)
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+def test_batch_matches_sequential_with_k_prime_override(systems, workload, engine):
+    """The Fig. 14 efficiency protocol (k' = k) must stay identical too."""
+    system = systems[engine]
+    tuples = [query.query_tuple for query in workload.queries]
+    sequential = [system.query(t, k=5, k_prime=5) for t in tuples]
+    batched = system.query_batch(tuples, k=5, k_prime=5)
+    for seq, bat in zip(sequential, batched):
+        assert answer_key(seq) == answer_key(bat)
+        assert stats_key(seq) == stats_key(bat)
+
+
+def test_batch_with_memo_disabled_matches(systems, workload):
+    """batch_join_memo=False must take the plain per-query path."""
+    reference = systems["columnar"]
+    config = GQBEConfig(
+        mqg_size=8,
+        k_prime=20,
+        node_budget=500,
+        max_join_rows=50_000,
+        batch_join_memo=False,
+    )
+    system = GQBE(workload.dataset.graph, config=config)
+    tuples = [query.query_tuple for query in workload.queries][:5]
+    batched = system.query_batch(tuples, k=5)
+    sequential = [reference.query(t, k=5) for t in tuples]
+    for seq, bat in zip(sequential, batched):
+        assert answer_key(seq) == answer_key(bat)
+
+
+def test_duplicate_queries_collapse_and_fan_out(systems, workload):
+    """Duplicates are evaluated once but every caller gets full answers."""
+    system = systems["columnar"]
+    base = workload.queries[0].query_tuple
+    other = workload.queries[1].query_tuple
+    batch = [base, other, base, base, other]
+    results = system.query_batch(batch, k=5)
+    assert len(results) == len(batch)
+    reference = {
+        base: system.query(base, k=5),
+        other: system.query(other, k=5),
+    }
+    for query_tuple, result in zip(batch, results):
+        assert answer_key(result) == answer_key(reference[query_tuple])
+    # Fan-out results are independent objects sharing no mutable state.
+    assert results[0].answers is not results[2].answers
+    assert results[0].statistics is not results[2].statistics
+
+
+def test_batch_arena_is_discarded_between_calls(systems, workload):
+    """Two identical batch calls return identical answers (no state leak)."""
+    system = systems["columnar"]
+    tuples = [query.query_tuple for query in workload.queries][:6]
+    first = system.query_batch(tuples, k=5)
+    second = system.query_batch(tuples, k=5)
+    for a, b in zip(first, second):
+        assert answer_key(a) == answer_key(b)
+        assert stats_key(a) == stats_key(b)
+
+
+def test_empty_batch_and_bad_tuples():
+    from repro.datasets.example_graph import figure1_excerpt
+
+    system = GQBE(figure1_excerpt(), config=GQBEConfig(mqg_size=8))
+    assert system.query_batch([]) == []
+    with pytest.raises(QueryError):
+        system.query_batch([("Jerry Yang",), ()])
+
+
+def test_figure1_batch_answers(figure1_system, figure1_truth):
+    """Running example: batch answers still contain the ground truth."""
+    result = figure1_system.query_batch([("Jerry Yang", "Yahoo!")], k=5)[0]
+    answers = result.answer_tuples()
+    for expected in figure1_truth:
+        assert expected in answers

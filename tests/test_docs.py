@@ -1,0 +1,46 @@
+"""The documentation must stay executable and internally linked.
+
+Runs the same checker as CI's docs job (``tools/check_docs.py``): every
+relative link in README.md and docs/*.md must resolve, every ```python
+block must execute, and the README quickstart's ``gqbe`` console
+commands must run as written (including an ephemeral ``gqbe serve`` +
+``curl`` round-trip).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_docs"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_readme_and_docs_exist():
+    assert (REPO_ROOT / "README.md").is_file()
+    assert (REPO_ROOT / "docs" / "configuration.md").is_file()
+    assert (REPO_ROOT / "docs" / "snapshot-format.md").is_file()
+
+
+def test_docs_links_resolve():
+    checker = _load_checker()
+    problems = []
+    for path in [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]:
+        problems.extend(checker.check_links(path, path.read_text()))
+    assert problems == []
+
+
+def test_docs_code_blocks_execute():
+    """The full checker: code blocks run, quickstart commands work."""
+    checker = _load_checker()
+    assert checker.main() == 0

@@ -1,0 +1,397 @@
+"""Serve-layer tests: HTTP frontend, micro-batcher, LRU answer cache.
+
+Covers the serving acceptance criteria: concurrent JSON queries answered
+from one warm snapshot load, request batching through
+``GQBE.query_batch``, and — critically — that the LRU answer cache never
+serves a stale answer after a new snapshot is loaded (generation guard).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.config import GQBEConfig
+from repro.core.gqbe import GQBE
+from repro.exceptions import UnknownEntityError
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.serving.batching import QueryBatcher
+from repro.serving.cache import AnswerCache
+from repro.serving.server import GQBEServer
+from repro.storage.snapshot import GraphStore
+
+
+# ----------------------------------------------------------------------
+# AnswerCache
+# ----------------------------------------------------------------------
+def test_cache_lru_eviction_order():
+    cache = AnswerCache(capacity=2)
+    generation = cache.generation
+    cache.put("a", 1, generation)
+    cache.put("b", 2, generation)
+    assert cache.get("a") == 1  # refresh "a": now "b" is least recent
+    cache.put("c", 3, generation)
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.evictions == 1
+
+
+def test_cache_generation_guard_drops_stale_puts():
+    cache = AnswerCache(capacity=8)
+    old_generation = cache.generation
+    cache.invalidate()
+    assert not cache.put("key", "stale", old_generation)
+    assert cache.get("key") is None
+    assert cache.put("key", "fresh", cache.generation)
+    assert cache.get("key") == "fresh"
+    assert cache.stale_puts == 1
+
+
+def test_cache_zero_capacity_disables_caching():
+    cache = AnswerCache(capacity=0)
+    assert not cache.put("key", 1, cache.generation)
+    assert cache.get("key") is None
+
+
+# ----------------------------------------------------------------------
+# QueryBatcher
+# ----------------------------------------------------------------------
+def test_batcher_groups_concurrent_submissions():
+    calls = []
+    started = threading.Barrier(5)
+
+    def runner(tuples, k, k_prime):
+        calls.append(list(tuples))
+        return [("result", tuple(t), k, k_prime) for t in tuples]
+
+    batcher = QueryBatcher(runner, window_seconds=0.2, max_batch=16)
+    try:
+        def submit(i):
+            started.wait(timeout=5)
+            return batcher.submit(("entity", str(i)), k=3)
+
+        with ThreadPoolExecutor(max_workers=5) as pool:
+            results = list(pool.map(submit, range(5)))
+        assert sorted(r[1][1] for r in results) == [str(i) for i in range(5)]
+        # All five arrived within the window: one batched runner call.
+        assert len(calls) == 1 and len(calls[0]) == 5
+        assert batcher.stats()["largest_batch"] == 5
+    finally:
+        batcher.close()
+
+
+def test_batcher_groups_by_ranking_parameters():
+    calls = []
+
+    def runner(tuples, k, k_prime):
+        calls.append((list(tuples), k, k_prime))
+        return [("ok", k) for _ in tuples]
+
+    batcher = QueryBatcher(runner, window_seconds=0.2, max_batch=16)
+    try:
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(batcher.submit, ("e",), 5),
+                pool.submit(batcher.submit, ("f",), 5),
+                pool.submit(batcher.submit, ("g",), 9),
+            ]
+            results = [f.result(timeout=5) for f in futures]
+        assert sorted(r[1] for r in results) == [5, 5, 9]
+        ks = sorted(k for _, k, _ in calls)
+        assert ks == [5, 9]  # one subgroup per (k, k_prime)
+    finally:
+        batcher.close()
+
+
+def test_batcher_per_query_errors_do_not_poison_batchmates():
+    def runner(tuples, k, k_prime):
+        out = []
+        for t in tuples:
+            if t[0] == "bad":
+                out.append(UnknownEntityError("bad"))
+            else:
+                out.append(("ok", t))
+        return out
+
+    batcher = QueryBatcher(runner, window_seconds=0.1, max_batch=8)
+    try:
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            good = pool.submit(batcher.submit, ("good",), 3)
+            bad = pool.submit(batcher.submit, ("bad",), 3)
+            assert good.result(timeout=5) == ("ok", ("good",))
+            with pytest.raises(UnknownEntityError):
+                bad.result(timeout=5)
+    finally:
+        batcher.close()
+
+
+def test_batcher_close_rejects_new_submissions():
+    batcher = QueryBatcher(lambda tuples, k, kp: [None for _ in tuples])
+    batcher.close()
+    with pytest.raises(RuntimeError):
+        batcher.submit(("x",), 3)
+
+
+# ----------------------------------------------------------------------
+# GQBEServer over HTTP
+# ----------------------------------------------------------------------
+def _second_graph() -> KnowledgeGraph:
+    """A graph where the Fig. 1 founder query has different answers."""
+    graph = KnowledgeGraph()
+    for founder, company in [
+        ("Jerry Yang", "Yahoo!"),
+        ("Ada Lovelace", "Analytical Engines Ltd"),
+        ("Grace Hopper", "COBOL Systems"),
+    ]:
+        graph.add_edge(founder, "founded", company)
+        graph.add_edge(founder, "profession", "Engineer")
+        graph.add_edge(company, "industry", "Computing")
+    return graph
+
+
+@pytest.fixture(scope="module")
+def figure1_server(figure1_graph):
+    server = GQBEServer(
+        GQBE(figure1_graph, config=GQBEConfig(mqg_size=10)),
+        port=0,
+        batch_window_seconds=0.002,
+        cache_size=64,
+    ).start()
+    yield server
+    server.stop()
+
+
+def _post(server, path, payload):
+    connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        connection.request(
+            "POST",
+            path,
+            body=json.dumps(payload),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def _get(server, path):
+    connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def test_serve_answers_match_direct_query(figure1_server, figure1_system):
+    status, body = _post(
+        figure1_server, "/query", {"tuple": ["Jerry Yang", "Yahoo!"], "k": 5}
+    )
+    assert status == 200
+    direct = figure1_system.query(("Jerry Yang", "Yahoo!"), k=5)
+    assert [tuple(a["entities"]) for a in body["answers"]] == [
+        answer.entities for answer in direct.answers
+    ]
+    assert [a["score"] for a in body["answers"]] == [
+        answer.score for answer in direct.answers
+    ]
+    assert body["cached"] is False
+
+
+def test_serve_concurrent_requests_batch_and_agree(figure1_server, figure1_system):
+    queries = [["Jerry Yang", "Yahoo!"], ["Sergey Brin", "Google"]] * 4
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        responses = list(
+            pool.map(
+                lambda q: _post(figure1_server, "/query", {"tuple": q, "k": 3}),
+                queries,
+            )
+        )
+    for (status, body), query in zip(responses, queries):
+        assert status == 200
+        direct = figure1_system.query(tuple(query), k=3)
+        assert [tuple(a["entities"]) for a in body["answers"]] == [
+            answer.entities for answer in direct.answers
+        ]
+    stats = figure1_server.stats()
+    assert stats["requests_served"] >= len(queries)
+    assert stats["batcher"]["queries_batched"] >= 1
+
+
+def test_serve_cache_hit_on_repeat(figure1_server):
+    payload = {"tuple": ["Steve Wozniak", "Apple Inc."], "k": 4}
+    status1, first = _post(figure1_server, "/query", payload)
+    status2, second = _post(figure1_server, "/query", payload)
+    assert status1 == status2 == 200
+    assert second["cached"] is True
+    assert first["answers"] == second["answers"]
+
+
+def test_serve_multi_tuple_query(figure1_server, figure1_system):
+    payload = {
+        "tuples": [["Jerry Yang", "Yahoo!"], ["Sergey Brin", "Google"]],
+        "k": 4,
+    }
+    status, body = _post(figure1_server, "/query", payload)
+    assert status == 200
+    direct = figure1_system.query_multi(
+        [("Jerry Yang", "Yahoo!"), ("Sergey Brin", "Google")], k=4
+    )
+    assert [tuple(a["entities"]) for a in body["answers"]] == [
+        answer.entities for answer in direct.answers
+    ]
+
+
+def test_serve_rejects_bad_requests(figure1_server):
+    assert _post(figure1_server, "/query", {"k": 3})[0] == 400
+    assert _post(figure1_server, "/query", {"tuple": []})[0] == 400
+    assert _post(figure1_server, "/query", {"tuple": ["x"], "k": 0})[0] == 400
+    status, body = _post(figure1_server, "/query", {"tuple": ["NoSuchEntity"]})
+    assert status == 400 and body["type"] == "UnknownEntityError"
+    assert _get(figure1_server, "/nope")[0] == 404
+
+
+def test_serve_healthz(figure1_server, figure1_graph):
+    status, body = _get(figure1_server, "/healthz")
+    assert status == 200
+    assert body["status"] == "ok"
+    assert body["graph"]["edges"] == figure1_graph.num_edges
+
+
+def test_serve_cache_never_stale_after_snapshot_reload(figure1_graph, tmp_path):
+    """The acceptance-critical staleness test.
+
+    Query against snapshot A (answers cached), hot-swap snapshot B whose
+    graph ranks different founders, re-issue the same query: the response
+    must be B's answer, never A's cached one.
+    """
+    snap_a = tmp_path / "a.snap"
+    snap_b = tmp_path / "b.snap"
+    GraphStore.build(figure1_graph).save(snap_a)
+    graph_b = _second_graph()
+    GraphStore.build(graph_b).save(snap_b)
+
+    server = GQBEServer.from_snapshot(
+        snap_a, port=0, batch_window_seconds=0.001, cache_size=64
+    ).start()
+    try:
+        payload = {"tuple": ["Jerry Yang", "Yahoo!"], "k": 5}
+        _, before = _post(server, "/query", payload)
+        _, before_again = _post(server, "/query", payload)
+        assert before_again["cached"] is True
+
+        status, reload_body = _post(
+            server, "/admin/reload", {"snapshot": str(snap_b)}
+        )
+        assert status == 200 and reload_body["reloaded"] is True
+
+        _, after = _post(server, "/query", payload)
+        assert after["cached"] is False
+        assert after["generation"] > before["generation"]
+        expected = GQBE(graph_b).query(("Jerry Yang", "Yahoo!"), k=5)
+        assert [tuple(a["entities"]) for a in after["answers"]] == [
+            answer.entities for answer in expected.answers
+        ]
+        assert after["answers"] != before["answers"]
+    finally:
+        server.stop()
+
+
+def test_serve_in_flight_result_cannot_poison_cache_after_reload(
+    figure1_graph, tmp_path
+):
+    """A put computed against the old snapshot is dropped by the guard."""
+    snap = tmp_path / "a.snap"
+    GraphStore.build(figure1_graph).save(snap)
+    server = GQBEServer.from_snapshot(snap, port=0, cache_size=64)
+    try:
+        generation_before = server._cache.generation
+        status, body = server.handle_query(
+            {"tuple": ["Jerry Yang", "Yahoo!"], "k": 3}
+        )
+        assert status == 200
+        # Simulate a reload landing between compute and a later (stale) put.
+        server._cache.invalidate()
+        assert not server._cache.put("whatever", body, generation_before)
+        status, after = server.handle_query(
+            {"tuple": ["Jerry Yang", "Yahoo!"], "k": 3}
+        )
+        assert status == 200 and after["cached"] is False
+    finally:
+        server._batcher.close()
+
+
+# ----------------------------------------------------------------------
+# bench-serve load driver + CLI plumbing
+# ----------------------------------------------------------------------
+def test_bench_serve_load_driver(figure1_server):
+    from repro.serving.loadgen import run_load
+
+    report = run_load(
+        figure1_server.host,
+        figure1_server.port,
+        [["Jerry Yang", "Yahoo!"], ["Sergey Brin", "Google"]],
+        k=3,
+        requests=12,
+        concurrency=4,
+    )
+    assert report["completed"] == 12 and report["errors"] == 0
+    assert report["throughput_rps"] > 0
+    assert report["latency_ms"]["p95"] >= report["latency_ms"]["p50"] > 0
+
+
+def test_cli_bench_serve_workload(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "report.json"
+    exit_code = main(
+        [
+            "bench-serve",
+            "--workload",
+            "freebase",
+            "--scale",
+            "0.1",
+            "--requests",
+            "10",
+            "--concurrency",
+            "2",
+            "--warmup",
+            "2",
+            "--port",
+            "0",
+            "--json",
+            str(out),
+        ]
+    )
+    assert exit_code == 0
+    report = json.loads(out.read_text())
+    assert report["completed"] == 10 and report["errors"] == 0
+    assert "throughput" in capsys.readouterr().out
+
+
+def test_cli_bench_serve_rejects_workload_plus_snapshot(capsys):
+    from repro.cli import main
+
+    assert main(["bench-serve", "--workload", "freebase", "--snapshot", "x.snap"]) == 2
+    assert "not both" in capsys.readouterr().err
+
+
+def test_cli_serve_parser_wiring():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--snapshot", "x.snap", "--port", "0", "--batch-window-ms", "2"]
+    )
+    assert args.snapshot == "x.snap"
+    assert args.port == 0
+    assert args.batch_window_ms == 2.0
+    assert args.func.__name__ == "_cmd_serve"

@@ -1,0 +1,252 @@
+#!/usr/bin/env python
+"""Documentation checker: docs must execute, links must resolve.
+
+Run from the repository root (CI's docs job does)::
+
+    python tools/check_docs.py
+
+Checks, over ``README.md`` and ``docs/*.md``:
+
+* **intra-repo links** — every relative markdown link target must exist
+  (anchors and external ``http(s)``/``mailto`` links are ignored);
+* **```python blocks** — executed top to bottom in one namespace per
+  file (so later blocks may build on earlier ones), in a scratch
+  directory;
+* **```console blocks** — each ``$ `` line is executed:
+
+  - ``gqbe <args>`` runs through :func:`repro.cli.main` in the scratch
+    directory, so the quickstart's ``generate → build-index → query``
+    flow runs exactly as written;
+  - ``gqbe serve ...`` would block forever, so the checker starts the
+    documented server configuration on an ephemeral port in the
+    background instead, and maps subsequent ``curl`` lines onto it;
+  - ``curl`` lines are replayed through ``http.client`` against the
+    running doc server and must return HTTP 200;
+  - anything else (``pip``, shell plumbing) is skipped.
+
+Any failure prints the offending file/block and exits non-zero.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import http.client
+import json
+import os
+import re
+import shlex
+import sys
+import tempfile
+import urllib.parse
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+_FENCE = re.compile(r"^```(\w*)\s*$")
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def iter_blocks(text: str):
+    """Yield ``(language, first_line_number, code)`` for fenced blocks."""
+    language = None
+    start = 0
+    lines: list[str] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        fence = _FENCE.match(line)
+        if language is None:
+            if fence:
+                language = fence.group(1) or "text"
+                start = number + 1
+                lines = []
+        elif line.strip() == "```":
+            yield language, start, "\n".join(lines)
+            language = None
+        else:
+            lines.append(line)
+
+
+def check_links(path: Path, text: str) -> list[str]:
+    """Broken relative link targets in ``text`` (empty when all resolve)."""
+    problems = []
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = urllib.parse.unquote(target.split("#", 1)[0])
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: broken link -> {target}")
+    return problems
+
+
+class _DocServer:
+    """The background server standing in for a documented ``gqbe serve``."""
+
+    def __init__(self, argv: list[str], cwd: Path) -> None:
+        from repro.cli import _load_system, build_parser
+        from repro.serving.server import GQBEServer
+
+        args = build_parser().parse_args(argv)
+        loaded = _load_system(args)
+        if isinstance(loaded, int):
+            raise RuntimeError(f"gqbe serve could not load a system: {argv}")
+        system, snapshot_path = loaded
+        self.documented_port = args.port
+        self.server = GQBEServer(
+            system,
+            snapshot_path=snapshot_path,
+            host=args.host,
+            port=0,  # the doc's port may be taken; curl lines are remapped
+            batch_window_seconds=args.batch_window_ms / 1000.0,
+            max_batch=args.max_batch,
+            cache_size=args.cache_size,
+        ).start()
+
+    def curl(self, pieces: list[str]) -> tuple[int, bytes]:
+        method = "GET"
+        body = None
+        url = None
+        iterator = iter(pieces[1:])
+        for piece in iterator:
+            if piece in ("-X", "--request"):
+                method = next(iterator)
+            elif piece in ("-d", "--data", "--data-raw"):
+                body = next(iterator)
+                if method == "GET":
+                    method = "POST"
+            elif piece in ("-H", "--header"):
+                next(iterator)
+            elif piece == "-s":
+                continue
+            elif not piece.startswith("-"):
+                url = piece
+        if url is None:
+            raise RuntimeError(f"curl line without a URL: {pieces}")
+        parsed = urllib.parse.urlsplit(url)
+        connection = http.client.HTTPConnection(
+            self.server.host, self.server.port, timeout=60
+        )
+        try:
+            target = parsed.path or "/"
+            if parsed.query:
+                target += "?" + parsed.query
+            connection.request(
+                method,
+                target,
+                body=body.encode() if body is not None else None,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def stop(self) -> None:
+        self.server.stop()
+
+
+def run_console_block(code: str, cwd: Path, state: dict) -> list[str]:
+    """Execute a ```console block's ``$`` lines; returns problems."""
+    from repro.cli import main as cli_main
+
+    problems = []
+    for line in code.splitlines():
+        line = line.strip()
+        if not line.startswith("$ "):
+            continue  # sample output
+        command = line[2:].strip()
+        pieces = shlex.split(command)
+        if not pieces:
+            continue
+        if pieces[0] == "gqbe":
+            if len(pieces) > 1 and pieces[1] == "serve":
+                try:
+                    state["server"] = _DocServer(pieces[1:], cwd)
+                    print(f"  serve: started ephemeral server for: {command}")
+                except Exception as error:  # noqa: BLE001 - reported below
+                    problems.append(f"`{command}` failed: {error!r}")
+            else:
+                try:
+                    exit_code = cli_main(pieces[1:])
+                except SystemExit as error:  # argparse failures
+                    exit_code = error.code
+                except Exception as error:  # noqa: BLE001 - reported below
+                    problems.append(f"`{command}` raised {error!r}")
+                    continue
+                if exit_code not in (0, None):
+                    problems.append(f"`{command}` exited with {exit_code}")
+        elif pieces[0] == "curl":
+            server = state.get("server")
+            if server is None:
+                problems.append(f"`{command}` has no running doc server")
+                continue
+            try:
+                status, payload = server.curl(pieces)
+            except Exception as error:  # noqa: BLE001 - reported below
+                problems.append(f"`{command}` raised {error!r}")
+                continue
+            if status != 200:
+                problems.append(
+                    f"`{command}` returned HTTP {status}: {payload[:200]!r}"
+                )
+            else:
+                preview = payload[:120].decode("utf-8", "replace")
+                print(f"  curl: 200 {preview}...")
+        else:
+            print(f"  skipped non-gqbe command: {command}")
+    return problems
+
+
+def check_file(path: Path) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    problems = check_links(path, text)
+    namespace: dict = {"__name__": f"docs_check_{path.stem}"}
+    state: dict = {}
+    with tempfile.TemporaryDirectory(prefix="gqbe-docs-") as scratch:
+        scratch_path = Path(scratch)
+        previous = os.getcwd()
+        os.chdir(scratch_path)
+        try:
+            for language, line, code in iter_blocks(text):
+                location = f"{path.relative_to(REPO_ROOT)}:{line}"
+                if language == "python":
+                    print(f"  exec python block at {location}")
+                    try:
+                        exec(compile(code, location, "exec"), namespace)  # noqa: S102
+                    except Exception as error:  # noqa: BLE001 - reported below
+                        problems.append(f"python block at {location}: {error!r}")
+                elif language == "console":
+                    print(f"  exec console block at {location}")
+                    problems.extend(run_console_block(code, scratch_path, state))
+        finally:
+            os.chdir(previous)
+            server = state.get("server")
+            if server is not None:
+                with contextlib.suppress(Exception):
+                    server.stop()
+    return problems
+
+
+def main() -> int:
+    files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    all_problems = []
+    for path in files:
+        if not path.exists():
+            all_problems.append(f"missing documentation file: {path}")
+            continue
+        print(f"checking {path.relative_to(REPO_ROOT)}")
+        all_problems.extend(check_file(path))
+    if all_problems:
+        print(f"\n{len(all_problems)} documentation problem(s):", file=sys.stderr)
+        for problem in all_problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"\nall good: {len(files)} files checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
