@@ -17,6 +17,13 @@ A third benchmark times one steady-state serve-layer load pass over HTTP
 (threaded server + batcher + answer cache) to keep the full frontend
 under the regression gate.  The absolute serve-throughput artifact for CI
 comes from ``gqbe bench-serve`` (see ``.github/workflows/ci.yml``).
+
+PR 4 additions: the **v2 sharded snapshot warm start** (manifest-only
+open — no section deserialization, no shard maps) and the **pooled
+batch** path (the Fig. 14 window sharded across a snapshot-backed
+process pool).  Note the pooled numbers are core-count-bound: on a
+single-core runner the pool pays IPC for no parallelism; with N cores
+the window parallelizes up to min(N, workers)×.
 """
 
 from __future__ import annotations
@@ -25,9 +32,13 @@ import pytest
 
 from repro.core.config import GQBEConfig
 from repro.core.gqbe import GQBE
+from repro.storage.snapshot import GraphStore
 
 #: Concurrent users replaying the Fig. 14 workload inside one window.
 WINDOW_USERS = 3
+
+#: Process-pool width for the pooled benchmarks.
+POOL_WORKERS = 4
 
 
 @pytest.fixture(scope="module")
@@ -72,6 +83,78 @@ def test_bench_fig14_serving_window_query_batch(batch_system, benchmark):
     assert len(results) == 20 * WINDOW_USERS
     # The window's duplicates collapse to 20 evaluations; answers fan out.
     assert all(results[i].answers for i in range(len(window)))
+
+
+@pytest.fixture(scope="module")
+def v2_snapshot(batch_system, tmp_path_factory):
+    """The Fig. 14 workload graph saved as a v2 sharded snapshot."""
+    system, _tuples = batch_system
+    directory = tmp_path_factory.mktemp("snapv2") / "workload.snapdir"
+    system.graph_store.save(directory, format="v2")
+    return directory
+
+
+def test_bench_v2_warm_start(v2_snapshot, benchmark):
+    """Opening a v2 snapshot: manifest read + system wiring, nothing else.
+
+    The contract being timed: no section pickles load and no label shard
+    is mapped until a query needs them.
+    """
+
+    def warm_start():
+        system = GQBE.from_snapshot(v2_snapshot)
+        return system.graph_store.lazy_report()
+
+    report = benchmark(warm_start)
+    assert report["tables_opened"] == 0
+    assert report["sections_loaded"] == []
+
+
+def test_bench_v2_warm_start_first_query(v2_snapshot, batch_system, benchmark):
+    """v2 cold open through the first answered query (partial shard load)."""
+    _system, tuples = batch_system
+    config = GQBEConfig(
+        mqg_size=10, k_prime=25, node_budget=1000, max_join_rows=100_000
+    )
+
+    def open_and_query():
+        system = GQBE.from_snapshot(v2_snapshot, config=config)
+        result = system.query(tuples[0], k=10)
+        return system.graph_store.lazy_report(), result
+
+    report, result = benchmark(open_and_query)
+    assert result.answers
+    # Partial load: the query's plan probes a few labels, not all 60+.
+    assert 0 < report["tables_opened"] < report["tables_total"]
+
+
+@pytest.fixture(scope="module")
+def worker_pool(v2_snapshot, batch_system):
+    """A warm snapshot-backed process pool (spawn + shard maps prepaid)."""
+    from repro.serving.pool import WorkerPool
+
+    _system, tuples = batch_system
+    config = GQBEConfig(
+        mqg_size=10, k_prime=25, node_budget=1000, max_join_rows=100_000
+    )
+    pool = WorkerPool(
+        workers=POOL_WORKERS, snapshot_path=v2_snapshot, config=config
+    )
+    pool.query_batch(tuples, k=10)  # fork workers, map shards, warm memos
+    yield pool
+    pool.close()
+
+
+def test_bench_fig14_pooled_query_batch(worker_pool, batch_system, benchmark):
+    """The Fig. 14 window sharded across the process pool.
+
+    Compare against ``test_bench_fig14_query_batch`` (inline): the delta
+    is IPC + result pickling vs min(cores, workers)× parallel lattice
+    exploration.
+    """
+    _system, tuples = batch_system
+    results = benchmark(worker_pool.query_batch, tuples, 10)
+    assert len(results) == 20 and all(r.answers for r in results)
 
 
 def test_bench_serve_layer_load_pass(batch_system, benchmark):

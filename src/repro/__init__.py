@@ -10,12 +10,20 @@ The top-level package re-exports the public API:
   — query results.
 """
 
+from importlib import metadata as _metadata
+
 from repro.core.answer import AnswerTuple, QueryResult
 from repro.core.config import GQBEConfig
 from repro.core.gqbe import GQBE
 from repro.graph.knowledge_graph import Edge, KnowledgeGraph
 
-__version__ = "1.0.0"
+# The single source of truth for the version is the package metadata
+# (pyproject.toml); a source tree that was never pip-installed has none,
+# which the fallback marks explicitly instead of faking a release.
+try:
+    __version__ = _metadata.version("gqbe-repro")
+except _metadata.PackageNotFoundError:  # pragma: no cover - dev checkouts
+    __version__ = "0.0.0+uninstalled"
 
 __all__ = [
     "GQBE",

@@ -9,14 +9,17 @@ Subcommands
         gqbe query --snapshot data.snap --tuple "Jerry Yang,Yahoo!"
 ``gqbe build-index``
     Run the offline build for a triple file and save it as an index
-    snapshot for instant warm starts::
+    snapshot for instant warm starts (``--format v2`` writes the
+    sharded, memory-mappable directory layout)::
 
         gqbe build-index data.tsv data.snap
+        gqbe build-index data.tsv data.snapdir --format v2
 ``gqbe serve``
     Start the long-lived HTTP serving frontend over one warm snapshot
-    (request batching + LRU answer cache; see :mod:`repro.serving`)::
+    (request batching + LRU answer cache; ``--workers N`` shards each
+    batching window across a process pool; see :mod:`repro.serving`)::
 
-        gqbe serve --snapshot data.snap --port 8080
+        gqbe serve --snapshot data.snapdir --port 8080 --workers 4
 ``gqbe bench-serve``
     Load-test a serving frontend (embedded, over a snapshot or a built-in
     synthetic workload) and report throughput/latency::
@@ -36,6 +39,7 @@ import json
 import sys
 import time
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.core.config import GQBEConfig
 from repro.core.gqbe import GQBE
@@ -100,11 +104,13 @@ def _cmd_build_index(args: argparse.Namespace) -> int:
     build_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    size = graph_store.save(args.output)
+    size = graph_store.save(args.output, format=args.format)
     save_seconds = time.perf_counter() - started
+    kind = "sharded directory" if args.format == "v2" else "file"
     print(
         f"indexed {graph.num_edges} edges ({graph.num_nodes} nodes, "
-        f"{graph.num_labels} labels) to {args.output} ({size} bytes)\n"
+        f"{graph.num_labels} labels) to {args.output} "
+        f"({args.format} {kind}, {size} bytes)\n"
         f"load {load_seconds:.3f}s  build {build_seconds:.3f}s  "
         f"save {save_seconds:.3f}s"
     )
@@ -154,13 +160,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_window_seconds=args.batch_window_ms / 1000.0,
         max_batch=args.max_batch,
         cache_size=args.cache_size,
+        workers=args.workers,
     )
     meta = system.graph_store.meta()
     print(
         f"serving {meta.get('num_edges')} edges ({meta.get('num_nodes')} nodes) "
         f"on http://{server.host}:{server.port}  "
         f"[batch window {args.batch_window_ms:g}ms, max batch {args.max_batch}, "
-        f"cache {args.cache_size}]"
+        f"cache {args.cache_size}, workers {args.workers}]"
     )
     try:
         server.serve_forever()
@@ -174,6 +181,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from repro.serving.loadgen import bench_serve
     from repro.serving.server import GQBEServer
 
+    scratch_dir: str | None = None
     if args.workload is not None:
         if args.snapshot is not None or args.graph is not None:
             print(
@@ -192,8 +200,23 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             else build_dbpedia_workload
         )
         workload = build(scale=args.scale)
-        system = GQBE(workload.dataset.graph)
-        snapshot_path = None
+        if args.workers > 1:
+            # Pooled runs serve from a real v2 sharded snapshot so the
+            # workers memory-map shared pages instead of each forking a
+            # private copy of the workload graph.
+            import tempfile
+
+            from repro.storage.snapshot import GraphStore as _GraphStore
+
+            scratch_dir = tempfile.mkdtemp(prefix="gqbe-bench-")
+            snapshot_path = str(Path(scratch_dir) / "workload.snapdir")
+            _GraphStore.build(workload.dataset.graph).save(
+                snapshot_path, format="v2"
+            )
+            system = GQBE.from_snapshot(snapshot_path)
+        else:
+            system = GQBE(workload.dataset.graph)
+            snapshot_path = None
         tuples = [list(query.query_tuple) for query in workload.queries]
     else:
         loaded = _load_system(args)
@@ -216,6 +239,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         batch_window_seconds=args.batch_window_ms / 1000.0,
         max_batch=args.max_batch,
         cache_size=args.cache_size,
+        workers=args.workers,
     ).start()
     try:
         report = bench_serve(
@@ -228,6 +252,10 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         )
     finally:
         server.stop()
+        if scratch_dir is not None:
+            import shutil
+
+            shutil.rmtree(scratch_dir, ignore_errors=True)
 
     latency = report["latency_ms"]
     print(
@@ -245,7 +273,19 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         print(
             f"batches {batcher.get('batches_run')}  "
             f"mean batch size {batcher.get('mean_batch_size', 0):.2f}  "
-            f"largest {batcher.get('largest_batch')}"
+            f"largest {batcher.get('largest_batch')}  "
+            f"pooled {batcher.get('pooled_batches', 0)}"
+        )
+    memory = report.get("memory", {})
+    if memory.get("parent_rss_bytes"):
+        worker_rss = memory.get("worker_rss_bytes") or []
+        workers_part = (
+            "  workers " + "+".join(f"{rss / 1e6:.0f}" for rss in worker_rss) + " MB"
+            if worker_rss
+            else ""
+        )
+        print(
+            f"rss: parent {memory['parent_rss_bytes'] / 1e6:.0f} MB{workers_part}"
         )
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -303,6 +343,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gqbe", description="Query knowledge graphs by example entity tuples."
     )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"gqbe {__version__}",
+        help="print the installed package version and exit",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     query = subparsers.add_parser("query", help="run a query over a triple file")
@@ -336,6 +384,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--rows",
         action="store_true",
         help="build tuple-row tables (the reference engine) instead of columnar",
+    )
+    build_index.add_argument(
+        "--format",
+        choices=("v1", "v2"),
+        default="v1",
+        help="v1: single-file snapshot; v2: sharded directory whose label "
+        "tables reopen as zero-copy memory-mapped shards (partial loads, "
+        "page sharing across serve workers)",
     )
     build_index.set_defaults(func=_cmd_build_index)
 
@@ -376,6 +432,14 @@ def build_parser() -> argparse.ArgumentParser:
             default=1024,
             dest="cache_size",
             help="LRU answer-cache capacity (0 disables caching)",
+        )
+        parser.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="process-pool width for batch execution: each worker opens "
+            "the served snapshot (shared mapped pages with a v2 snapshot) "
+            "and batching windows are sharded across them; 1 = inline",
         )
 
     serve = subparsers.add_parser(

@@ -60,6 +60,19 @@ class GQBEConfig:
         relations with more rows are recomputed instead of memoized, so
         a single hub-heavy prefix cannot pin an arbitrarily large array
         for the lifetime of the batch.  ``None`` caches everything.
+    execution:
+        Where :meth:`~repro.core.gqbe.GQBE.query_batch` runs.
+        ``"inline"`` (the default) evaluates the batch on the calling
+        thread.  ``"pool"`` shards the batch across a process pool
+        (:class:`~repro.serving.pool.WorkerPool`) of ``pool_workers``
+        workers — each worker opens the same snapshot (zero-copy shared
+        pages with a v2 mapped snapshot), bypassing the GIL for
+        CPU-bound explorations.  Ranked answers are byte-identical
+        either way; single queries and multi-tuple queries always run
+        inline.
+    pool_workers:
+        Number of worker processes for ``execution="pool"``.  ``None``
+        picks ``os.cpu_count()`` (capped at 8).
     """
 
     d: int = 2
@@ -72,6 +85,8 @@ class GQBEConfig:
     columnar: bool = True
     batch_join_memo: bool = True
     batch_memo_max_rows: int | None = 1_000_000
+    execution: str = "inline"
+    pool_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.d < 1:
@@ -89,4 +104,12 @@ class GQBEConfig:
         if self.batch_memo_max_rows is not None and self.batch_memo_max_rows < 0:
             raise EvaluationError(
                 f"batch_memo_max_rows must be >= 0, got {self.batch_memo_max_rows}"
+            )
+        if self.execution not in ("inline", "pool"):
+            raise EvaluationError(
+                f'execution must be "inline" or "pool", got {self.execution!r}'
+            )
+        if self.pool_workers is not None and self.pool_workers < 1:
+            raise EvaluationError(
+                f"pool_workers must be >= 1, got {self.pool_workers}"
             )

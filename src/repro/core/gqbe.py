@@ -15,6 +15,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Sequence
 from dataclasses import replace
@@ -48,6 +49,12 @@ class GQBE:
         if (graph is None) == (graph_store is None):
             raise QueryError("pass exactly one of graph or graph_store")
         self.config = config or GQBEConfig()
+        #: Where this system was loaded from (set by :meth:`from_snapshot`);
+        #: pooled execution hands it to the workers so each opens the same
+        #: (ideally memory-mapped v2) snapshot itself.
+        self._snapshot_path: str | None = None
+        self._pool = None
+        self._pool_lock = threading.Lock()
         if graph_store is not None:
             # Warm start: adopt the precomputed offline state.  The engine
             # flags must agree with the config, otherwise queries would run
@@ -138,7 +145,9 @@ class GQBE:
                 intern_entities=graph_store.intern_entities,
                 columnar=graph_store.columnar,
             )
-        return cls(config=config, graph_store=graph_store)
+        system = cls(config=config, graph_store=graph_store)
+        system._snapshot_path = str(path)
+        return system
 
     # ------------------------------------------------------------------
     # query graph discovery
@@ -290,6 +299,17 @@ class GQBE:
                 raise QueryError("query tuples must contain at least one entity")
         if not tuples:
             return []
+        if self.config.execution == "pool" and len(tuples) > 1:
+            return self.worker_pool().query_batch(tuples, k=k, k_prime=k_prime)
+        return self._query_batch_inline(tuples, k, k_prime)
+
+    def _query_batch_inline(
+        self,
+        tuples: list[tuple[str, ...]],
+        k: int,
+        k_prime: int | None,
+    ) -> list[QueryResult]:
+        """The in-process batch path (what pool workers run per chunk)."""
         arena = (
             JoinMemoArena(
                 max_rows=self.config.max_join_rows,
@@ -319,6 +339,44 @@ class GQBE:
                 )
             results.append(result)
         return results
+
+    # ------------------------------------------------------------------
+    # pooled execution
+    # ------------------------------------------------------------------
+    def worker_pool(self):
+        """The process pool backing ``execution="pool"`` (built lazily).
+
+        Snapshot-loaded systems hand each worker the snapshot path to
+        reopen (zero-copy shared pages with a v2 mapped snapshot);
+        graph-built systems fall back to fork-time inheritance.  Call
+        :meth:`close` to shut the workers down.
+        """
+        # Double-checked under a lock: concurrent first callers must not
+        # each build (and then leak) a pool of worker processes.
+        if self._pool is None:
+            from repro.serving.pool import WorkerPool
+
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = WorkerPool(
+                        workers=self.config.pool_workers,
+                        snapshot_path=self._snapshot_path,
+                        system=self if self._snapshot_path is None else None,
+                        config=replace(self.config, execution="inline"),
+                    )
+        return self._pool
+
+    def close(self) -> None:
+        """Release resources (the worker pool, if one was started)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "GQBE":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _query_single(
         self,

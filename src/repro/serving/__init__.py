@@ -13,6 +13,10 @@ north star is serving heavy traffic.  This package adds the missing layer:
 * :class:`~repro.serving.server.GQBEServer` — a threaded HTTP server
   (stdlib ``ThreadingHTTPServer``) exposing ``POST /query``,
   ``GET /healthz``, ``GET /stats`` and ``POST /admin/reload``;
+* :class:`~repro.serving.pool.WorkerPool` — a process pool that shards
+  a batch window across N workers, each holding the same (ideally
+  memory-mapped v2) snapshot open, bypassing the GIL for CPU-bound
+  explorations (``gqbe serve --workers N``);
 * :mod:`~repro.serving.loadgen` — the ``gqbe bench-serve`` load driver
   that measures serve throughput and latency percentiles.
 
@@ -30,6 +34,7 @@ programmatically::
 
 from repro.serving.batching import QueryBatcher
 from repro.serving.cache import AnswerCache
+from repro.serving.pool import WorkerPool
 from repro.serving.server import GQBEServer
 
-__all__ = ["AnswerCache", "QueryBatcher", "GQBEServer"]
+__all__ = ["AnswerCache", "QueryBatcher", "GQBEServer", "WorkerPool"]

@@ -60,6 +60,13 @@ class QueryBatcher:
         previous batch was executing.
     max_batch:
         Hard cap on requests per batch; the rest wait for the next one.
+    pool:
+        Optional :class:`~repro.serving.pool.WorkerPool`.  When set,
+        multi-query windows are dispatched to the pool — sharded across
+        worker *processes* and merged byte-identically — instead of the
+        inline runner; single-query windows and pool failures fall back
+        to ``runner``.  The attribute is mutable: a snapshot reload
+        swaps in a pool over the new snapshot.
     """
 
     def __init__(
@@ -67,6 +74,7 @@ class QueryBatcher:
         runner: Callable[[Sequence[tuple[str, ...]], int, int | None], list[QueryResult]],
         window_seconds: float = 0.005,
         max_batch: int = 64,
+        pool=None,
     ) -> None:
         if window_seconds < 0:
             raise ValueError(f"window_seconds must be >= 0, got {window_seconds}")
@@ -75,12 +83,14 @@ class QueryBatcher:
         self._runner = runner
         self.window_seconds = window_seconds
         self.max_batch = max_batch
+        self.pool = pool
         self._pending: list[_Pending] = []
         self._condition = threading.Condition()
         self._closed = False
         self.batches_run = 0
         self.queries_batched = 0
         self.largest_batch = 0
+        self.pooled_batches = 0
         self._worker = threading.Thread(
             target=self._run_worker, name="gqbe-batcher", daemon=True
         )
@@ -176,10 +186,9 @@ class QueryBatcher:
                 members = [member for member in members if not member.abandoned]
                 if not members:
                     continue
+                tuples = [member.query_tuple for member in members]
                 try:
-                    results = self._runner(
-                        [member.query_tuple for member in members], k, k_prime
-                    )
+                    results = self._execute(tuples, k, k_prime)
                 except BaseException as error:  # noqa: BLE001 - forwarded to callers
                     for member in members:
                         member.error = error
@@ -192,6 +201,24 @@ class QueryBatcher:
                 for member in members:
                     member.event.set()
 
+    def _execute(self, tuples, k, k_prime):
+        """One subgroup execution: process pool when it helps, else runner.
+
+        The pool only pays off when a window has several queries to
+        shard; a pool failure of any kind (engine error on one tuple, a
+        broken worker) degrades to the inline runner, which does its own
+        per-query error isolation.
+        """
+        pool = self.pool
+        if pool is not None and len(tuples) > 1:
+            try:
+                results = pool.query_batch(tuples, k=k, k_prime=k_prime)
+            except Exception:  # noqa: BLE001 - degrade to the inline runner
+                return self._runner(tuples, k, k_prime)
+            self.pooled_batches += 1
+            return results
+        return self._runner(tuples, k, k_prime)
+
     def stats(self) -> dict[str, float]:
         """Counter snapshot for the ``/stats`` endpoint."""
         batches = self.batches_run
@@ -202,4 +229,5 @@ class QueryBatcher:
             "queries_batched": self.queries_batched,
             "largest_batch": self.largest_batch,
             "mean_batch_size": (self.queries_batched / batches) if batches else 0.0,
+            "pooled_batches": self.pooled_batches,
         }

@@ -177,7 +177,7 @@ def bench_serve(
             concurrency=min(concurrency, warmup_requests),
             timeout=timeout,
         )
-    return run_load(
+    report = run_load(
         server.host,
         server.port,
         query_tuples,
@@ -186,3 +186,8 @@ def bench_serve(
         concurrency=concurrency,
         timeout=timeout,
     )
+    # Peak-RSS bookkeeping (after the load, i.e. with every lazily
+    # mapped shard the workload needed faulted in): proves that N
+    # snapshot-mapped workers share pages instead of multiplying RSS.
+    report["memory"] = server.memory_stats()
+    return report

@@ -1,0 +1,326 @@
+"""Process-pool query execution: shard a batch across worker processes.
+
+The inline engine is CPU-bound pure Python — under the GIL, one process
+can use one core no matter how many serving threads pile up.
+:class:`WorkerPool` forks N worker processes and shards the queries of
+one :meth:`~repro.core.gqbe.GQBE.query_batch` window across them:
+
+* **snapshot-backed** pools give each worker its *own*
+  ``GQBE.from_snapshot(path)`` over the same snapshot.  With a v2
+  sharded snapshot every worker memory-maps the same shard files, so
+  the big columns and probe indexes live in shared page-cache pages —
+  the incremental RSS per worker is the vocabulary plus python objects,
+  not another copy of the graph;
+* **fork-inherited** pools (no snapshot path; requires the ``fork``
+  start method) hand the parent's already-built system to the children
+  through copy-on-write memory.
+
+Answers are **byte-identical** to inline execution: each worker runs an
+ordinary ``query_batch`` over its chunk (itself pinned byte-identical
+to sequential ``query()`` calls), duplicate tuples are collapsed in the
+parent and fanned back out, and chunk results are merged in input
+order.  ``tests/test_pool_execution.py`` pins the 4-way equivalence
+(v1-loaded / v2-mapped / inline / pooled).
+
+Wired up by ``GQBEConfig(execution="pool", pool_workers=N)`` on the
+facade, and by ``gqbe serve --workers N`` /
+:class:`~repro.serving.batching.QueryBatcher` on the serve layer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from os import PathLike
+from pathlib import Path
+
+from repro.core.answer import QueryResult
+from repro.exceptions import GQBEError
+
+#: Upper bound on the default worker count (``pool_workers=None``).
+DEFAULT_MAX_WORKERS = 8
+
+# Worker-process state: the system this worker answers queries from.
+# Set once by the pool initializer.
+_WORKER_SYSTEM = None
+
+
+def default_worker_count() -> int:
+    """The worker count used when ``pool_workers`` is left ``None``."""
+    return max(1, min(DEFAULT_MAX_WORKERS, os.cpu_count() or 1))
+
+
+def _init_worker(snapshot_path, config, system, barrier) -> None:
+    """Worker initializer: open the snapshot, or adopt the forked system.
+
+    ``system`` and ``barrier`` ride along only on fork pools, where
+    initargs are inherited by reference instead of pickled.  The barrier
+    holds every fork worker in its initializer until all of them exist —
+    that is what lets the pool constructor force the *entire* fleet to
+    fork eagerly, while the parent is still in a known thread state,
+    instead of lazily from whatever threads are running at first submit.
+    """
+    global _WORKER_SYSTEM
+    if snapshot_path is not None:
+        from repro.core.gqbe import GQBE
+
+        # Each worker opens the snapshot itself.  For v2 this maps the
+        # shard files read-only: all workers share the physical pages.
+        _WORKER_SYSTEM = GQBE.from_snapshot(snapshot_path, config=config)
+    else:
+        _WORKER_SYSTEM = system
+    if barrier is not None:
+        barrier.wait(timeout=120)
+
+
+def _run_chunk(
+    tuples: list[tuple[str, ...]], k: int, k_prime: int | None
+) -> list[QueryResult]:
+    """Execute one chunk of a sharded batch inside a worker process.
+
+    Always the *inline* batch path: a fork-inherited system may carry
+    ``execution="pool"``, and a worker must never spawn its own pool.
+    """
+    return _WORKER_SYSTEM._query_batch_inline(
+        [tuple(t) for t in tuples], k, k_prime
+    )
+
+
+def _chunk(items: list, parts: int) -> list[list]:
+    """Split ``items`` into at most ``parts`` contiguous, balanced chunks."""
+    parts = max(1, min(parts, len(items)))
+    size, remainder = divmod(len(items), parts)
+    chunks = []
+    start = 0
+    for index in range(parts):
+        end = start + size + (1 if index < remainder else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+class WorkerPool:
+    """N worker processes answering sharded ``query_batch`` windows.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (``None`` →
+        :func:`default_worker_count`).
+    snapshot_path:
+        Snapshot each worker opens itself (the shared-pages path).
+        When omitted, ``system`` must be given and the platform must
+        support the ``fork`` start method.
+    system:
+        A built :class:`~repro.core.gqbe.GQBE` to inherit through fork
+        when there is no snapshot to reopen.
+    config:
+        Engine config for snapshot-backed workers (defaults to the
+        snapshot's own flags).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        snapshot_path: str | PathLike | None = None,
+        system=None,
+        config=None,
+    ) -> None:
+        if snapshot_path is None and system is None:
+            raise GQBEError("WorkerPool needs a snapshot_path or a system")
+        self.workers = workers if workers is not None else default_worker_count()
+        if self.workers < 1:
+            raise GQBEError(f"workers must be >= 1, got {self.workers}")
+        # Absolute: spawned/forkserver workers may not share the parent's
+        # working directory by the time they open the snapshot.
+        self.snapshot_path = (
+            str(Path(snapshot_path).resolve()) if snapshot_path is not None else None
+        )
+        methods = multiprocessing.get_all_start_methods()
+        if self.snapshot_path is not None:
+            # Snapshot-backed workers reopen the file themselves and the
+            # initargs are picklable, so the pool never needs to fork the
+            # (typically multi-threaded) serving parent: workers are
+            # forked lazily at first submit, and forking a threaded
+            # process risks child deadlock (and deprecation warnings on
+            # CPython 3.12+).  forkserver forks from a clean helper
+            # process instead; spawn is the portable fallback.
+            start_method = "forkserver" if "forkserver" in methods else "spawn"
+        else:
+            # Inheriting an in-memory system genuinely requires fork.
+            if "fork" not in methods:
+                raise GQBEError(
+                    "pooled execution without a snapshot needs the fork "
+                    "start method; build an index snapshot and serve from "
+                    "it instead"
+                )
+            start_method = "fork"
+        context = multiprocessing.get_context(start_method)
+        # Only fork pools carry the parent system in initargs (fork
+        # passes initargs by reference — nothing is pickled).  Fork pools
+        # also get a startup barrier so all workers fork *now*, in
+        # __init__, rather than lazily at first submit — by then the
+        # caller (e.g. the serving frontend) may be running batcher/HTTP
+        # threads, and forking a multi-threaded parent risks child
+        # deadlock on whatever locks those threads hold.
+        inherited = system if self.snapshot_path is None else None
+        barrier = context.Barrier(self.workers) if start_method == "fork" else None
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(self.snapshot_path, config, inherited, barrier),
+        )
+        self._closed = False
+        if barrier is not None:
+            # Each submit sees every existing worker still blocked in its
+            # initializer (no idle workers), so the executor forks a new
+            # one — N no-op tasks therefore fork the full fleet here.
+            futures = [
+                self._executor.submit(os.getpid) for _ in range(self.workers)
+            ]
+            for future in futures:
+                future.result(timeout=120)
+
+    # ------------------------------------------------------------------
+    def query_batch(
+        self,
+        query_tuples: Sequence[Sequence[str]],
+        k: int = 10,
+        k_prime: int | None = None,
+    ) -> list[QueryResult]:
+        """Answer a batch, sharded across the pool, in input order.
+
+        Duplicate tuples are collapsed before sharding and fanned back
+        out afterwards — the same exact-replay argument as
+        :meth:`GQBE.query_batch <repro.core.gqbe.GQBE.query_batch>`
+        (the pipeline is deterministic), so the merged ranked answers
+        are byte-identical to inline execution.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        tuples = [tuple(t) for t in query_tuples]
+        if not tuples:
+            return []
+        unique: list[tuple[str, ...]] = []
+        seen: set[tuple[str, ...]] = set()
+        for entities in tuples:
+            if entities not in seen:
+                seen.add(entities)
+                unique.append(entities)
+        chunks = _chunk(unique, self.workers)
+        futures = [
+            self._executor.submit(_run_chunk, chunk, k, k_prime)
+            for chunk in chunks
+        ]
+        by_tuple: dict[tuple[str, ...], QueryResult] = {}
+        first_error: BaseException | None = None
+        for chunk, future in zip(chunks, futures):
+            try:
+                results = future.result()
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                # Drain every future before raising so no work leaks.
+                if first_error is None:
+                    first_error = error
+                continue
+            for entities, result in zip(chunk, results):
+                by_tuple[entities] = result
+        if first_error is not None:
+            raise first_error
+        results = []
+        emitted: set[tuple[str, ...]] = set()
+        for entities in tuples:
+            result = by_tuple[entities]
+            if entities in emitted:
+                # Fan-out duplicates get fresh mutable containers, same
+                # ranked answers — mirroring GQBE.query_batch.
+                result = replace(
+                    result,
+                    answers=list(result.answers),
+                    statistics=replace(result.statistics),
+                    per_tuple_discovery_seconds=list(
+                        result.per_tuple_discovery_seconds
+                    ),
+                )
+            else:
+                emitted.add(entities)
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live worker processes (may be lazily spawned)."""
+        processes = getattr(self._executor, "_processes", None) or {}
+        return sorted(processes)
+
+    def worker_rss_bytes(self) -> list[int]:
+        """Resident-set size of each worker, in bytes (Linux; else empty).
+
+        Used by ``gqbe bench-serve --json`` to record how little
+        incremental memory N mapped workers cost versus one.
+        """
+        sizes = []
+        for pid in self.worker_pids():
+            rss = _rss_bytes(pid)
+            if rss is not None:
+                sizes.append(rss)
+        return sizes
+
+    def worker_peak_rss_bytes(self) -> list[int]:
+        """Peak (high-water) RSS of each worker (``VmHWM``; Linux)."""
+        sizes = []
+        for pid in self.worker_pids():
+            peak = _rss_bytes(pid, field="VmHWM:")
+            if peak is not None:
+                sizes.append(peak)
+        return sizes
+
+    def stats(self) -> dict:
+        """Pool description for ``/stats`` and bench reports."""
+        return {
+            "workers": self.workers,
+            "snapshot_backed": self.snapshot_path is not None,
+            "worker_pids": self.worker_pids(),
+        }
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _rss_bytes(pid: int, field: str = "VmRSS:") -> int | None:
+    """A memory field of ``pid`` from procfs, or ``None`` where unavailable.
+
+    ``VmRSS:`` is the current resident size; ``VmHWM:`` its high-water
+    mark (true peak, immune to pages being reclaimed before sampling).
+    """
+    try:
+        with open(f"/proc/{pid}/status", encoding="ascii", errors="replace") as f:
+            for line in f:
+                if line.startswith(field):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def parent_rss_bytes() -> int | None:
+    """This process's resident-set size (Linux procfs; ``None`` elsewhere)."""
+    return _rss_bytes(os.getpid())
+
+
+def parent_peak_rss_bytes() -> int | None:
+    """This process's peak resident size (``VmHWM``; ``None`` elsewhere)."""
+    return _rss_bytes(os.getpid(), field="VmHWM:")

@@ -34,6 +34,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from os import PathLike
 
@@ -87,6 +88,14 @@ class GQBEServer:
         LRU answer-cache capacity (``0`` disables caching).
     request_timeout:
         Per-request cap on waiting for a batch slot plus execution.
+    workers:
+        Process-pool width for batch execution (``gqbe serve
+        --workers``).  With ``workers > 1`` every multi-query batching
+        window is sharded across a
+        :class:`~repro.serving.pool.WorkerPool` whose workers each open
+        the served snapshot (shared mapped pages with a v2 snapshot),
+        bypassing the GIL for CPU-bound explorations; ``1`` keeps the
+        inline single-process path.
     """
 
     def __init__(
@@ -99,14 +108,22 @@ class GQBEServer:
         max_batch: int = 64,
         cache_size: int = 1024,
         request_timeout: float = 60.0,
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self._system = system
         self.snapshot_path = str(snapshot_path) if snapshot_path is not None else None
         self.request_timeout = request_timeout
+        self.workers = workers
         self._exec_lock = threading.Lock()
         self._cache = AnswerCache(cache_size)
+        self._pool = self._make_pool()
         self._batcher = QueryBatcher(
-            self._run_batch, window_seconds=batch_window_seconds, max_batch=max_batch
+            self._run_batch,
+            window_seconds=batch_window_seconds,
+            max_batch=max_batch,
+            pool=self._pool,
         )
         self._http = _Http((host, port), _Handler)
         self._http.daemon_threads = True
@@ -122,6 +139,19 @@ class GQBEServer:
     def _count(self, counter: str) -> None:
         with self._counter_lock:
             setattr(self, counter, getattr(self, counter) + 1)
+
+    def _make_pool(self):
+        """Build the worker pool for the current system (None if workers=1)."""
+        if self.workers <= 1:
+            return None
+        from repro.serving.pool import WorkerPool
+
+        return WorkerPool(
+            workers=self.workers,
+            snapshot_path=self.snapshot_path,
+            system=self._system if self.snapshot_path is None else None,
+            config=replace(self._system.config, execution="inline"),
+        )
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -164,10 +194,13 @@ class GQBEServer:
         self._http.serve_forever()
 
     def stop(self) -> None:
-        """Shut the HTTP listener and the batching worker down."""
+        """Shut the HTTP listener, the batching worker and the pool down."""
         self._http.shutdown()
         self._http.server_close()
         self._batcher.close()
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
@@ -189,9 +222,24 @@ class GQBEServer:
             columnar=graph_store.columnar,
         )
         system = GQBE(config=config, graph_store=graph_store)
+        system._snapshot_path = str(path)
+        old_pool = None
         with self._exec_lock:
             self._system = system
             self.snapshot_path = str(path)
+            if self.workers > 1:
+                # Rebuild the pool over the new snapshot, under the same
+                # lock as the system swap so two concurrent reloads
+                # cannot interleave (one would wire a just-closed pool
+                # into the batcher and leak the other).
+                old_pool = self._pool
+                self._pool = self._make_pool()
+                self._batcher.pool = self._pool
+        if old_pool is not None:
+            # Closed outside the lock: shutdown waits for in-flight
+            # pooled batches to drain (their results are dropped by the
+            # cache's generation guard, same as inline in-flight work).
+            old_pool.close()
         return self._cache.invalidate()
 
     # ------------------------------------------------------------------
@@ -321,12 +369,43 @@ class GQBEServer:
 
     def stats(self) -> dict:
         """The ``/stats`` body."""
-        return {
+        body = {
             "uptime_seconds": time.monotonic() - self._started_at,
             "requests_served": self.requests_served,
             "request_errors": self.request_errors,
             "cache": self._cache.stats(),
             "batcher": self._batcher.stats(),
+        }
+        if self._pool is not None:
+            body["pool"] = self._pool.stats()
+        return body
+
+    def memory_stats(self) -> dict:
+        """Parent and per-worker RSS (Linux procfs; best-effort elsewhere).
+
+        ``gqbe bench-serve --json`` records this next to the throughput
+        numbers: with a v2 mapped snapshot the per-worker RSS stays
+        nearly flat as ``--workers`` grows, because the shard pages are
+        shared, not copied.  The ``peak`` fields are ``VmHWM`` —
+        high-water marks, immune to pages being reclaimed before
+        sampling.
+        """
+        from repro.serving.pool import parent_peak_rss_bytes, parent_rss_bytes
+
+        worker_rss = (
+            self._pool.worker_rss_bytes() if self._pool is not None else []
+        )
+        worker_peak = (
+            self._pool.worker_peak_rss_bytes() if self._pool is not None else []
+        )
+        return {
+            "workers": self.workers,
+            "parent_rss_bytes": parent_rss_bytes(),
+            "parent_peak_rss_bytes": parent_peak_rss_bytes(),
+            "worker_rss_bytes": worker_rss,
+            "worker_peak_rss_bytes": worker_peak,
+            "total_worker_rss_bytes": sum(worker_rss),
+            "total_worker_peak_rss_bytes": sum(worker_peak),
         }
 
 

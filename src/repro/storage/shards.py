@@ -1,0 +1,372 @@
+"""Sharded snapshot format v2: a directory of memory-mappable shards.
+
+The v1 snapshot (:mod:`repro.storage.snapshot`) is one pickle-backed
+file: loading deserializes every edge table into private process memory,
+so a graph must fit in RAM per process and every serving worker pays a
+full copy.  Format v2 splits the offline state into a *directory* of
+independently verifiable shards:
+
+``MANIFEST.json``
+    The envelope: magic, format version, the snapshot ``meta`` mapping,
+    and a catalog of every other file with its SHA-256 digest, byte size
+    and (for table shards) label and row count.  Reading the manifest is
+    the whole cost of opening a v2 snapshot.
+``graph.section`` / ``statistics.section`` / ``store.section``
+    Independent pickles of the three v1 sections — except that the store
+    section is a *skeleton*: vocabulary, engine flags, no tables.  Each
+    deserializes lazily on first access, exactly like the v1 blobs.
+``tables/NNNNN.shard``
+    One binary shard per label's
+    :class:`~repro.storage.table.ColumnarEdgeTable`: the two int64 id
+    columns **plus the persisted probe indexes** (both CSR-style sorted
+    group indexes and the pair-membership index), written as raw
+    little-endian arrays at 64-byte-aligned offsets.  A shard is opened
+    with one ``mmap`` and the arrays become zero-copy read-only
+    ``np.frombuffer`` views — no deserialization, no sorting, no copy —
+    so N worker processes mapping the same snapshot share one set of
+    physical pages, and a label table that no query probes is never
+    faulted in at all.
+
+Shard binary layout (little-endian)::
+
+    offset  size  field
+    0       8     magic ``b"GQBESHRD"``
+    8       4     shard format version (uint32, currently 1)
+    12      4     header JSON length H (uint32)
+    16      H     header JSON (label, rows, pair_stride, array catalog)
+    ...           int64 arrays, each starting at a 64-byte-aligned offset
+
+The header's ``arrays`` mapping gives each array's item count and byte
+offset *relative to the data base* — the first 64-byte boundary after
+the header — so header length and array layout never depend on each
+other.  The writer emits ``subjects``/``objects`` and, when the table is
+non-empty, ``subject_order``/``subject_keys``/``subject_bounds``,
+``object_order``/``object_keys``/``object_bounds`` and ``pair_keys``.
+
+Integrity: every file's SHA-256 is recorded in the manifest.  Sections
+are verified when they deserialize; a table shard is verified the first
+time it is opened (one streamed read that also warms the page cache),
+so corruption is still caught per shard without forcing an eager read
+of shards the workload never touches.  Like v1, the section pickles are
+**trusted local artifacts** — load only snapshots you built yourself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import pickle
+import struct
+from os import PathLike
+from pathlib import Path
+
+from repro.exceptions import SnapshotError
+from repro.storage.table import ColumnarEdgeTable, _SortedGroupIndex, np
+
+SHARD_MAGIC = b"GQBESHRD"
+SHARD_VERSION = 1
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_MAGIC = "GQBESNAP2"
+SHARDED_FORMAT_VERSION = 2
+_ALIGNMENT = 64
+_SHARD_HEADER = struct.Struct("<8sII")
+
+#: int64, little-endian — the only dtype a shard stores.
+_DTYPE = "<i8"
+_ITEMSIZE = 8
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(1 << 20)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+def _table_arrays(table: ColumnarEdgeTable) -> tuple[dict[str, "np.ndarray"], int]:
+    """The arrays a shard persists for ``table`` (indexes prebuilt)."""
+    table.build_indexes()
+    arrays: dict[str, np.ndarray] = {
+        "subjects": np.ascontiguousarray(table.subject_ids(), dtype=_DTYPE),
+        "objects": np.ascontiguousarray(table.object_ids(), dtype=_DTYPE),
+    }
+    pair_stride = 0
+    if len(table):
+        subject_index = table._subject_group_index()
+        object_index = table._object_group_index()
+        table._ensure_pair_index()
+        arrays["subject_order"] = np.ascontiguousarray(subject_index.order, dtype=_DTYPE)
+        arrays["subject_keys"] = np.ascontiguousarray(subject_index.keys, dtype=_DTYPE)
+        arrays["subject_bounds"] = np.ascontiguousarray(subject_index.bounds, dtype=_DTYPE)
+        arrays["object_order"] = np.ascontiguousarray(object_index.order, dtype=_DTYPE)
+        arrays["object_keys"] = np.ascontiguousarray(object_index.keys, dtype=_DTYPE)
+        arrays["object_bounds"] = np.ascontiguousarray(object_index.bounds, dtype=_DTYPE)
+        arrays["pair_keys"] = np.ascontiguousarray(table._pair_keys, dtype=_DTYPE)
+        pair_stride = table._pair_stride
+    return arrays, pair_stride
+
+
+def write_table_shard(path: Path, table: ColumnarEdgeTable) -> dict:
+    """Write one label table as a binary shard; returns its catalog entry.
+
+    The returned mapping (file-relative name excluded — the caller knows
+    where it put the file) carries ``sha256``, ``bytes``, ``rows`` and
+    ``label`` for the manifest.
+    """
+    arrays, pair_stride = _table_arrays(table)
+    # Array offsets are recorded *relative to the data base* — the first
+    # 64-byte boundary after the header — so the header text can be laid
+    # out without a fixed-point iteration between its own length and the
+    # offsets it contains.
+    catalog: dict[str, dict[str, int]] = {}
+    relative = 0
+    for name, data in arrays.items():
+        relative = _align(relative)
+        catalog[name] = {"offset": relative, "count": int(len(data))}
+        relative += len(data) * _ITEMSIZE
+    header_bytes = json.dumps(
+        {
+            "label": table.label,
+            "rows": len(table),
+            "pair_stride": int(pair_stride),
+            "arrays": catalog,
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    base = _align(_SHARD_HEADER.size + len(header_bytes))
+    total = base + relative
+    buffer = bytearray(total)
+    _SHARD_HEADER.pack_into(buffer, 0, SHARD_MAGIC, SHARD_VERSION, len(header_bytes))
+    buffer[_SHARD_HEADER.size : _SHARD_HEADER.size + len(header_bytes)] = header_bytes
+    for name, data in arrays.items():
+        start = base + catalog[name]["offset"]
+        buffer[start : start + len(data) * _ITEMSIZE] = data.tobytes()
+    # Hash and write the bytearray directly — converting to bytes would
+    # hold up to three shard-sized buffers at once on the largest label.
+    path.write_bytes(buffer)
+    return {
+        "label": table.label,
+        "rows": len(table),
+        "bytes": total,
+        "sha256": hashlib.sha256(buffer).hexdigest(),
+    }
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+class ShardedSnapshotReader:
+    """Opens a v2 snapshot directory and hands out sections and tables.
+
+    Construction reads and validates only ``MANIFEST.json``.  Sections
+    and table shards load lazily through :meth:`load_section` /
+    :meth:`load_table`; the reader counts what it opened
+    (:attr:`tables_opened`, :attr:`opened_labels`,
+    :attr:`sections_loaded`) so tests and ``/stats`` can prove that a
+    warm start touched nothing it did not need.
+    """
+
+    def __init__(self, directory: str | PathLike) -> None:
+        self.directory = Path(directory)
+        manifest_path = self.directory / MANIFEST_NAME
+        try:
+            raw = manifest_path.read_bytes()
+        except OSError as error:
+            raise SnapshotError(
+                f"cannot read snapshot manifest {manifest_path!s}: {error}"
+            ) from error
+        try:
+            manifest = json.loads(raw)
+        except ValueError as error:
+            raise SnapshotError(
+                f"snapshot manifest {manifest_path!s} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(manifest, dict) or manifest.get("magic") != MANIFEST_MAGIC:
+            raise SnapshotError(
+                f"{manifest_path!s} is not a v2 snapshot manifest (magic "
+                f"{manifest.get('magic') if isinstance(manifest, dict) else None!r}, "
+                f"expected {MANIFEST_MAGIC!r}) — a v1 single-file snapshot "
+                "cannot be wrapped in a directory; rebuild with "
+                "`gqbe build-index --format v2`"
+            )
+        version = manifest.get("format_version")
+        if version != SHARDED_FORMAT_VERSION:
+            raise SnapshotError(
+                f"snapshot {self.directory!s} uses format version {version}; "
+                f"this build supports version {SHARDED_FORMAT_VERSION} — "
+                "rebuild it with `gqbe build-index --format v2`"
+            )
+        self.manifest = manifest
+        self.meta: dict = dict(manifest.get("meta", {}))
+        self._tables: dict[str, dict] = {
+            entry["label"]: entry for entry in manifest.get("tables", [])
+        }
+        self.sections_loaded: list[str] = []
+        self.opened_labels: list[str] = []
+        #: The mmap objects backing opened shards (kept alive here so the
+        #: frombuffer views never outlive their buffer).
+        self._maps: list[mmap.mmap] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def tables_opened(self) -> int:
+        """How many table shards have been mapped so far."""
+        return len(self.opened_labels)
+
+    def label_rows(self) -> dict[str, int]:
+        """Per-label row counts straight from the manifest (no shard I/O)."""
+        return {label: entry["rows"] for label, entry in self._tables.items()}
+
+    # ------------------------------------------------------------------
+    def _verify_file(self, name: str, expected: str) -> Path:
+        path = self.directory / name
+        try:
+            actual = _sha256_file(path)
+        except OSError as error:
+            raise SnapshotError(
+                f"cannot read snapshot shard {path!s}: {error}"
+            ) from error
+        if actual != expected:
+            raise SnapshotError(
+                f"snapshot shard {path!s} is corrupt (checksum mismatch)"
+            )
+        return path
+
+    def load_section(self, name: str) -> bytes:
+        """Read and verify one section file; returns its pickle bytes.
+
+        One read: the returned bytes are exactly the bytes that were
+        hashed (no verify-then-reread window, and no double I/O on the
+        biggest non-shard files).
+        """
+        sections = self.manifest.get("sections", {})
+        entry = sections.get(name)
+        if entry is None:
+            raise SnapshotError(
+                f"snapshot {self.directory!s} has no {name!r} section in its manifest"
+            )
+        path = self.directory / entry["file"]
+        try:
+            data = path.read_bytes()
+        except OSError as error:
+            raise SnapshotError(
+                f"cannot read snapshot shard {path!s}: {error}"
+            ) from error
+        if hashlib.sha256(data).hexdigest() != entry["sha256"]:
+            raise SnapshotError(
+                f"snapshot shard {path!s} is corrupt (checksum mismatch)"
+            )
+        self.sections_loaded.append(name)
+        return data
+
+    def load_table(self, label: str) -> ColumnarEdgeTable:
+        """Map one label's shard as a read-only :class:`ColumnarEdgeTable`."""
+        if np is None:  # pragma: no cover - numpy-less installs only
+            raise SnapshotError(
+                "v2 snapshots require numpy to map their columnar shards"
+            )
+        entry = self._tables.get(label)
+        if entry is None:
+            raise SnapshotError(
+                f"snapshot {self.directory!s} has no shard for label {label!r}"
+            )
+        path = self._verify_file(entry["file"], entry["sha256"])
+        try:
+            with open(path, "rb") as handle:
+                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError) as error:
+            raise SnapshotError(
+                f"cannot map snapshot shard {path!s}: {error}"
+            ) from error
+        try:
+            table = self._table_from_map(path, mapped, label, entry["rows"])
+        except SnapshotError:
+            mapped.close()
+            raise
+        self._maps.append(mapped)
+        self.opened_labels.append(label)
+        return table
+
+    def _table_from_map(
+        self, path: Path, mapped: mmap.mmap, label: str, rows: int
+    ) -> ColumnarEdgeTable:
+        if len(mapped) < _SHARD_HEADER.size:
+            raise SnapshotError(f"snapshot shard {path!s} is truncated (no header)")
+        magic, version, header_length = _SHARD_HEADER.unpack_from(mapped, 0)
+        if magic != SHARD_MAGIC:
+            raise SnapshotError(
+                f"snapshot shard {path!s} has a bad magic ({magic!r})"
+            )
+        if version != SHARD_VERSION:
+            raise SnapshotError(
+                f"snapshot shard {path!s} uses shard version {version}; "
+                f"this build supports {SHARD_VERSION}"
+            )
+        header_end = _SHARD_HEADER.size + header_length
+        if len(mapped) < header_end:
+            raise SnapshotError(f"snapshot shard {path!s} is truncated (header)")
+        try:
+            header = json.loads(mapped[_SHARD_HEADER.size : header_end])
+        except ValueError as error:
+            raise SnapshotError(
+                f"snapshot shard {path!s} has an unreadable header: {error}"
+            ) from error
+        if header.get("label") != label or header.get("rows") != rows:
+            raise SnapshotError(
+                f"snapshot shard {path!s} does not match its manifest entry "
+                f"(label {header.get('label')!r} rows {header.get('rows')!r}, "
+                f"expected {label!r}/{rows})"
+            )
+        base = _align(header_end)
+
+        def view(name: str) -> "np.ndarray | None":
+            spec = header.get("arrays", {}).get(name)
+            if spec is None:
+                return None
+            start = base + spec["offset"]
+            end = start + spec["count"] * _ITEMSIZE
+            if end > len(mapped):
+                raise SnapshotError(
+                    f"snapshot shard {path!s} is truncated: array {name!r} "
+                    f"ends at byte {end}, file has {len(mapped)}"
+                )
+            return np.frombuffer(
+                mapped, dtype=_DTYPE, count=spec["count"], offset=start
+            )
+
+        subjects = view("subjects")
+        objects = view("objects")
+        if subjects is None or objects is None or len(subjects) != rows:
+            raise SnapshotError(
+                f"snapshot shard {path!s} is missing its id columns"
+            )
+        subject_index = object_index = None
+        order = view("subject_order")
+        if order is not None:
+            subject_index = _SortedGroupIndex.from_arrays(
+                view("subject_keys"), view("subject_bounds"), order
+            )
+            object_index = _SortedGroupIndex.from_arrays(
+                view("object_keys"), view("object_bounds"), view("object_order")
+            )
+        return ColumnarEdgeTable.from_mapped(
+            label,
+            subjects,
+            objects,
+            subject_index=subject_index,
+            object_index=object_index,
+            pair_keys=view("pair_keys"),
+            pair_stride=int(header.get("pair_stride", 0)),
+        )

@@ -15,6 +15,21 @@ one file read plus a checksum — 20-40x faster than the cold offline
 build — and even start + full materialization beats re-running the build
 from a triple file (see ROADMAP.md for measured medians).
 
+Two on-disk formats share this module's :class:`GraphStore` API:
+
+* **v1** — the single-file envelope documented below.  Everything is a
+  pickle; loading deserializes each section into private process memory.
+* **v2** — the *sharded directory* layout of
+  :mod:`repro.storage.shards` (``GraphStore.save(path, format="v2")``,
+  ``gqbe build-index --format v2``): a JSON manifest, per-section pickle
+  files, and one raw binary shard per label table whose int64 columns
+  and probe indexes reopen as zero-copy read-only ``mmap`` views.  A v2
+  warm start reads only the manifest; label tables map on first probe,
+  and N processes mapping the same snapshot share the physical pages.
+
+``GraphStore.load`` auto-detects: a regular file is v1, a directory is
+v2.  v1 snapshots keep loading unchanged.
+
 File format (version 1)
 -----------------------
 
@@ -63,6 +78,7 @@ Programmatically::
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import json
 import pickle
@@ -73,11 +89,20 @@ from pathlib import Path
 from repro.exceptions import SnapshotError
 from repro.graph.knowledge_graph import KnowledgeGraph
 from repro.graph.statistics import GraphStatistics
+from repro.storage.shards import (
+    MANIFEST_MAGIC,
+    MANIFEST_NAME,
+    SHARDED_FORMAT_VERSION,
+    ShardedSnapshotReader,
+    write_table_shard,
+)
 from repro.storage.store import VerticalPartitionStore
 from repro.storage.vocabulary import IdentityVocabulary
 
 MAGIC = b"GQBESNAP"
 FORMAT_VERSION = 1
+#: The snapshot formats ``GraphStore.save`` accepts.
+SNAPSHOT_FORMATS = ("v1", "v2")
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 _HEADER = struct.Struct("<8sII32sQ")
 
@@ -107,6 +132,7 @@ class GraphStore:
         self._statistics: GraphStatistics | None = statistics
         self._store: VerticalPartitionStore | None = store
         self._blobs: dict[str, bytes] | None = None
+        self._reader: ShardedSnapshotReader | None = None
         self._meta: dict | None = None
 
     @classmethod
@@ -132,24 +158,41 @@ class GraphStore:
         bundle._statistics = None
         bundle._store = None
         bundle._blobs = blobs
+        bundle._reader = None
         bundle._meta = meta
+        return bundle
+
+    @classmethod
+    def _from_reader(cls, reader: ShardedSnapshotReader) -> "GraphStore":
+        bundle = cls.__new__(cls)
+        bundle._graph = None
+        bundle._statistics = None
+        bundle._store = None
+        bundle._blobs = None
+        bundle._reader = reader
+        bundle._meta = dict(reader.meta)
         return bundle
 
     # ------------------------------------------------------------------
     # sections (lazy)
     # ------------------------------------------------------------------
+    def _section_bytes(self, name: str) -> bytes:
+        if self._blobs is not None:
+            return self._blobs[name]
+        return self._reader.load_section(name)
+
     @property
     def graph(self) -> KnowledgeGraph:
         """The data graph (materialized on first access)."""
         if self._graph is None:
-            self._graph = pickle.loads(self._blobs["graph"])
+            self._graph = pickle.loads(self._section_bytes("graph"))
         return self._graph
 
     @property
     def statistics(self) -> GraphStatistics:
         """The precomputed graph statistics (materialized on first access)."""
         if self._statistics is None:
-            statistics = pickle.loads(self._blobs["statistics"])
+            statistics = pickle.loads(self._section_bytes("statistics"))
             # The snapshot strips the graph back-reference to avoid
             # serializing the graph twice; re-wire it here.
             statistics._graph = self.graph
@@ -158,19 +201,67 @@ class GraphStore:
 
     @property
     def store(self) -> VerticalPartitionStore:
-        """The vertical-partition store (materialized on first access)."""
+        """The vertical-partition store (materialized on first access).
+
+        From a v2 snapshot only the store *skeleton* (vocabulary, engine
+        flags) deserializes here; the per-label tables stay as unopened
+        shards that the reader maps on first probe.
+        """
         if self._store is None:
-            store = pickle.loads(self._blobs["store"])
+            store = pickle.loads(self._section_bytes("store"))
             store._graph = self.graph
+            if self._reader is not None:
+                store._attach_lazy_tables(self._reader, self._reader.label_rows())
             self._store = store
         return self._store
 
     def materialize(self) -> "GraphStore":
-        """Force all three sections to deserialize now; returns ``self``."""
+        """Force all three sections to deserialize now; returns ``self``.
+
+        Lazily sharded tables are *not* resolved here — that is what
+        keeps v2 partial loading useful; call ``store.build_indexes()``
+        (or :meth:`save`) to force every shard open.
+        """
         _ = self.graph
         _ = self.statistics
         _ = self.store
         return self
+
+    def lazy_report(self) -> dict:
+        """What this bundle has actually loaded so far.
+
+        For a v2 snapshot: which sections were read and which label
+        shards were mapped (``tables_opened`` / ``tables_total``).  Used
+        by tests to prove partial loading and by ``/stats`` to expose it.
+        """
+        if self._reader is not None:
+            return {
+                "format": "v2",
+                "sections_loaded": list(self._reader.sections_loaded),
+                "tables_opened": self._reader.tables_opened,
+                "tables_total": len(self._reader.label_rows()),
+                "opened_labels": list(self._reader.opened_labels),
+            }
+        tables_total = None
+        if self._meta is not None:
+            tables_total = self._meta.get("num_labels")
+        loaded = self._store is not None
+        return {
+            "format": "v1" if self._blobs is not None or self._meta else "built",
+            "sections_loaded": [
+                name
+                for name, section in (
+                    ("graph", self._graph),
+                    ("statistics", self._statistics),
+                    ("store", self._store),
+                )
+                if section is not None
+            ],
+            # v1 deserializes every table with the store section.
+            "tables_opened": (self._store.num_tables if loaded else 0),
+            "tables_total": tables_total,
+            "opened_labels": sorted(self._store.labels()) if loaded else [],
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -200,12 +291,15 @@ class GraphStore:
         }
 
     # ------------------------------------------------------------------
-    def save(self, path: str | PathLike) -> int:
+    def save(self, path: str | PathLike, format: str = "v1") -> int:
         """Serialize the bundle to ``path``; returns the bytes written.
 
-        Probe indexes are materialized first so the snapshot carries them
-        and a loaded store answers its first query without an index-build
-        pause.
+        ``format="v1"`` writes the single-file envelope; ``format="v2"``
+        writes the sharded directory layout (one memory-mappable shard
+        per label table — see :mod:`repro.storage.shards`), which is
+        what ``gqbe build-index --format v2`` produces.  Probe indexes
+        are materialized first so the snapshot carries them and a loaded
+        store answers its first query without an index-build pause.
 
         Example::
 
@@ -215,6 +309,13 @@ class GraphStore:
             size = bundle.save("data.snap")
             assert size > 0
         """
+        if format not in SNAPSHOT_FORMATS:
+            raise SnapshotError(
+                f"unknown snapshot format {format!r}; choose one of "
+                f"{', '.join(SNAPSHOT_FORMATS)}"
+            )
+        if format == "v2":
+            return self._save_sharded(Path(path))
         self.materialize()
         self.store.build_indexes()
         payload = pickle.dumps(
@@ -236,12 +337,84 @@ class GraphStore:
             len(payload),
         )
         data = header + payload
-        Path(path).write_bytes(data)
+        try:
+            Path(path).write_bytes(data)
+        except OSError as error:
+            raise SnapshotError(f"cannot write snapshot {path!s}: {error}") from error
         return len(data)
+
+    def _save_sharded(self, directory: Path) -> int:
+        """Write the v2 sharded directory layout; returns total bytes."""
+        self.materialize()
+        store = self.store
+        if not store.is_columnar:
+            raise SnapshotError(
+                "the v2 sharded format stores raw int64 column shards and "
+                "requires the columnar interned engine; rebuild the store "
+                "with columnar=True (and interned entities) or save as v1"
+            )
+        store.build_indexes()
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / "tables").mkdir(exist_ok=True)
+
+            sections: dict[str, dict] = {}
+            total = 0
+            skeleton = copy.copy(store)
+            skeleton._tables = {}
+            skeleton._lazy_loader = None
+            skeleton._lazy_rows = None
+            for name, payload in (
+                ("graph", pickle.dumps(self.graph, protocol=_PICKLE_PROTOCOL)),
+                (
+                    "statistics",
+                    pickle.dumps(self.statistics, protocol=_PICKLE_PROTOCOL),
+                ),
+                ("store", pickle.dumps(skeleton, protocol=_PICKLE_PROTOCOL)),
+            ):
+                file_name = f"{name}.section"
+                (directory / file_name).write_bytes(payload)
+                sections[name] = {
+                    "file": file_name,
+                    "bytes": len(payload),
+                    "sha256": hashlib.sha256(payload).hexdigest(),
+                }
+                total += len(payload)
+
+            tables = []
+            for index, label in enumerate(store.labels()):
+                file_name = f"tables/{index:05d}.shard"
+                entry = write_table_shard(directory / file_name, store.table(label))
+                entry["file"] = file_name
+                tables.append(entry)
+                total += entry["bytes"]
+
+            manifest = {
+                "magic": MANIFEST_MAGIC,
+                "format_version": SHARDED_FORMAT_VERSION,
+                "pickle_protocol": _PICKLE_PROTOCOL,
+                "meta": self.meta(),
+                "sections": sections,
+                "tables": tables,
+            }
+            manifest_bytes = json.dumps(manifest, indent=1, sort_keys=True).encode(
+                "utf-8"
+            )
+            (directory / MANIFEST_NAME).write_bytes(manifest_bytes)
+        except OSError as error:
+            raise SnapshotError(
+                f"cannot write sharded snapshot {directory!s}: {error}"
+            ) from error
+        return total + len(manifest_bytes)
 
     @classmethod
     def load(cls, path: str | PathLike) -> "GraphStore":
         """Read and verify a snapshot; sections stay lazy until accessed.
+
+        A regular file is read as a v1 single-file snapshot; a directory
+        is opened as a v2 sharded snapshot (only its manifest is read —
+        sections deserialize on first access and each label table maps
+        its shard on first probe).
 
         Example::
 
@@ -258,6 +431,8 @@ class GraphStore:
             If the file is not a snapshot, was written by an unsupported
             format version, is truncated, or fails its checksum.
         """
+        if Path(path).is_dir():
+            return cls._from_reader(ShardedSnapshotReader(path))
         try:
             data = Path(path).read_bytes()
         except OSError as error:
@@ -305,6 +480,8 @@ def read_snapshot_meta(path: str | PathLike) -> dict:
     never deserializes the heavy sections; used by tooling that only
     needs to inspect what a snapshot contains.
     """
+    if Path(path).is_dir():
+        return dict(ShardedSnapshotReader(path).meta)
     try:
         data = Path(path).read_bytes()
     except OSError as error:

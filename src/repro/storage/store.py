@@ -60,6 +60,11 @@ class VerticalPartitionStore:
         # filled through plain lookups.
         lookup = self._vocabulary.id_of
         self._tables: dict[str, EdgeTable | ColumnarEdgeTable] = {}
+        # Lazy-table state: a v2 sharded snapshot attaches a loader plus
+        # the manifest's per-label row counts, so unopened labels can
+        # answer cardinality/labels questions without mapping a shard.
+        self._lazy_loader = None
+        self._lazy_rows: dict[str, int] | None = None
         tables = self._tables
         for edge in graph.edges:
             table = tables.get(edge.label)
@@ -75,11 +80,55 @@ class VerticalPartitionStore:
 
     # The snapshot subsystem serializes the store *without* the graph
     # back-reference (the graph is its own snapshot section) and re-wires
-    # ``_graph`` on load.
+    # ``_graph`` on load.  A lazily sharded store resolves every pending
+    # table first — the pickle must be self-contained, never a handle
+    # onto someone else's snapshot directory.
     def __getstate__(self):
+        self._resolve_all_tables()
         state = dict(self.__dict__)
         state["_graph"] = None
+        state["_lazy_loader"] = None
+        state["_lazy_rows"] = None
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Pickles written before the lazy-table state existed.
+        self.__dict__.setdefault("_lazy_loader", None)
+        self.__dict__.setdefault("_lazy_rows", None)
+
+    # ------------------------------------------------------------------
+    # lazy table resolution (v2 sharded snapshots)
+    # ------------------------------------------------------------------
+    def _attach_lazy_tables(self, loader, label_rows: dict[str, int]) -> None:
+        """Adopt a shard loader: tables materialize per label on demand.
+
+        ``loader`` must expose ``load_table(label) -> table``;
+        ``label_rows`` is the manifest's per-label row count, which backs
+        :meth:`cardinality` / :meth:`labels` / :meth:`num_rows` without
+        opening a single shard (the join planner ranks edges by
+        cardinality *before* deciding which tables to probe, so this is
+        what keeps unprobed shards unmapped).
+        """
+        self._lazy_loader = loader
+        self._lazy_rows = dict(label_rows)
+
+    def _resolve_table(self, label: str):
+        """The table for ``label``, mapping its shard on first access."""
+        table = self._tables.get(label)
+        if (
+            table is None
+            and self._lazy_loader is not None
+            and label in self._lazy_rows
+        ):
+            table = self._lazy_loader.load_table(label)
+            self._tables[label] = table
+        return table
+
+    def _resolve_all_tables(self) -> None:
+        if self._lazy_loader is not None:
+            for label in self._lazy_rows:
+                self._resolve_table(label)
 
     @property
     def graph(self) -> KnowledgeGraph:
@@ -101,8 +150,10 @@ class VerticalPartitionStore:
 
         Queries build indexes on demand; snapshot builds call this so the
         serialized tables carry warm indexes and a loaded snapshot answers
-        its first query without an index-build pause.
+        its first query without an index-build pause.  On a lazily sharded
+        store this resolves every pending table first.
         """
+        self._resolve_all_tables()
         if self._columnar:
             for table in self._tables.values():
                 table.build_indexes()
@@ -110,27 +161,42 @@ class VerticalPartitionStore:
     @property
     def num_tables(self) -> int:
         """Number of per-label tables (== number of distinct labels)."""
+        if self._lazy_rows is not None:
+            return len(self._lazy_rows)
         return len(self._tables)
 
     @property
     def num_rows(self) -> int:
         """Total number of rows across all tables (== number of edges)."""
+        if self._lazy_rows is not None:
+            # Loaded tables answer for themselves (they may have been
+            # mutated); unopened labels answer from the manifest.
+            return sum(
+                len(self._tables[label])
+                if label in self._tables
+                else manifest_rows
+                for label, manifest_rows in self._lazy_rows.items()
+            )
         return sum(len(table) for table in self._tables.values())
 
     def labels(self) -> Iterator[str]:
         """Iterate the labels with a table in the store."""
+        if self._lazy_rows is not None:
+            return iter(self._lazy_rows)
         return iter(self._tables)
 
     def has_label(self, label: str) -> bool:
         """Whether a table for ``label`` exists."""
+        if self._lazy_rows is not None:
+            return label in self._lazy_rows or label in self._tables
         return label in self._tables
 
     def table(self, label: str) -> EdgeTable | ColumnarEdgeTable:
         """Return the table for ``label``; raise for unknown labels."""
-        try:
-            return self._tables[label]
-        except KeyError:
-            raise GraphError(f"no edges with label {label!r} in the data graph") from None
+        table = self._resolve_table(label)
+        if table is None:
+            raise GraphError(f"no edges with label {label!r} in the data graph")
+        return table
 
     def table_or_empty(self, label: str) -> EdgeTable | ColumnarEdgeTable:
         """Return the table for ``label`` or an empty table if unknown.
@@ -140,15 +206,23 @@ class VerticalPartitionStore:
         ``get(label) or EdgeTable(label)`` would silently replace a stored
         (possibly indexed-but-empty) table with a fresh throwaway one.
         """
-        table = self._tables.get(label)
+        table = self._resolve_table(label)
         if table is None:
             return ColumnarEdgeTable(label) if self._columnar else EdgeTable(label)
         return table
 
     def cardinality(self, label: str) -> int:
-        """Number of rows in the table for ``label`` (0 if unknown)."""
+        """Number of rows in the table for ``label`` (0 if unknown).
+
+        Never maps a shard: unopened labels answer from the manifest's
+        row counts, so query *planning* stays shard-free.
+        """
         table = self._tables.get(label)
-        return len(table) if table is not None else 0
+        if table is not None:
+            return len(table)
+        if self._lazy_rows is not None:
+            return self._lazy_rows.get(label, 0)
+        return 0
 
     def __repr__(self) -> str:
         return (

@@ -8,14 +8,26 @@ both hash tables before any query arrives.
 Two layouts implement the same table contract:
 
 * :class:`ColumnarEdgeTable` — the default engine.  Rows live as two
-  parallel ``array('q')`` id columns; probes are answered from lazily
-  built, numpy-sorted CSR-style group indexes so a whole *vector* of probe
+  parallel int64 id columns; probes are answered from lazily built,
+  numpy-sorted CSR-style group indexes so a whole *vector* of probe
   keys is matched in a handful of C-level array operations
   (:meth:`~ColumnarEdgeTable.probe_expand_subject` and friends).
 * :class:`EdgeTable` — the original tuple-row layout with per-key dict
   buckets.  It is kept as the reference engine for the columnar
   equivalence tests and as the fallback when numpy is unavailable or when
   the store runs on raw entity strings.
+
+A :class:`ColumnarEdgeTable` works over either of two column backings:
+
+* **owned** — mutable ``array('q')`` columns filled by :meth:`add_row`
+  (the cold offline build, and every v1 snapshot);
+* **mapped** — read-only int64 views over a memory-mapped v2 snapshot
+  shard (:meth:`ColumnarEdgeTable.from_mapped`), including the persisted
+  probe indexes, so opening a table costs no copy and no sort.  The first
+  mutation *promotes* the table copy-on-write: the mapped buffers are
+  copied into fresh owned columns, the stale mapped indexes are dropped,
+  and the table behaves like any owned table from then on (the backing
+  file is never written through).
 
 Rows hold **interned entity ids** (dense ints produced by the store's
 :class:`~repro.storage.vocabulary.Vocabulary`), so every probe, membership
@@ -29,7 +41,7 @@ used in tests).  :class:`ColumnarEdgeTable` requires int ids.
 from __future__ import annotations
 
 from array import array
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.storage.vocabulary import EntityId
 
@@ -157,6 +169,22 @@ class _SortedGroupIndex:
         self.keys, starts = np.unique(sorted_keys, return_index=True)
         self.bounds = np.append(starts, len(sorted_keys))
 
+    @classmethod
+    def from_arrays(
+        cls, keys: "np.ndarray", bounds: "np.ndarray", order: "np.ndarray"
+    ) -> "_SortedGroupIndex":
+        """Adopt prebuilt (possibly memory-mapped, read-only) index arrays.
+
+        The v2 snapshot shards persist the three arrays exactly as this
+        class lays them out, so a warm start rebuilds nothing: the index
+        is a handle over the mapped buffers.
+        """
+        index = cls.__new__(cls)
+        index.keys = keys
+        index.bounds = bounds
+        index.order = order
+        return index
+
     def __getstate__(self):
         return (self.keys, self.bounds, self.order)
 
@@ -187,6 +215,10 @@ class ColumnarEdgeTable:
     appends per edge and the index cost is amortized at C speed.  Any
     mutation after an index was built invalidates the cached indexes.
 
+    A table opened from a v2 snapshot shard (:meth:`from_mapped`) holds
+    read-only mapped int64 views instead of owned columns; the first
+    :meth:`add_row` promotes it copy-on-write (see the module docstring).
+
     Only interned **int** ids are supported; the string reference path
     keeps using :class:`EdgeTable`.
     """
@@ -204,6 +236,7 @@ class ColumnarEdgeTable:
         "_object_buckets",
         "_pair_keys",
         "_pair_stride",
+        "_mapped",
     )
 
     def __init__(self, label: str, rows: Iterable[tuple[int, int]] = ()) -> None:
@@ -216,9 +249,69 @@ class ColumnarEdgeTable:
         self._subjects = array("q")
         self._objects = array("q")
         self._row_set: set[tuple[int, int]] = set()
+        self._mapped = False
         self._invalidate()
         for subject, obj in rows:
             self.add_row(subject, obj)
+
+    @classmethod
+    def from_mapped(
+        cls,
+        label: str,
+        subjects: "np.ndarray",
+        objects: "np.ndarray",
+        subject_index: _SortedGroupIndex | None = None,
+        object_index: _SortedGroupIndex | None = None,
+        pair_keys: "np.ndarray | None" = None,
+        pair_stride: int = 0,
+    ) -> "ColumnarEdgeTable":
+        """Open a table over read-only (memory-mapped) int64 columns.
+
+        ``subjects``/``objects`` — and the optional persisted probe
+        indexes — are adopted as-is, zero-copy.  The columns must be
+        parallel, deduplicated ``(subj, obj)`` rows in insertion order,
+        which is exactly what the v2 shard writer persists.
+        """
+        if np is None:  # pragma: no cover - numpy-less installs only
+            raise RuntimeError("mapped ColumnarEdgeTable requires numpy")
+        table = cls.__new__(cls)
+        table._label = label
+        table._subjects = None
+        table._objects = None
+        table._row_set = None
+        table._subject_np = subjects
+        table._object_np = objects
+        table._subject_index = subject_index
+        table._object_index = object_index
+        table._subject_buckets = None
+        table._object_buckets = None
+        table._pair_keys = pair_keys
+        table._pair_stride = pair_stride
+        table._mapped = True
+        return table
+
+    @property
+    def is_mapped(self) -> bool:
+        """Whether the columns are read-only mapped buffers (pre-promotion)."""
+        return self._mapped
+
+    def _promote_to_owned(self) -> None:
+        """Copy-on-write: turn mapped buffers into owned mutable columns.
+
+        The mapped probe indexes describe the pre-mutation columns, so
+        they are dropped with the rest of the derived state; the backing
+        snapshot file is never written through.  The dedup set is a pure
+        function of the (value-identical) columns, so a set the caller
+        already built survives promotion.
+        """
+        subjects = array("q", self._subject_np.tolist())
+        objects = array("q", self._object_np.tolist())
+        row_set = self._row_set
+        self._subjects = subjects
+        self._objects = objects
+        self._mapped = False
+        self._invalidate()
+        self._row_set = row_set
 
     def _invalidate(self) -> None:
         self._subject_np = None
@@ -233,22 +326,48 @@ class ColumnarEdgeTable:
     # Explicit (get/set)state: spelling the state out keeps the snapshot
     # layout stable, and the dedup set — a pure function of the columns —
     # is dropped from it (rebuilt lazily by :meth:`_dedup_set`), which is
-    # the single largest python-object cost of loading a table.
+    # the single largest python-object cost of loading a table.  A mapped
+    # table pickles as its owned equivalent: the columns convert to
+    # ``array('q')`` and the mapped flag clears.  The probe indexes are
+    # *kept* — pickling an ndarray view copies its data, so the result is
+    # self-contained (no mmap handle leaks) and a v2→v1 resave still
+    # ships warm indexes, the v1 format's documented guarantee.
     def __getstate__(self):
         state = {slot: getattr(self, slot) for slot in self.__slots__}
         state["_row_set"] = None
         state["_subject_buckets"] = None
         state["_object_buckets"] = None
+        if self._mapped:
+            state["_subjects"] = array("q", self._subject_np.tolist())
+            state["_objects"] = array("q", self._object_np.tolist())
+            state["_subject_np"] = None
+            state["_object_np"] = None
+            state["_mapped"] = False
         return state
 
     def __setstate__(self, state):
         for slot in self.__slots__:
-            object.__setattr__(self, slot, state[slot])
+            # Tolerate pickles written before a slot existed (e.g. v1
+            # snapshots from an older build that had no ``_mapped`` flag).
+            object.__setattr__(self, slot, state.get(slot, None))
+        if self._mapped is None:
+            object.__setattr__(self, "_mapped", False)
 
     def _dedup_set(self) -> set[tuple[int, int]]:
         if self._row_set is None:
-            self._row_set = set(zip(self._subjects, self._objects))
+            self._row_set = set(zip(*self._column_values()))
         return self._row_set
+
+    def _column_values(self) -> tuple[Sequence[int], Sequence[int]]:
+        """Both columns as plain-``int`` sequences, in insertion order.
+
+        Scalar consumers (dict buckets, dedup sets, row iteration) get
+        the same value types whether the table is owned or mapped, so
+        downstream hashing and answers stay byte-identical across modes.
+        """
+        if self._mapped:
+            return self._subject_np.tolist(), self._object_np.tolist()
+        return self._subjects, self._objects
 
     @property
     def label(self) -> str:
@@ -267,11 +386,17 @@ class ColumnarEdgeTable:
         )
 
     def add_row(self, subject: int, obj: int) -> None:
-        """Append one ``(subj, obj)`` row (duplicates are ignored)."""
+        """Append one ``(subj, obj)`` row (duplicates are ignored).
+
+        On a mapped table the first accepted row triggers copy-on-write
+        promotion to owned columns.
+        """
         row = (subject, obj)
         dedup = self._dedup_set()
         if row in dedup:
             return
+        if self._mapped:
+            self._promote_to_owned()  # keeps the dedup set just built
         dedup.add(row)
         self._subjects.append(subject)
         self._objects.append(obj)
@@ -282,17 +407,19 @@ class ColumnarEdgeTable:
             self._invalidate()
 
     def __len__(self) -> int:
+        if self._mapped:
+            return len(self._subject_np)
         return len(self._subjects)
 
     def __iter__(self) -> Iterator[tuple[int, int]]:
-        return zip(self._subjects, self._objects)
+        return zip(*self._column_values())
 
     def __contains__(self, row: object) -> bool:
         return row in self._dedup_set()
 
     def rows(self) -> list[tuple[int, int]]:
         """All rows as tuples, in insertion order (tests and diagnostics)."""
-        return list(zip(self._subjects, self._objects))
+        return list(zip(*self._column_values()))
 
     def has_row(self, subject: int, obj: int) -> bool:
         """Whether the exact ``(subject, obj)`` row exists."""
@@ -300,11 +427,11 @@ class ColumnarEdgeTable:
 
     def subjects(self) -> set[int]:
         """Distinct values in the ``subj`` column."""
-        return set(self._subjects)
+        return set(self._column_values()[0])
 
     def objects(self) -> set[int]:
         """Distinct values in the ``obj`` column."""
-        return set(self._objects)
+        return set(self._column_values()[1])
 
     # ------------------------------------------------------------------
     # columnar access (the vectorized join engine's surface)
@@ -351,7 +478,7 @@ class ColumnarEdgeTable:
         where per-key dict lookups beat whole-array numpy calls)."""
         if self._subject_buckets is None:
             buckets: dict[int, list[int]] = {}
-            for subject, obj in zip(self._subjects, self._objects):
+            for subject, obj in zip(*self._column_values()):
                 bucket = buckets.get(subject)
                 if bucket is None:
                     buckets[subject] = [obj]
@@ -365,7 +492,7 @@ class ColumnarEdgeTable:
         insertion order (lazy)."""
         if self._object_buckets is None:
             buckets: dict[int, list[int]] = {}
-            for subject, obj in zip(self._subjects, self._objects):
+            for subject, obj in zip(*self._column_values()):
                 bucket = buckets.get(obj)
                 if bucket is None:
                     buckets[obj] = [subject]

@@ -306,6 +306,36 @@ def test_serve_cache_never_stale_after_snapshot_reload(figure1_graph, tmp_path):
         server.stop()
 
 
+def test_serve_reload_failures_are_clean_400s(figure1_server, tmp_path):
+    """Satellite: unreadable/corrupt snapshots surface as one typed
+    SnapshotError through ``POST /admin/reload`` — a 400 naming the
+    path, never a raw-traceback 500."""
+    missing = tmp_path / "missing.snap"
+    status, body = _post(
+        figure1_server, "/admin/reload", {"snapshot": str(missing)}
+    )
+    assert status == 400
+    assert body["type"] == "SnapshotError"
+    assert "missing.snap" in body["error"]
+
+    corrupt = tmp_path / "corrupt.snap"
+    corrupt.write_bytes(b"NOTASNAP" + b"\x00" * 64)
+    status, body = _post(
+        figure1_server, "/admin/reload", {"snapshot": str(corrupt)}
+    )
+    assert status == 400 and body["type"] == "SnapshotError"
+
+    corrupt_dir = tmp_path / "corrupt.snapdir"
+    corrupt_dir.mkdir()
+    (corrupt_dir / "MANIFEST.json").write_text("{not json")
+    status, body = _post(
+        figure1_server, "/admin/reload", {"snapshot": str(corrupt_dir)}
+    )
+    assert status == 400 and body["type"] == "SnapshotError"
+    # The server kept serving from its original snapshot throughout.
+    assert _get(figure1_server, "/healthz")[0] == 200
+
+
 def test_serve_in_flight_result_cannot_poison_cache_after_reload(
     figure1_graph, tmp_path
 ):

@@ -1,0 +1,299 @@
+"""Tests for the v2 sharded snapshot format (``storage/shards.py``).
+
+Pins the contracts the mmap path must guarantee:
+
+* a v2-mapped system answers **byte-identically** to the cold build and
+  to a v1-loaded system;
+* warm starts are *partial* — only the manifest is read up front, and a
+  query maps only the label shards its plan actually probes (asserted
+  via the reader's lazy-load counters);
+* mapped tables promote copy-on-write on mutation and never write
+  through to the snapshot files;
+* every corruption mode — truncated shard, checksum mismatch, missing
+  shard file, a v2 directory carrying a v1 magic — raises
+  ``SnapshotError`` naming the offending path, for both formats.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import GQBEConfig
+from repro.core.gqbe import GQBE
+from repro.datasets.synthetic import FreebaseLikeGenerator
+from repro.exceptions import SnapshotError
+from repro.graph.triples import write_triples
+from repro.storage.shards import MANIFEST_NAME, ShardedSnapshotReader
+from repro.storage.snapshot import GraphStore, read_snapshot_meta
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return FreebaseLikeGenerator(seed=5, scale=0.2).generate()
+
+
+@pytest.fixture(scope="module")
+def config():
+    return GQBEConfig(mqg_size=8, k_prime=25, max_join_rows=100_000)
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(dataset, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("snap") / "freebase.snapdir"
+    GraphStore.build(dataset.graph).save(directory, format="v2")
+    return directory
+
+
+@pytest.fixture(scope="module")
+def v1_path(dataset, tmp_path_factory):
+    path = tmp_path_factory.mktemp("snap") / "freebase.snap"
+    GraphStore.build(dataset.graph).save(path)
+    return path
+
+
+def _answer_key(result):
+    return [
+        (a.rank, a.entities, a.score, a.structure_score, a.content_score)
+        for a in result.answers
+    ]
+
+
+def _copy_snapshot_dir(source, target):
+    target.mkdir()
+    (target / "tables").mkdir()
+    for item in source.rglob("*"):
+        if item.is_file():
+            destination = target / item.relative_to(source)
+            destination.write_bytes(item.read_bytes())
+    return target
+
+
+class TestRoundTrip:
+    def test_byte_identical_to_cold_and_v1(
+        self, dataset, config, snapshot_dir, v1_path
+    ):
+        cold = GQBE(dataset.graph, config=config)
+        warm_v1 = GQBE(config=config, graph_store=GraphStore.load(v1_path))
+        warm_v2 = GQBE(config=config, graph_store=GraphStore.load(snapshot_dir))
+        for table_name in dataset.table_names()[:2]:
+            query_tuple = tuple(dataset.table(table_name)[0])
+            reference = _answer_key(cold.query(query_tuple, k=10))
+            assert _answer_key(warm_v1.query(query_tuple, k=10)) == reference
+            assert _answer_key(warm_v2.query(query_tuple, k=10)) == reference
+
+    def test_shape_flags_and_meta(self, dataset, snapshot_dir):
+        loaded = GraphStore.load(snapshot_dir)
+        assert loaded.columnar and loaded.intern_entities
+        meta = read_snapshot_meta(snapshot_dir)
+        assert meta["num_edges"] == dataset.graph.num_edges
+        assert meta["num_labels"] == dataset.graph.num_labels
+        # Shape questions are answered from the manifest without opening
+        # a single shard.
+        assert loaded.store.num_rows == dataset.graph.num_edges
+        assert loaded.store.num_tables == dataset.graph.num_labels
+        assert loaded.lazy_report()["tables_opened"] == 0
+
+    def test_v2_refuses_rows_engine(self, dataset, tmp_path):
+        bundle = GraphStore.build(dataset.graph, columnar=False)
+        with pytest.raises(SnapshotError, match="columnar"):
+            bundle.save(tmp_path / "rows.snapdir", format="v2")
+
+    def test_unknown_format_rejected(self, dataset, tmp_path):
+        bundle = GraphStore.build(dataset.graph)
+        with pytest.raises(SnapshotError, match="unknown snapshot format"):
+            bundle.save(tmp_path / "x.snap", format="v3")
+
+    def test_v2_resaves_as_v1(self, dataset, config, snapshot_dir, tmp_path):
+        """A mapped bundle can be re-serialized self-contained (no mmap
+        handles leak into the pickle)."""
+        mapped = GraphStore.load(snapshot_dir)
+        resaved = tmp_path / "resaved.snap"
+        mapped.save(resaved)
+        system = GQBE.from_snapshot(resaved, config=config)
+        query_tuple = tuple(dataset.table(dataset.table_names()[0])[0])
+        reference = GQBE(config=config, graph_store=GraphStore.load(snapshot_dir))
+        assert _answer_key(system.query(query_tuple, k=5)) == _answer_key(
+            reference.query(query_tuple, k=5)
+        )
+
+
+class TestLazyLoading:
+    def test_query_maps_only_probed_shards(self, dataset, config, snapshot_dir):
+        store_bundle = GraphStore.load(snapshot_dir)
+        system = GQBE(config=config, graph_store=store_bundle)
+        assert store_bundle.lazy_report()["tables_opened"] == 0
+        query_tuple = tuple(dataset.table(dataset.table_names()[0])[0])
+        system.query(query_tuple, k=5)
+        report = store_bundle.lazy_report()
+        assert 0 < report["tables_opened"] < report["tables_total"]
+        # The opened labels are real labels of the graph, and nothing
+        # was opened twice.
+        assert len(set(report["opened_labels"])) == report["tables_opened"]
+
+    def test_cardinality_is_shard_free(self, snapshot_dir):
+        bundle = GraphStore.load(snapshot_dir)
+        store = bundle.store
+        rows = {label: store.cardinality(label) for label in store.labels()}
+        assert sum(rows.values()) == store.num_rows
+        assert bundle.lazy_report()["tables_opened"] == 0
+
+    def test_mapped_table_promotes_on_mutation(self, snapshot_dir):
+        bundle = GraphStore.load(snapshot_dir)
+        store = bundle.store
+        label = next(iter(store.labels()))
+        table = store.table(label)
+        assert table.is_mapped
+        before_rows = table.rows()
+        shard_bytes = {
+            path: path.read_bytes()
+            for path in (snapshot_dir / "tables").iterdir()
+        }
+        table.add_row(999_999, 999_998)
+        assert not table.is_mapped
+        assert table.rows() == before_rows + [(999_999, 999_998)]
+        assert table.has_row(999_999, 999_998)
+        # Copy-on-write: the snapshot files never change.
+        for path, original in shard_bytes.items():
+            assert path.read_bytes() == original
+
+
+class TestCorruptionPaths:
+    """Satellite: every corruption mode raises SnapshotError naming the
+    offending path, across both formats."""
+
+    def test_truncated_shard(self, snapshot_dir, tmp_path):
+        broken = _copy_snapshot_dir(snapshot_dir, tmp_path / "truncated")
+        manifest = json.loads((broken / MANIFEST_NAME).read_text())
+        entry = manifest["tables"][0]
+        shard = broken / entry["file"]
+        shard.write_bytes(shard.read_bytes()[:24])
+        with pytest.raises(SnapshotError, match=entry["file"].split("/")[-1]):
+            GraphStore.load(broken).store.table(entry["label"])
+
+    def test_shard_checksum_mismatch(self, snapshot_dir, tmp_path):
+        broken = _copy_snapshot_dir(snapshot_dir, tmp_path / "bitrot")
+        manifest = json.loads((broken / MANIFEST_NAME).read_text())
+        entry = manifest["tables"][0]
+        shard = broken / entry["file"]
+        data = bytearray(shard.read_bytes())
+        data[-1] ^= 0xFF
+        shard.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError) as excinfo:
+            GraphStore.load(broken).store.table(entry["label"])
+        assert "checksum mismatch" in str(excinfo.value)
+        assert entry["file"].split("/")[-1] in str(excinfo.value)
+
+    def test_missing_shard_file(self, snapshot_dir, tmp_path):
+        broken = _copy_snapshot_dir(snapshot_dir, tmp_path / "missing")
+        manifest = json.loads((broken / MANIFEST_NAME).read_text())
+        entry = manifest["tables"][0]
+        (broken / entry["file"]).unlink()
+        with pytest.raises(SnapshotError, match="cannot read") as excinfo:
+            GraphStore.load(broken).store.table(entry["label"])
+        assert entry["file"].split("/")[-1] in str(excinfo.value)
+
+    def test_v2_directory_with_v1_magic(self, snapshot_dir, tmp_path):
+        broken = _copy_snapshot_dir(snapshot_dir, tmp_path / "wrongmagic")
+        manifest = json.loads((broken / MANIFEST_NAME).read_text())
+        manifest["magic"] = "GQBESNAP"  # the v1 magic
+        (broken / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="not a v2 snapshot") as excinfo:
+            GraphStore.load(broken)
+        assert MANIFEST_NAME in str(excinfo.value)
+
+    def test_future_manifest_version(self, snapshot_dir, tmp_path):
+        broken = _copy_snapshot_dir(snapshot_dir, tmp_path / "future")
+        manifest = json.loads((broken / MANIFEST_NAME).read_text())
+        manifest["format_version"] = 99
+        (broken / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="format version 99"):
+            GraphStore.load(broken)
+
+    def test_manifest_not_json(self, snapshot_dir, tmp_path):
+        broken = _copy_snapshot_dir(snapshot_dir, tmp_path / "badjson")
+        (broken / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(SnapshotError, match="not valid JSON"):
+            GraphStore.load(broken)
+
+    def test_directory_without_manifest(self, tmp_path):
+        empty = tmp_path / "empty.snapdir"
+        empty.mkdir()
+        with pytest.raises(SnapshotError, match="cannot read") as excinfo:
+            GraphStore.load(empty)
+        assert MANIFEST_NAME in str(excinfo.value)
+
+    def test_corrupt_section(self, snapshot_dir, tmp_path):
+        broken = _copy_snapshot_dir(snapshot_dir, tmp_path / "badsection")
+        section = broken / "statistics.section"
+        data = bytearray(section.read_bytes())
+        data[0] ^= 0xFF
+        section.write_bytes(bytes(data))
+        bundle = GraphStore.load(broken)
+        with pytest.raises(SnapshotError, match="statistics.section"):
+            _ = bundle.statistics
+
+    # --- the same satellite guarantees on the v1 single file ----------
+    def test_v1_truncation_names_path(self, v1_path, tmp_path):
+        data = v1_path.read_bytes()
+        path = tmp_path / "truncated.snap"
+        path.write_bytes(data[:-50])
+        with pytest.raises(SnapshotError, match="truncated") as excinfo:
+            GraphStore.load(path)
+        assert path.name in str(excinfo.value)
+
+    def test_v1_checksum_names_path(self, v1_path, tmp_path):
+        data = bytearray(v1_path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path = tmp_path / "corrupt.snap"
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="corrupt") as excinfo:
+            GraphStore.load(path)
+        assert path.name in str(excinfo.value)
+
+    def test_v1_missing_file_names_path(self, tmp_path):
+        path = tmp_path / "nope.snap"
+        with pytest.raises(SnapshotError, match="cannot read") as excinfo:
+            GraphStore.load(path)
+        assert path.name in str(excinfo.value)
+
+
+class TestCLIWorkflow:
+    def test_build_index_v2_then_query(self, tmp_path, capsys, figure1_graph):
+        triples = tmp_path / "fig1.tsv"
+        write_triples(sorted(figure1_graph.edges), triples)
+        snapshot = tmp_path / "fig1.snapdir"
+
+        assert (
+            main(["build-index", str(triples), str(snapshot), "--format", "v2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "v2 sharded directory" in out
+        assert (snapshot / MANIFEST_NAME).exists()
+
+        code = main(
+            [
+                "query",
+                "--snapshot",
+                str(snapshot),
+                "--tuple",
+                "Jerry Yang,Yahoo!",
+                "--k",
+                "3",
+                "--mqg-size",
+                "8",
+            ]
+        )
+        assert code == 0
+        assert "Top-3 answers" in capsys.readouterr().out
+
+    def test_reader_counts_are_exposed(self, snapshot_dir):
+        reader = ShardedSnapshotReader(snapshot_dir)
+        assert reader.tables_opened == 0
+        label = next(iter(reader.label_rows()))
+        table = reader.load_table(label)
+        assert len(table) == reader.label_rows()[label]
+        assert reader.tables_opened == 1 and reader.opened_labels == [label]
