@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""CI gate: a v3 snapshot worker's structural RSS sits strictly below v2's.
+
+The v3 format maps the vocabulary (string arena) and graph (CSR) that v2
+still pickles per worker, so a fresh process that opens a v3 snapshot
+and touches every section and shard must carry strictly less resident
+memory than the same process over the equivalent v2 snapshot.
+
+The comparison must run at a scale where the vocabulary+graph delta
+dwarfs ``VmRSS`` measurement noise (allocator arenas, procfs page
+granularity — roughly ±0.1 MB between identical runs).  At the
+bench-serve smoke scale of 0.25 the delta is only ~0.06 MB, which makes
+a strict comparison a coin flip; at the default ``--scale 3.0`` it is
+~2.4 MB, and the gate is meaningful.  The bench-serve artifacts keep
+recording the (informational) figures at their own scale; this script
+is the enforced check::
+
+    python benchmarks/check_worker_rss.py --scale 3.0
+
+Exit status 1 when the v3 figure is not below the v2 figure by at least
+``--min-delta-mb`` (default 0.5 MB — far above noise, far below the real
+delta).  Exits 0 with a notice where the probes are unavailable (no
+procfs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=3.0,
+        help="freebase workload scale; the structural delta must dominate "
+        "RSS noise, which needs a non-toy graph (default 3.0)",
+    )
+    parser.add_argument(
+        "--min-delta-mb",
+        type=float,
+        default=0.5,
+        help="required v2-minus-v3 margin in MB (default 0.5)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.datasets.workloads import build_freebase_workload
+    from repro.serving.pool import (
+        interpreter_floor_rss_bytes,
+        snapshot_worker_structural_rss_bytes,
+    )
+    from repro.storage.snapshot import GraphStore
+
+    floor = interpreter_floor_rss_bytes()
+    if floor is None:
+        print("RSS probes unavailable on this platform (no procfs); skipping")
+        return 0
+
+    workload = build_freebase_workload(seed=7, scale=args.scale)
+    graph = workload.dataset.graph
+    print(
+        f"workload: freebase scale {args.scale} "
+        f"({graph.num_nodes} nodes, {graph.num_edges} edges); "
+        f"interpreter+numpy floor {floor / 1e6:.1f} MB"
+    )
+    figures = {}
+    bundle = GraphStore.build(graph)  # one offline build, saved twice
+    with tempfile.TemporaryDirectory(prefix="gqbe-rss-gate-") as scratch:
+        for format in ("v2", "v3"):
+            path = Path(scratch) / f"workload.{format}"
+            bundle.save(path, format=format)
+            # strict: a broken probe must fail the gate loudly (procfs
+            # exists — the floor probe above succeeded), never skip it.
+            rss = snapshot_worker_structural_rss_bytes(path, strict=True)
+            figures[format] = rss - floor
+            print(
+                f"{format}: structural worker RSS {rss / 1e6:.2f} MB "
+                f"(incremental {figures[format] / 1e6:.2f} MB)"
+            )
+
+    delta = figures["v2"] - figures["v3"]
+    print(f"v2 - v3 incremental delta: {delta / 1e6:.2f} MB")
+    if delta < args.min_delta_mb * 1e6:
+        print(
+            f"FAIL: v3 is not below v2 by at least {args.min_delta_mb} MB — "
+            "the mapped vocabulary/graph sections regressed"
+        )
+        return 1
+    print("ok: v3 workers exclude the vocabulary and graph sections")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

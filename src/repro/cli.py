@@ -9,11 +9,12 @@ Subcommands
         gqbe query --snapshot data.snap --tuple "Jerry Yang,Yahoo!"
 ``gqbe build-index``
     Run the offline build for a triple file and save it as an index
-    snapshot for instant warm starts (``--format v2`` writes the
-    sharded, memory-mappable directory layout)::
+    snapshot for instant warm starts (``--format v2``/``v3`` write the
+    sharded, memory-mappable directory layouts; v3 additionally maps
+    the vocabulary and graph so serve workers share those pages too)::
 
         gqbe build-index data.tsv data.snap
-        gqbe build-index data.tsv data.snapdir --format v2
+        gqbe build-index data.tsv data.snapdir --format v3
 ``gqbe serve``
     Start the long-lived HTTP serving frontend over one warm snapshot
     (request batching + LRU answer cache; ``--workers N`` shards each
@@ -106,7 +107,7 @@ def _cmd_build_index(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     size = graph_store.save(args.output, format=args.format)
     save_seconds = time.perf_counter() - started
-    kind = "sharded directory" if args.format == "v2" else "file"
+    kind = "sharded directory" if args.format in ("v2", "v3") else "file"
     print(
         f"indexed {graph.num_edges} edges ({graph.num_nodes} nodes, "
         f"{graph.num_labels} labels) to {args.output} "
@@ -152,6 +153,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if isinstance(loaded, int):
         return loaded
     system, snapshot_path = loaded
+    server_options = {}
+    if args.max_body_bytes is not None:
+        server_options["max_body_bytes"] = args.max_body_bytes
     server = GQBEServer(
         system,
         snapshot_path=snapshot_path,
@@ -161,6 +165,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         cache_size=args.cache_size,
         workers=args.workers,
+        **server_options,
     )
     meta = system.graph_store.meta()
     print(
@@ -201,9 +206,9 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         )
         workload = build(scale=args.scale)
         if args.workers > 1:
-            # Pooled runs serve from a real v2 sharded snapshot so the
-            # workers memory-map shared pages instead of each forking a
-            # private copy of the workload graph.
+            # Pooled runs serve from a real sharded snapshot (v3 by
+            # default) so the workers memory-map shared pages instead of
+            # each forking a private copy of the workload graph.
             import tempfile
 
             from repro.storage.snapshot import GraphStore as _GraphStore
@@ -211,7 +216,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             scratch_dir = tempfile.mkdtemp(prefix="gqbe-bench-")
             snapshot_path = str(Path(scratch_dir) / "workload.snapdir")
             _GraphStore.build(workload.dataset.graph).save(
-                snapshot_path, format="v2"
+                snapshot_path, format=args.snapshot_format
             )
             system = GQBE.from_snapshot(snapshot_path)
         else:
@@ -231,6 +236,9 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             return 2
         tuples = [t.split(",") for t in args.tuple]
 
+    server_options = {}
+    if args.max_body_bytes is not None:
+        server_options["max_body_bytes"] = args.max_body_bytes
     server = GQBEServer(
         system,
         snapshot_path=snapshot_path,
@@ -240,6 +248,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         cache_size=args.cache_size,
         workers=args.workers,
+        **server_options,
     ).start()
     try:
         report = bench_serve(
@@ -286,6 +295,12 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         )
         print(
             f"rss: parent {memory['parent_rss_bytes'] / 1e6:.0f} MB{workers_part}"
+        )
+    structural = memory.get("snapshot_worker_structural_incremental_bytes")
+    if structural is not None:
+        print(
+            f"structural per-worker incremental rss: {structural / 1e6:.2f} MB "
+            "(snapshot sections only, over the interpreter+numpy floor)"
         )
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -387,11 +402,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build_index.add_argument(
         "--format",
-        choices=("v1", "v2"),
+        choices=("v1", "v2", "v3"),
         default="v1",
         help="v1: single-file snapshot; v2: sharded directory whose label "
         "tables reopen as zero-copy memory-mapped shards (partial loads, "
-        "page sharing across serve workers)",
+        "page sharing across serve workers); v3: v2 plus a mapped "
+        "vocabulary string arena and a graph CSR shard, so serve workers "
+        "share those pages too",
     )
     build_index.set_defaults(func=_cmd_build_index)
 
@@ -438,8 +455,17 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=1,
             help="process-pool width for batch execution: each worker opens "
-            "the served snapshot (shared mapped pages with a v2 snapshot) "
+            "the served snapshot (shared mapped pages with a v2/v3 snapshot) "
             "and batching windows are sharded across them; 1 = inline",
+        )
+        parser.add_argument(
+            "--max-body-bytes",
+            type=int,
+            default=None,
+            dest="max_body_bytes",
+            help="cap on POST request bodies (default 4 MiB); larger "
+            "declared Content-Lengths are refused with 413 before any "
+            "body byte is read",
         )
 
     serve = subparsers.add_parser(
@@ -463,6 +489,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_serve.add_argument(
         "--scale", type=float, default=0.5, help="workload scale for --workload"
+    )
+    bench_serve.add_argument(
+        "--snapshot-format",
+        choices=("v2", "v3"),
+        default="v3",
+        dest="snapshot_format",
+        help="sharded snapshot format for the scratch snapshot a pooled "
+        "--workload run serves from (v3 additionally maps the vocabulary "
+        "and graph, minimizing per-worker incremental RSS)",
     )
     bench_serve.add_argument(
         "--tuple",

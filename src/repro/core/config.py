@@ -73,6 +73,15 @@ class GQBEConfig:
     pool_workers:
         Number of worker processes for ``execution="pool"``.  ``None``
         picks ``os.cpu_count()`` (capped at 8).
+    prefetch_shards:
+        Issue read-ahead hints for memory-mapped snapshot shards: when a
+        join plan is formed, every label shard the plan will probe is
+        opened immediately (with ``madvise(WILLNEED)``, where the
+        platform has it) so the kernel faults pages in while execution
+        is still setting up.  Only affects systems loaded from a sharded
+        (v2/v3) snapshot; answers are identical either way.  Disable to
+        keep shard opening strictly probe-driven (e.g. when measuring
+        lazy-load behavior).
     """
 
     d: int = 2
@@ -87,6 +96,7 @@ class GQBEConfig:
     batch_memo_max_rows: int | None = 1_000_000
     execution: str = "inline"
     pool_workers: int | None = None
+    prefetch_shards: bool = True
 
     def __post_init__(self) -> None:
         if self.d < 1:

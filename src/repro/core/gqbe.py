@@ -74,6 +74,7 @@ class GQBE:
                     "or adjust the config"
                 )
             self._graph_store = graph_store
+            graph_store.set_prefetch(self.config.prefetch_shards)
         else:
             # Cold start: run the offline build now.  Entities are interned
             # to dense int ids (and decoded back to strings only when

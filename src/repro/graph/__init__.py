@@ -15,6 +15,7 @@ builds on:
 """
 
 from repro.graph.knowledge_graph import Edge, KnowledgeGraph
+from repro.graph.mapped import MappedKnowledgeGraph
 from repro.graph.neighborhood import NeighborhoodGraph, neighborhood_graph
 from repro.graph.statistics import GraphStatistics
 from repro.graph.triples import (
@@ -27,6 +28,7 @@ from repro.graph.triples import (
 __all__ = [
     "Edge",
     "KnowledgeGraph",
+    "MappedKnowledgeGraph",
     "NeighborhoodGraph",
     "neighborhood_graph",
     "GraphStatistics",

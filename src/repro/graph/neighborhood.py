@@ -16,6 +16,15 @@ node.  Then
 
 because an edge one of whose endpoints lies within ``d − 1`` hops of a query
 entity lies on an undirected path of length ≤ ``d`` starting at that entity.
+
+Over a :class:`~repro.graph.mapped.MappedKnowledgeGraph` (a v3 sharded
+snapshot) the same BFS runs on the mapped int64 CSR columns: nodes are
+dense ids, frontier expansion slices the adjacency arrays, and
+:class:`~repro.graph.knowledge_graph.Edge` objects are materialized only
+for the edges that make it into ``H_t``.  The traversal orders mirror the
+dict-of-lists implementation exactly (out-slice then in-slice, per node,
+in per-node insertion order), so the extracted neighborhood — and every
+answer downstream of it — is byte-identical across backings.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import QueryError, UnknownEntityError
 from repro.graph.knowledge_graph import Edge, KnowledgeGraph
+from repro.graph.mapped import MappedKnowledgeGraph
 
 
 @dataclass
@@ -80,6 +90,45 @@ def _validate_query_tuple(graph: KnowledgeGraph, query_tuple: Sequence[str]) -> 
     return entities
 
 
+def _mapped_distance_ids(
+    graph: MappedKnowledgeGraph,
+    entities: Sequence[str],
+    cutoff: int | None,
+) -> dict[int, int]:
+    """The BFS of :func:`query_entity_distances` over mapped CSR ids.
+
+    Expansion order matches the adjacency-map path exactly (out slice
+    then in slice per frontier node), so the returned dict's insertion
+    order — and everything derived from it — is identical.
+    """
+    entity_ids = [graph.node_id(entity) for entity in entities]
+    distances: dict[int, int] = {entity_id: 0 for entity_id in entity_ids}
+    frontier = entity_ids
+    depth = 0
+    out_indptr = graph.out_indptr
+    out_objects = graph.out_objects
+    in_indptr = graph.in_indptr
+    in_subjects = graph.in_subjects
+    while frontier and (cutoff is None or depth < cutoff):
+        depth += 1
+        next_frontier: list[int] = []
+        for node_id in frontier:
+            start = int(out_indptr[node_id])
+            end = int(out_indptr[node_id + 1])
+            for neighbor in out_objects[start:end].tolist():
+                if neighbor not in distances:
+                    distances[neighbor] = depth
+                    next_frontier.append(neighbor)
+            start = int(in_indptr[node_id])
+            end = int(in_indptr[node_id + 1])
+            for neighbor in in_subjects[start:end].tolist():
+                if neighbor not in distances:
+                    distances[neighbor] = depth
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return distances
+
+
 def query_entity_distances(
     graph: KnowledgeGraph, query_tuple: Sequence[str], cutoff: int | None = None
 ) -> dict[str, int]:
@@ -88,6 +137,14 @@ def query_entity_distances(
     Only nodes within ``cutoff`` hops are returned (all nodes if ``None``).
     """
     entities = _validate_query_tuple(graph, query_tuple)
+    if isinstance(graph, MappedKnowledgeGraph):
+        term_of = graph.term
+        return {
+            term_of(node_id): dist
+            for node_id, dist in _mapped_distance_ids(
+                graph, entities, cutoff
+            ).items()
+        }
     distances = {entity: 0 for entity in entities}
     frontier = list(entities)
     depth = 0
@@ -131,6 +188,8 @@ def neighborhood_graph(
     if d < 1:
         raise QueryError(f"path length threshold d must be >= 1, got {d}")
     entities = _validate_query_tuple(graph, query_tuple)
+    if isinstance(graph, MappedKnowledgeGraph):
+        return _mapped_neighborhood_graph(graph, entities, d)
     distances = query_entity_distances(graph, entities, cutoff=d)
 
     subgraph = KnowledgeGraph()
@@ -147,6 +206,67 @@ def neighborhood_graph(
                 subgraph.add_edge_object(edge)
 
     kept_distances = {node: distances[node] for node in subgraph.nodes}
+    return NeighborhoodGraph(
+        graph=subgraph, query_tuple=entities, d=d, distances=kept_distances
+    )
+
+
+def _mapped_neighborhood_graph(
+    graph: MappedKnowledgeGraph, entities: tuple[str, ...], d: int
+) -> NeighborhoodGraph:
+    """The :func:`neighborhood_graph` construction over mapped CSR columns.
+
+    Runs entirely on int ids; entity strings decode once per node of
+    ``H_t`` and :class:`Edge` objects exist only for the edges of the
+    extracted subgraph.  The per-node expansion order (out slice, then in
+    slice without self-loops) mirrors ``KnowledgeGraph.incident_edges``
+    so the subgraph — including its adjacency-list insertion orders — is
+    byte-identical to the dict-of-lists path.
+    """
+    distance_ids = _mapped_distance_ids(graph, entities, cutoff=d)
+    labels = graph.label_strings
+    # term_of carries its own hot-term decode cache; bind it directly.
+    term = graph.vocabulary.term_of
+
+    subgraph = KnowledgeGraph()
+    for node_id in distance_ids:
+        subgraph.add_node(term(node_id))
+    out_indptr = graph.out_indptr
+    out_objects = graph.out_objects
+    out_label_ids = graph.out_label_ids
+    in_indptr = graph.in_indptr
+    in_subjects = graph.in_subjects
+    in_label_ids = graph.in_label_ids
+    add_edge = subgraph.add_edge_object
+    for node_id, dist in distance_ids.items():
+        if dist > d - 1:
+            continue
+        node_term = term(node_id)
+        # Slice + tolist turns the mapped columns into plain-int lists in
+        # two C calls per node — per-position ndarray indexing is ~10x
+        # slower and this loop runs for every near node of every query.
+        start = int(out_indptr[node_id])
+        end = int(out_indptr[node_id + 1])
+        if start != end:
+            for other, label_id in zip(
+                out_objects[start:end].tolist(),
+                out_label_ids[start:end].tolist(),
+            ):
+                if other in distance_ids:
+                    add_edge(Edge(node_term, labels[label_id], term(other)))
+        start = int(in_indptr[node_id])
+        end = int(in_indptr[node_id + 1])
+        if start != end:
+            for other, label_id in zip(
+                in_subjects[start:end].tolist(),
+                in_label_ids[start:end].tolist(),
+            ):
+                # Self-loops already appeared in the out slice.
+                if other != node_id and other in distance_ids:
+                    add_edge(Edge(term(other), labels[label_id], node_term))
+    kept_distances = {
+        term(node_id): dist for node_id, dist in distance_ids.items()
+    }
     return NeighborhoodGraph(
         graph=subgraph, query_tuple=entities, d=d, distances=kept_distances
     )

@@ -190,4 +190,25 @@ def bench_serve(
     # mapped shard the workload needed faulted in): proves that N
     # snapshot-mapped workers share pages instead of multiplying RSS.
     report["memory"] = server.memory_stats()
+    if server.snapshot_path is not None:
+        # The *structural* per-worker footprint: a fresh process that
+        # opens the snapshot and touches every section/shard, minus the
+        # interpreter+numpy floor.  Live worker RSS is dominated by
+        # transient query allocations; this figure isolates what the
+        # snapshot format itself costs each worker (v2 maps the tables;
+        # v3 additionally maps the vocabulary and graph, pushing it
+        # toward the statistics pickle alone).
+        from repro.serving.pool import (
+            interpreter_floor_rss_bytes,
+            snapshot_worker_structural_rss_bytes,
+        )
+
+        structural = snapshot_worker_structural_rss_bytes(server.snapshot_path)
+        floor = interpreter_floor_rss_bytes()
+        report["memory"]["snapshot_worker_structural_rss_bytes"] = structural
+        report["memory"]["snapshot_worker_structural_incremental_bytes"] = (
+            max(0, structural - floor)
+            if structural is not None and floor is not None
+            else None
+        )
     return report

@@ -31,8 +31,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import subprocess
+import sys
+import threading
+import time
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import replace
 from os import PathLike
 from pathlib import Path
@@ -42,6 +46,10 @@ from repro.exceptions import GQBEError
 
 #: Upper bound on the default worker count (``pool_workers=None``).
 DEFAULT_MAX_WORKERS = 8
+
+#: Hard ceiling on pool initialization (a worker fleet that cannot fork
+#: and open its snapshot within this is considered wedged).
+POOL_INIT_TIMEOUT = 120.0
 
 # Worker-process state: the system this worker answers queries from.
 # Set once by the pool initializer.
@@ -53,7 +61,7 @@ def default_worker_count() -> int:
     return max(1, min(DEFAULT_MAX_WORKERS, os.cpu_count() or 1))
 
 
-def _init_worker(snapshot_path, config, system, barrier) -> None:
+def _init_worker(snapshot_path, config, system, barrier, init_hook=None) -> None:
     """Worker initializer: open the snapshot, or adopt the forked system.
 
     ``system`` and ``barrier`` ride along only on fork pools, where
@@ -62,18 +70,28 @@ def _init_worker(snapshot_path, config, system, barrier) -> None:
     that is what lets the pool constructor force the *entire* fleet to
     fork eagerly, while the parent is still in a known thread state,
     instead of lazily from whatever threads are running at first submit.
+
+    ``init_hook`` is a test seam: called first, so tests can simulate a
+    worker dying mid-initialization.
     """
     global _WORKER_SYSTEM
+    if init_hook is not None:
+        init_hook()
     if snapshot_path is not None:
         from repro.core.gqbe import GQBE
 
-        # Each worker opens the snapshot itself.  For v2 this maps the
+        # Each worker opens the snapshot itself.  For v2/v3 this maps the
         # shard files read-only: all workers share the physical pages.
         _WORKER_SYSTEM = GQBE.from_snapshot(snapshot_path, config=config)
     else:
         _WORKER_SYSTEM = system
     if barrier is not None:
-        barrier.wait(timeout=120)
+        try:
+            barrier.wait(timeout=POOL_INIT_TIMEOUT)
+        except threading.BrokenBarrierError:
+            # The parent detected a dead sibling and aborted the barrier;
+            # exit the initializer quietly — the pool is being torn down.
+            return
 
 
 def _run_chunk(
@@ -128,6 +146,7 @@ class WorkerPool:
         snapshot_path: str | PathLike | None = None,
         system=None,
         config=None,
+        _init_hook=None,
     ) -> None:
         if snapshot_path is None and system is None:
             raise GQBEError("WorkerPool needs a snapshot_path or a system")
@@ -172,7 +191,7 @@ class WorkerPool:
             max_workers=self.workers,
             mp_context=context,
             initializer=_init_worker,
-            initargs=(self.snapshot_path, config, inherited, barrier),
+            initargs=(self.snapshot_path, config, inherited, barrier, _init_hook),
         )
         self._closed = False
         if barrier is not None:
@@ -182,8 +201,71 @@ class WorkerPool:
             futures = [
                 self._executor.submit(os.getpid) for _ in range(self.workers)
             ]
-            for future in futures:
-                future.result(timeout=120)
+            self._await_fork_init(futures)
+
+    def _await_fork_init(self, futures) -> None:
+        """Wait for the fork fleet, failing *fast* if any worker dies.
+
+        Without this, one worker dying inside ``_init_worker`` left its
+        siblings blocked on the startup barrier for the full barrier
+        timeout (up to two minutes) before an opaque
+        ``BrokenBarrierError`` escaped the constructor.  Here the parent
+        polls the worker processes while it waits: a dead worker (or a
+        broken executor) aborts the barrier immediately — releasing the
+        survivors — tears the pool down, and raises a clean
+        :class:`~repro.exceptions.GQBEError`.
+        """
+        deadline = time.monotonic() + POOL_INIT_TIMEOUT
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, timeout=0.05, return_when=FIRST_COMPLETED)
+            for future in done:
+                error = future.exception()
+                if error is not None:
+                    self._abort_init(error)
+            if not pending:
+                return
+            processes = dict(getattr(self._executor, "_processes", None) or {})
+            dead = [
+                pid
+                for pid, process in processes.items()
+                if not process.is_alive()
+            ]
+            if dead or getattr(self._executor, "_broken", False):
+                self._abort_init(
+                    None,
+                    detail=(
+                        f"worker process {dead[0]} died" if dead else "the pool broke"
+                    ),
+                )
+            if time.monotonic() > deadline:
+                self._abort_init(None, detail="initialization timed out")
+
+    def _abort_init(self, cause: BaseException | None, detail: str | None = None):
+        """Tear the half-built pool down and raise one clean error.
+
+        Survivors blocked on the startup barrier are killed outright.
+        ``barrier.abort()`` would be the polite alternative, but a
+        multiprocessing condition's ``notify_all`` handshakes with every
+        registered sleeper — and the executor's own broken-pool handling
+        may have already terminated one mid-wait, which turns the abort
+        into a deadlock.  ``kill()`` cannot hang, and the pool is dead
+        either way.
+        """
+        processes = dict(getattr(self._executor, "_processes", None) or {})
+        for process in processes.values():
+            try:
+                process.kill()
+            except (OSError, ValueError):  # pragma: no cover - already gone
+                pass
+        self._closed = True
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        if detail is None:
+            detail = f"{type(cause).__name__}: {cause}" if cause else "unknown failure"
+        raise GQBEError(
+            f"worker pool failed during initialization ({detail}); "
+            "the pool was shut down"
+        ) from cause
 
     # ------------------------------------------------------------------
     def query_batch(
@@ -314,6 +396,95 @@ def _rss_bytes(pid: int, field: str = "VmRSS:") -> int | None:
     except (OSError, ValueError, IndexError):
         return None
     return None
+
+
+_FLOOR_SCRIPT = (
+    "import numpy, repro.core.gqbe\n"
+    "from repro.serving.pool import parent_rss_bytes\n"
+    "print(parent_rss_bytes() or 0)\n"
+)
+_interpreter_floor_cache: list[int | None] = []
+
+
+def interpreter_floor_rss_bytes() -> int | None:
+    """RSS of a bare interpreter that imported numpy + the engine.
+
+    The baseline a pool worker cannot go below — everything a worker
+    holds *above* this floor is what it actually pays for the graph.
+    ``bench-serve`` reports ``worker RSS − floor`` as the per-worker
+    *incremental* RSS, which is the number the mapped-snapshot formats
+    drive toward zero.  Measured once per process by spawning a child
+    (Linux procfs; ``None`` elsewhere) and cached.
+    """
+    if not _interpreter_floor_cache:
+        floor: int | None = None
+        try:
+            completed = subprocess.run(
+                [sys.executable, "-c", _FLOOR_SCRIPT],
+                capture_output=True,
+                timeout=60,
+                check=True,
+            )
+            floor = int(completed.stdout) or None
+        except (OSError, ValueError, subprocess.SubprocessError):
+            floor = None
+        _interpreter_floor_cache.append(floor)
+    return _interpreter_floor_cache[0]
+
+
+_STRUCTURAL_SCRIPT = (
+    "import sys\n"
+    "from repro.core.gqbe import GQBE\n"
+    "from repro.serving.pool import parent_rss_bytes\n"
+    "system = GQBE.from_snapshot(sys.argv[1])\n"
+    "system.graph_store.materialize()\n"
+    "store = system.store\n"
+    "for label in list(store.labels()):\n"
+    "    store.table(label)\n"
+    "print(parent_rss_bytes() or 0)\n"
+)
+
+
+def snapshot_worker_structural_rss_bytes(
+    snapshot_path, strict: bool = False
+) -> int | None:
+    """RSS of a worker that opened ``snapshot_path`` and touched everything.
+
+    Spawns a fresh process that materializes every section and maps
+    every table shard, then reports its ``VmRSS`` — the *structural*
+    per-worker footprint, free of transient query allocations (which
+    dwarf the sections under load and make live worker RSS useless for
+    format comparisons).  Subtract :func:`interpreter_floor_rss_bytes`
+    to get the incremental bytes a worker pays for the graph itself:
+    v2 drops the table columns+indexes from that figure, v3 additionally
+    drops the vocabulary and the graph adjacency.
+
+    ``strict=True`` (the CI gate) raises on probe failure — surfacing
+    the child's stderr — instead of returning ``None``; a broken probe
+    must fail the gate loudly, not silently disable it.
+    """
+    samples = []
+    for _ in range(2):  # min of two runs damps allocator/procfs noise
+        try:
+            completed = subprocess.run(
+                [sys.executable, "-c", _STRUCTURAL_SCRIPT, str(snapshot_path)],
+                capture_output=True,
+                timeout=300,
+                check=True,
+            )
+            samples.append(int(completed.stdout))
+        except subprocess.CalledProcessError as error:
+            if strict:
+                raise RuntimeError(
+                    "structural RSS probe failed:\n"
+                    + error.stderr.decode("utf-8", errors="replace")
+                ) from error
+            return None
+        except (OSError, ValueError, subprocess.SubprocessError):
+            if strict:
+                raise
+            return None
+    return min(samples) or None
 
 
 def parent_rss_bytes() -> int | None:

@@ -32,6 +32,7 @@ Endpoints
 from __future__ import annotations
 
 import json
+import logging
 import threading
 import time
 from dataclasses import replace
@@ -45,6 +46,23 @@ from repro.exceptions import GQBEError
 from repro.serving.batching import QueryBatcher
 from repro.serving.cache import AnswerCache
 from repro.storage.snapshot import GraphStore
+
+logger = logging.getLogger("repro.serving")
+
+#: Default cap on ``POST`` request bodies.  Query payloads are a few
+#: hundred bytes; anything near the cap is abuse or a bug, and an
+#: unbounded ``Content-Length`` would let one request allocate arbitrary
+#: memory.
+DEFAULT_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class _RequestBodyError(Exception):
+    """A request body that must be rejected before reading/parsing it."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        self.message = message
+        super().__init__(message)
 
 
 def _result_payload(result: QueryResult) -> dict:
@@ -88,6 +106,10 @@ class GQBEServer:
         LRU answer-cache capacity (``0`` disables caching).
     request_timeout:
         Per-request cap on waiting for a batch slot plus execution.
+    max_body_bytes:
+        Cap on ``POST`` request bodies.  A larger declared
+        ``Content-Length`` is refused with ``413`` before any byte of
+        the body is read; a malformed ``Content-Length`` is a ``400``.
     workers:
         Process-pool width for batch execution (``gqbe serve
         --workers``).  With ``workers > 1`` every multi-query batching
@@ -108,13 +130,17 @@ class GQBEServer:
         max_batch: int = 64,
         cache_size: int = 1024,
         request_timeout: float = 60.0,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         workers: int = 1,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_body_bytes < 1:
+            raise ValueError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
         self._system = system
         self.snapshot_path = str(snapshot_path) if snapshot_path is not None else None
         self.request_timeout = request_timeout
+        self.max_body_bytes = max_body_bytes
         self.workers = workers
         self._exec_lock = threading.Lock()
         self._cache = AnswerCache(cache_size)
@@ -135,10 +161,24 @@ class GQBEServer:
         self._counter_lock = threading.Lock()
         self.requests_served = 0
         self.request_errors = 0
+        self.internal_errors = 0
 
     def _count(self, counter: str) -> None:
         with self._counter_lock:
             setattr(self, counter, getattr(self, counter) + 1)
+
+    def note_internal_error(self, path: str, error: BaseException) -> None:
+        """Record an unhandled handler exception: log it server-side only.
+
+        The client gets an opaque 500 body — exception types/messages can
+        leak internals (paths, snapshot layout, library versions) and are
+        of no use to a well-behaved client.  ``/stats`` carries the count.
+        """
+        logger.error(
+            "unhandled error serving POST %s", path, exc_info=error
+        )
+        self._count("internal_errors")
+        self._count("request_errors")
 
     def _make_pool(self):
         """Build the worker pool for the current system (None if workers=1)."""
@@ -373,6 +413,7 @@ class GQBEServer:
             "uptime_seconds": time.monotonic() - self._started_at,
             "requests_served": self.requests_served,
             "request_errors": self.request_errors,
+            "internal_errors": self.internal_errors,
             "cache": self._cache.stats(),
             "batcher": self._batcher.stats(),
         }
@@ -390,13 +431,25 @@ class GQBEServer:
         high-water marks, immune to pages being reclaimed before
         sampling.
         """
-        from repro.serving.pool import parent_peak_rss_bytes, parent_rss_bytes
+        from repro.serving.pool import (
+            interpreter_floor_rss_bytes,
+            parent_peak_rss_bytes,
+            parent_rss_bytes,
+        )
 
         worker_rss = (
             self._pool.worker_rss_bytes() if self._pool is not None else []
         )
         worker_peak = (
             self._pool.worker_peak_rss_bytes() if self._pool is not None else []
+        )
+        # The interpreter+numpy floor turns absolute worker RSS into the
+        # *incremental* cost of serving this graph — the figure the
+        # mapped snapshot formats (v2 tables, v3 vocabulary+graph) drive
+        # toward zero.  Only measured when there are workers to compare.
+        floor = interpreter_floor_rss_bytes() if worker_rss else None
+        incremental = (
+            [max(0, rss - floor) for rss in worker_rss] if floor else []
         )
         return {
             "workers": self.workers,
@@ -406,6 +459,9 @@ class GQBEServer:
             "worker_peak_rss_bytes": worker_peak,
             "total_worker_rss_bytes": sum(worker_rss),
             "total_worker_peak_rss_bytes": sum(worker_peak),
+            "interpreter_floor_rss_bytes": floor,
+            "worker_incremental_rss_bytes": incremental,
+            "total_worker_incremental_rss_bytes": sum(incremental),
         }
 
 
@@ -439,7 +495,32 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(data)
 
     def _read_json(self):
-        length = int(self.headers.get("Content-Length") or 0)
+        """Parse the request body, bounding it *before* reading a byte.
+
+        ``Content-Length`` is attacker-controlled: an unbounded
+        ``rfile.read(length)`` would allocate whatever the header claims.
+        A malformed value is a 400 naming the header (it used to fall
+        through to the generic "not valid JSON" 400, which misdirects
+        debugging); a value over the server's cap is a 413.
+        """
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length) if raw_length is not None else 0
+        except ValueError:
+            raise _RequestBodyError(
+                400, f"invalid Content-Length header: {raw_length!r}"
+            ) from None
+        if length < 0:
+            raise _RequestBodyError(
+                400, f"invalid Content-Length header: {raw_length!r}"
+            )
+        cap = self.app.max_body_bytes
+        if length > cap:
+            raise _RequestBodyError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{cap}-byte limit",
+            )
         raw = self.rfile.read(length) if length else b""
         if not raw:
             return None
@@ -456,7 +537,15 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         try:
             payload = self._read_json()
+        except _RequestBodyError as error:
+            self.app._count("request_errors")
+            # The body was never read off the socket, so the connection
+            # cannot be reused for another request.
+            self.close_connection = True
+            self._send_json(error.status, {"error": error.message})
+            return
         except ValueError:
+            self.app._count("request_errors")
             self._send_json(400, {"error": "request body is not valid JSON"})
             return
         try:
@@ -467,7 +556,10 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 status, body = 404, {"error": f"unknown path {self.path!r}"}
         except Exception as error:  # noqa: BLE001 - last-resort 500
-            status, body = 500, {"error": f"{type(error).__name__}: {error}"}
+            # Log the traceback server-side; never echo exception details
+            # to the client.
+            self.app.note_internal_error(self.path, error)
+            status, body = 500, {"error": "internal server error"}
         self._send_json(status, body)
 
     def _handle_reload(self, payload) -> tuple[int, dict]:

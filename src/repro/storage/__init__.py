@@ -34,13 +34,18 @@ from repro.storage.plan import JoinPlan, plan_join_order
 from repro.storage.snapshot import GraphStore, read_snapshot_meta
 from repro.storage.store import VerticalPartitionStore
 from repro.storage.table import ColumnarEdgeTable, EdgeTable
-from repro.storage.vocabulary import IdentityVocabulary, Vocabulary
+from repro.storage.vocabulary import (
+    IdentityVocabulary,
+    MappedVocabulary,
+    Vocabulary,
+)
 
 __all__ = [
     "EdgeTable",
     "ColumnarEdgeTable",
     "Vocabulary",
     "IdentityVocabulary",
+    "MappedVocabulary",
     "VerticalPartitionStore",
     "GraphStore",
     "read_snapshot_meta",

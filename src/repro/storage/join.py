@@ -643,6 +643,9 @@ def evaluate_query_edges(
         arena = None
     if arena is None:
         plan = plan_join_order(edges, store)
+        # Read-ahead: open (and madvise) every shard this plan will probe
+        # before execution starts; a no-op on non-sharded stores.
+        store.prefetch_labels({edge.label for edge in plan.order})
         relation = _empty_relation(store)
         for edge in plan:
             relation = extend_with_edge(
@@ -653,6 +656,7 @@ def evaluate_query_edges(
         return relation
 
     order = arena.plan_for(edges, store).order
+    store.prefetch_labels({edge.label for edge in order})
     start, cached = arena.longest_prefix(order)
     if cached is not None:
         from repro.storage.batch import OVERFLOW

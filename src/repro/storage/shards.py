@@ -1,4 +1,4 @@
-"""Sharded snapshot format v2: a directory of memory-mappable shards.
+"""Sharded snapshot formats v2/v3: a directory of memory-mappable shards.
 
 The v1 snapshot (:mod:`repro.storage.snapshot`) is one pickle-backed
 file: loading deserializes every edge table into private process memory,
@@ -10,7 +10,7 @@ independently verifiable shards:
     The envelope: magic, format version, the snapshot ``meta`` mapping,
     and a catalog of every other file with its SHA-256 digest, byte size
     and (for table shards) label and row count.  Reading the manifest is
-    the whole cost of opening a v2 snapshot.
+    the whole cost of opening a sharded snapshot.
 ``graph.section`` / ``statistics.section`` / ``store.section``
     Independent pickles of the three v1 sections — except that the store
     section is a *skeleton*: vocabulary, engine flags, no tables.  Each
@@ -27,28 +27,58 @@ independently verifiable shards:
     physical pages, and a label table that no query probes is never
     faulted in at all.
 
+Format **v3** maps the two sections v2 still pickled:
+
+``vocabulary.arena``
+    The entity vocabulary as a string arena: every term's UTF-8 bytes
+    concatenated in id order (``blob``), an int64 offset column
+    (``offsets``, ``n + 1`` entries) and a byte-order sort permutation
+    of the ids (``sorted_ids``).  Reopens as a zero-copy
+    :class:`~repro.storage.vocabulary.MappedVocabulary`: ``term_of`` is
+    an offset slice, ``id_of`` a binary search — no dict rebuild.
+``graph.csr``
+    The data graph as CSR adjacency over the interned ids: ``out_indptr``
+    / ``out_objects`` / ``out_labels`` and ``in_indptr`` / ``in_subjects``
+    / ``in_labels`` (label ids index the label list carried in the shard
+    header).  Per-node slices preserve the original adjacency-list
+    orders, which is what keeps neighborhood extraction — and therefore
+    every ranked answer — byte-identical to the pickled graph.  Reopens
+    as a :class:`~repro.graph.mapped.MappedKnowledgeGraph`.
+
+A v3 directory has **no** ``graph.section`` and its ``store.section``
+skeleton carries no vocabulary, so the only per-worker private memory
+left is the (comparatively small) statistics section plus interpreter
+state.  v2 directories keep loading unchanged.
+
 Shard binary layout (little-endian)::
 
     offset  size  field
     0       8     magic ``b"GQBESHRD"``
     8       4     shard format version (uint32, currently 1)
     12      4     header JSON length H (uint32)
-    16      H     header JSON (label, rows, pair_stride, array catalog)
-    ...           int64 arrays, each starting at a 64-byte-aligned offset
+    16      H     header JSON (kind-specific fields + array catalog)
+    ...           arrays, each starting at a 64-byte-aligned offset
 
-The header's ``arrays`` mapping gives each array's item count and byte
+The header's ``arrays`` mapping gives each array's item count, byte
 offset *relative to the data base* — the first 64-byte boundary after
-the header — so header length and array layout never depend on each
-other.  The writer emits ``subjects``/``objects`` and, when the table is
-non-empty, ``subject_order``/``subject_keys``/``subject_bounds``,
-``object_order``/``object_keys``/``object_bounds`` and ``pair_keys``.
+the header — and dtype (``"<i8"`` int64, the default, or ``"u1"`` raw
+bytes for the vocabulary blob), so header length and array layout never
+depend on each other.
 
 Integrity: every file's SHA-256 is recorded in the manifest.  Sections
-are verified when they deserialize; a table shard is verified the first
+are verified when they deserialize; a binary shard is verified the first
 time it is opened (one streamed read that also warms the page cache),
-so corruption is still caught per shard without forcing an eager read
-of shards the workload never touches.  Like v1, the section pickles are
-**trusted local artifacts** — load only snapshots you built yourself.
+then structurally validated (offset bounds, CSR monotonicity) before any
+view is handed out, so corruption is still caught per shard without
+forcing an eager read of shards the workload never touches.  Like v1,
+the section pickles are **trusted local artifacts** — load only
+snapshots you built yourself.
+
+Opened shards are hinted with ``madvise(MADV_WILLNEED)`` (where the
+platform supports it) so the kernel reads ahead while the engine is
+still planning; the store issues the open itself for every label a join
+plan is about to probe (see
+:meth:`~repro.storage.store.VerticalPartitionStore.prefetch_labels`).
 """
 
 from __future__ import annotations
@@ -56,25 +86,31 @@ from __future__ import annotations
 import hashlib
 import json
 import mmap
-import pickle
 import struct
+from collections.abc import Callable
 from os import PathLike
 from pathlib import Path
 
 from repro.exceptions import SnapshotError
+from repro.graph.mapped import MappedKnowledgeGraph
 from repro.storage.table import ColumnarEdgeTable, _SortedGroupIndex, np
+from repro.storage.vocabulary import MappedVocabulary
 
 SHARD_MAGIC = b"GQBESHRD"
 SHARD_VERSION = 1
 MANIFEST_NAME = "MANIFEST.json"
 MANIFEST_MAGIC = "GQBESNAP2"
-SHARDED_FORMAT_VERSION = 2
+#: Every sharded-directory format this build reads (the writer emits the
+#: version ``GraphStore.save`` was asked for: 2 or 3).
+SUPPORTED_SHARDED_VERSIONS = (2, 3)
 _ALIGNMENT = 64
 _SHARD_HEADER = struct.Struct("<8sII")
 
-#: int64, little-endian — the only dtype a shard stores.
+#: int64, little-endian — the default dtype of a shard array.
 _DTYPE = "<i8"
-_ITEMSIZE = 8
+#: Raw bytes — the vocabulary blob's dtype.
+_BYTE_DTYPE = "u1"
+_ITEMSIZES = {_DTYPE: 8, _BYTE_DTYPE: 1}
 
 
 def _sha256_file(path: Path) -> str:
@@ -95,6 +131,45 @@ def _align(offset: int) -> int:
 # ----------------------------------------------------------------------
 # writing
 # ----------------------------------------------------------------------
+def _write_shard_file(
+    path: Path, header_fields: dict, arrays: dict[str, "np.ndarray"]
+) -> dict:
+    """Write one binary shard; returns ``{"bytes", "sha256"}`` for the manifest.
+
+    ``arrays`` may mix int64 and uint8 (byte-blob) arrays; each lands at
+    a 64-byte-aligned offset and is cataloged in the header JSON with its
+    dtype, so readers never guess a layout.
+    """
+    catalog: dict[str, dict] = {}
+    relative = 0
+    for name, data in arrays.items():
+        dtype = _BYTE_DTYPE if data.dtype.itemsize == 1 else _DTYPE
+        relative = _align(relative)
+        catalog[name] = {
+            "offset": relative,
+            "count": int(len(data)),
+            "dtype": dtype,
+        }
+        relative += len(data) * _ITEMSIZES[dtype]
+    header_bytes = json.dumps(
+        {**header_fields, "arrays": catalog}, sort_keys=True
+    ).encode("utf-8")
+    base = _align(_SHARD_HEADER.size + len(header_bytes))
+    total = base + relative
+    buffer = bytearray(total)
+    _SHARD_HEADER.pack_into(buffer, 0, SHARD_MAGIC, SHARD_VERSION, len(header_bytes))
+    buffer[_SHARD_HEADER.size : _SHARD_HEADER.size + len(header_bytes)] = header_bytes
+    for name, data in arrays.items():
+        entry = catalog[name]
+        start = base + entry["offset"]
+        size = entry["count"] * _ITEMSIZES[entry["dtype"]]
+        buffer[start : start + size] = data.tobytes()
+    # Hash and write the bytearray directly — converting to bytes would
+    # hold up to three shard-sized buffers at once on the largest label.
+    path.write_bytes(buffer)
+    return {"bytes": total, "sha256": hashlib.sha256(buffer).hexdigest()}
+
+
 def _table_arrays(table: ColumnarEdgeTable) -> tuple[dict[str, "np.ndarray"], int]:
     """The arrays a shard persists for ``table`` (indexes prebuilt)."""
     table.build_indexes()
@@ -126,60 +201,144 @@ def write_table_shard(path: Path, table: ColumnarEdgeTable) -> dict:
     ``label`` for the manifest.
     """
     arrays, pair_stride = _table_arrays(table)
-    # Array offsets are recorded *relative to the data base* — the first
-    # 64-byte boundary after the header — so the header text can be laid
-    # out without a fixed-point iteration between its own length and the
-    # offsets it contains.
-    catalog: dict[str, dict[str, int]] = {}
-    relative = 0
-    for name, data in arrays.items():
-        relative = _align(relative)
-        catalog[name] = {"offset": relative, "count": int(len(data))}
-        relative += len(data) * _ITEMSIZE
-    header_bytes = json.dumps(
+    entry = _write_shard_file(
+        path,
         {
             "label": table.label,
             "rows": len(table),
             "pair_stride": int(pair_stride),
-            "arrays": catalog,
         },
-        sort_keys=True,
-    ).encode("utf-8")
-    base = _align(_SHARD_HEADER.size + len(header_bytes))
-    total = base + relative
-    buffer = bytearray(total)
-    _SHARD_HEADER.pack_into(buffer, 0, SHARD_MAGIC, SHARD_VERSION, len(header_bytes))
-    buffer[_SHARD_HEADER.size : _SHARD_HEADER.size + len(header_bytes)] = header_bytes
-    for name, data in arrays.items():
-        start = base + catalog[name]["offset"]
-        buffer[start : start + len(data) * _ITEMSIZE] = data.tobytes()
-    # Hash and write the bytearray directly — converting to bytes would
-    # hold up to three shard-sized buffers at once on the largest label.
-    path.write_bytes(buffer)
-    return {
-        "label": table.label,
-        "rows": len(table),
-        "bytes": total,
-        "sha256": hashlib.sha256(buffer).hexdigest(),
+        arrays,
+    )
+    return {"label": table.label, "rows": len(table), **entry}
+
+
+def write_vocabulary_shard(path: Path, vocabulary) -> dict:
+    """Write a vocabulary as a mapped string arena; returns its manifest entry.
+
+    ``vocabulary`` is anything iterating its terms in id order
+    (:class:`~repro.storage.vocabulary.Vocabulary` or a
+    :class:`~repro.storage.vocabulary.MappedVocabulary` being resaved).
+    """
+    encoded = [term.encode("utf-8") for term in vocabulary]
+    offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+    if encoded:
+        np.cumsum([len(term) for term in encoded], out=offsets[1:])
+    blob = np.frombuffer(b"".join(encoded), dtype=np.uint8)
+    # Sorted by UTF-8 bytes (not str order — they differ beyond ASCII);
+    # id_of binary-searches this permutation against encoded probes.
+    sorted_ids = np.array(
+        sorted(range(len(encoded)), key=encoded.__getitem__), dtype=np.int64
+    )
+    entry = _write_shard_file(
+        path,
+        {"kind": "vocabulary", "terms": len(encoded)},
+        {"offsets": offsets, "sorted_ids": sorted_ids, "blob": blob},
+    )
+    return {"terms": len(encoded), **entry}
+
+
+def _graph_csr_arrays(graph, vocabulary) -> tuple[list[str], dict[str, "np.ndarray"]]:
+    """CSR adjacency arrays for ``graph`` over ``vocabulary`` ids.
+
+    Per-node slices preserve the graph's adjacency-list orders — the
+    invariant that keeps mapped neighborhood extraction byte-identical.
+    """
+    if isinstance(graph, MappedKnowledgeGraph):
+        return list(graph.label_strings), {
+            "out_indptr": np.ascontiguousarray(graph.out_indptr, dtype=_DTYPE),
+            "out_objects": np.ascontiguousarray(graph.out_objects, dtype=_DTYPE),
+            "out_labels": np.ascontiguousarray(graph.out_label_ids, dtype=_DTYPE),
+            "in_indptr": np.ascontiguousarray(graph.in_indptr, dtype=_DTYPE),
+            "in_subjects": np.ascontiguousarray(graph.in_subjects, dtype=_DTYPE),
+            "in_labels": np.ascontiguousarray(graph.in_label_ids, dtype=_DTYPE),
+        }
+    labels = list(graph.labels)
+    label_ids = {label: index for index, label in enumerate(labels)}
+    num_nodes = graph.num_nodes
+    id_of = vocabulary.id_of
+    term_of = vocabulary.term_of
+    out_adjacency = graph.out_adjacency
+    in_adjacency = graph.in_adjacency
+    out_indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    in_indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    out_objects: list[int] = []
+    out_labels: list[int] = []
+    in_subjects: list[int] = []
+    in_labels: list[int] = []
+    for node_id in range(num_nodes):
+        term = term_of(node_id)
+        for edge in out_adjacency.get(term, ()):
+            out_objects.append(id_of(edge.object))
+            out_labels.append(label_ids[edge.label])
+        out_indptr[node_id + 1] = len(out_objects)
+        for edge in in_adjacency.get(term, ()):
+            in_subjects.append(id_of(edge.subject))
+            in_labels.append(label_ids[edge.label])
+        in_indptr[node_id + 1] = len(in_subjects)
+    return labels, {
+        "out_indptr": out_indptr,
+        "out_objects": np.array(out_objects, dtype=np.int64),
+        "out_labels": np.array(out_labels, dtype=np.int64),
+        "in_indptr": in_indptr,
+        "in_subjects": np.array(in_subjects, dtype=np.int64),
+        "in_labels": np.array(in_labels, dtype=np.int64),
     }
+
+
+def write_graph_shard(path: Path, graph, vocabulary) -> dict:
+    """Write the data graph as a CSR adjacency shard; returns its entry.
+
+    Node ids are ``vocabulary`` ids, so the graph shard and the
+    vocabulary arena of one snapshot decode each other; the label list
+    rides in the shard header.
+    """
+    if len(vocabulary) < graph.num_nodes:
+        raise SnapshotError(
+            "cannot write a graph CSR shard: the vocabulary has "
+            f"{len(vocabulary)} terms but the graph has {graph.num_nodes} "
+            "nodes (the store and graph do not belong together)"
+        )
+    labels, arrays = _graph_csr_arrays(graph, vocabulary)
+    entry = _write_shard_file(
+        path,
+        {
+            "kind": "graph",
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "labels": labels,
+        },
+        arrays,
+    )
+    return {"nodes": graph.num_nodes, "edges": graph.num_edges, **entry}
 
 
 # ----------------------------------------------------------------------
 # reading
 # ----------------------------------------------------------------------
-class ShardedSnapshotReader:
-    """Opens a v2 snapshot directory and hands out sections and tables.
+def _close_quietly(mapped: mmap.mmap) -> None:
+    """Close a map unless numpy views still reference it (GC frees it then)."""
+    try:
+        mapped.close()
+    except BufferError:  # views created before validation failed still exist
+        pass
 
-    Construction reads and validates only ``MANIFEST.json``.  Sections
-    and table shards load lazily through :meth:`load_section` /
-    :meth:`load_table`; the reader counts what it opened
-    (:attr:`tables_opened`, :attr:`opened_labels`,
+
+class ShardedSnapshotReader:
+    """Opens a v2/v3 snapshot directory and hands out sections and shards.
+
+    Construction reads and validates only ``MANIFEST.json``.  Sections,
+    table shards and (v3) the vocabulary arena / graph CSR load lazily
+    through :meth:`load_section` / :meth:`load_table` /
+    :meth:`load_vocabulary` / :meth:`load_graph`; the reader counts what
+    it opened (:attr:`tables_opened`, :attr:`opened_labels`,
     :attr:`sections_loaded`) so tests and ``/stats`` can prove that a
     warm start touched nothing it did not need.
     """
 
-    def __init__(self, directory: str | PathLike) -> None:
+    def __init__(self, directory: str | PathLike, prefetch: bool = True) -> None:
         self.directory = Path(directory)
+        self.prefetch = prefetch
         manifest_path = self.directory / MANIFEST_NAME
         try:
             raw = manifest_path.read_bytes()
@@ -195,20 +354,22 @@ class ShardedSnapshotReader:
             ) from error
         if not isinstance(manifest, dict) or manifest.get("magic") != MANIFEST_MAGIC:
             raise SnapshotError(
-                f"{manifest_path!s} is not a v2 snapshot manifest (magic "
+                f"{manifest_path!s} is not a v2/v3 snapshot manifest (magic "
                 f"{manifest.get('magic') if isinstance(manifest, dict) else None!r}, "
                 f"expected {MANIFEST_MAGIC!r}) — a v1 single-file snapshot "
                 "cannot be wrapped in a directory; rebuild with "
-                "`gqbe build-index --format v2`"
+                "`gqbe build-index --format v3`"
             )
         version = manifest.get("format_version")
-        if version != SHARDED_FORMAT_VERSION:
+        if version not in SUPPORTED_SHARDED_VERSIONS:
+            supported = "/".join(str(v) for v in SUPPORTED_SHARDED_VERSIONS)
             raise SnapshotError(
                 f"snapshot {self.directory!s} uses format version {version}; "
-                f"this build supports version {SHARDED_FORMAT_VERSION} — "
-                "rebuild it with `gqbe build-index --format v2`"
+                f"this build supports versions {supported} — rebuild it with "
+                "`gqbe build-index --format v3`"
             )
         self.manifest = manifest
+        self.format_version: int = version
         self.meta: dict = dict(manifest.get("meta", {}))
         self._tables: dict[str, dict] = {
             entry["label"]: entry for entry in manifest.get("tables", [])
@@ -224,6 +385,16 @@ class ShardedSnapshotReader:
     def tables_opened(self) -> int:
         """How many table shards have been mapped so far."""
         return len(self.opened_labels)
+
+    @property
+    def has_mapped_vocabulary(self) -> bool:
+        """Whether this snapshot carries a vocabulary arena shard (v3)."""
+        return "vocabulary" in self.manifest
+
+    @property
+    def has_mapped_graph(self) -> bool:
+        """Whether this snapshot carries a graph CSR shard (v3)."""
+        return "graph" in self.manifest
 
     def label_rows(self) -> dict[str, int]:
         """Per-label row counts straight from the manifest (no shard I/O)."""
@@ -271,16 +442,19 @@ class ShardedSnapshotReader:
         self.sections_loaded.append(name)
         return data
 
-    def load_table(self, label: str) -> ColumnarEdgeTable:
-        """Map one label's shard as a read-only :class:`ColumnarEdgeTable`."""
+    # ------------------------------------------------------------------
+    def _map_shard(
+        self, entry: dict
+    ) -> tuple[Path, mmap.mmap, dict, Callable[[str], "np.ndarray | None"]]:
+        """Verify, map and parse one binary shard; returns its view factory.
+
+        The caller must either adopt the mmap (append it to
+        :attr:`_maps`) or close it; on any :class:`SnapshotError` the
+        map is closed here.
+        """
         if np is None:  # pragma: no cover - numpy-less installs only
             raise SnapshotError(
-                "v2 snapshots require numpy to map their columnar shards"
-            )
-        entry = self._tables.get(label)
-        if entry is None:
-            raise SnapshotError(
-                f"snapshot {self.directory!s} has no shard for label {label!r}"
+                "sharded snapshots require numpy to map their binary shards"
             )
         path = self._verify_file(entry["file"], entry["sha256"])
         try:
@@ -290,18 +464,23 @@ class ShardedSnapshotReader:
             raise SnapshotError(
                 f"cannot map snapshot shard {path!s}: {error}"
             ) from error
+        if self.prefetch:
+            try:
+                # Read-ahead hint: the kernel starts faulting the shard in
+                # while the engine is still planning (no-op where absent).
+                mapped.madvise(mmap.MADV_WILLNEED)
+            except (AttributeError, ValueError, OSError):  # pragma: no cover
+                pass
         try:
-            table = self._table_from_map(path, mapped, label, entry["rows"])
+            header, view = self._parse_shard(path, mapped)
         except SnapshotError:
-            mapped.close()
+            _close_quietly(mapped)
             raise
-        self._maps.append(mapped)
-        self.opened_labels.append(label)
-        return table
+        return path, mapped, header, view
 
-    def _table_from_map(
-        self, path: Path, mapped: mmap.mmap, label: str, rows: int
-    ) -> ColumnarEdgeTable:
+    def _parse_shard(
+        self, path: Path, mapped: mmap.mmap
+    ) -> tuple[dict, Callable[[str], "np.ndarray | None"]]:
         if len(mapped) < _SHARD_HEADER.size:
             raise SnapshotError(f"snapshot shard {path!s} is truncated (no header)")
         magic, version, header_length = _SHARD_HEADER.unpack_from(mapped, 0)
@@ -323,29 +502,53 @@ class ShardedSnapshotReader:
             raise SnapshotError(
                 f"snapshot shard {path!s} has an unreadable header: {error}"
             ) from error
-        if header.get("label") != label or header.get("rows") != rows:
-            raise SnapshotError(
-                f"snapshot shard {path!s} does not match its manifest entry "
-                f"(label {header.get('label')!r} rows {header.get('rows')!r}, "
-                f"expected {label!r}/{rows})"
-            )
         base = _align(header_end)
 
         def view(name: str) -> "np.ndarray | None":
             spec = header.get("arrays", {}).get(name)
             if spec is None:
                 return None
+            dtype = spec.get("dtype", _DTYPE)
             start = base + spec["offset"]
-            end = start + spec["count"] * _ITEMSIZE
+            end = start + spec["count"] * _ITEMSIZES.get(dtype, 8)
             if end > len(mapped):
                 raise SnapshotError(
                     f"snapshot shard {path!s} is truncated: array {name!r} "
                     f"ends at byte {end}, file has {len(mapped)}"
                 )
             return np.frombuffer(
-                mapped, dtype=_DTYPE, count=spec["count"], offset=start
+                mapped, dtype=dtype, count=spec["count"], offset=start
             )
 
+        return header, view
+
+    # ------------------------------------------------------------------
+    def load_table(self, label: str) -> ColumnarEdgeTable:
+        """Map one label's shard as a read-only :class:`ColumnarEdgeTable`."""
+        entry = self._tables.get(label)
+        if entry is None:
+            raise SnapshotError(
+                f"snapshot {self.directory!s} has no shard for label {label!r}"
+            )
+        path, mapped, header, view = self._map_shard(entry)
+        try:
+            table = self._table_from_header(path, header, view, label, entry["rows"])
+        except SnapshotError:
+            _close_quietly(mapped)
+            raise
+        self._maps.append(mapped)
+        self.opened_labels.append(label)
+        return table
+
+    def _table_from_header(
+        self, path: Path, header: dict, view, label: str, rows: int
+    ) -> ColumnarEdgeTable:
+        if header.get("label") != label or header.get("rows") != rows:
+            raise SnapshotError(
+                f"snapshot shard {path!s} does not match its manifest entry "
+                f"(label {header.get('label')!r} rows {header.get('rows')!r}, "
+                f"expected {label!r}/{rows})"
+            )
         subjects = view("subjects")
         objects = view("objects")
         if subjects is None or objects is None or len(subjects) != rows:
@@ -369,4 +572,183 @@ class ShardedSnapshotReader:
             object_index=object_index,
             pair_keys=view("pair_keys"),
             pair_stride=int(header.get("pair_stride", 0)),
+        )
+
+    # ------------------------------------------------------------------
+    def load_vocabulary(self) -> MappedVocabulary:
+        """Map the v3 vocabulary arena as a :class:`MappedVocabulary`."""
+        entry = self.manifest.get("vocabulary")
+        if entry is None:
+            raise SnapshotError(
+                f"snapshot {self.directory!s} has no vocabulary arena shard "
+                "(v2 snapshots carry the vocabulary inside store.section)"
+            )
+        path, mapped, header, view = self._map_shard(entry)
+        try:
+            vocabulary = self._vocabulary_from_header(path, header, view)
+        except SnapshotError:
+            _close_quietly(mapped)
+            raise
+        self._maps.append(mapped)
+        self.sections_loaded.append("vocabulary")
+        return vocabulary
+
+    def _vocabulary_from_header(self, path: Path, header: dict, view) -> MappedVocabulary:
+        if header.get("kind") != "vocabulary":
+            raise SnapshotError(
+                f"snapshot shard {path!s} is not a vocabulary arena "
+                f"(kind {header.get('kind')!r})"
+            )
+        terms = header.get("terms")
+        offsets = view("offsets")
+        sorted_ids = view("sorted_ids")
+        blob = view("blob")
+        if (
+            not isinstance(terms, int)
+            or offsets is None
+            or sorted_ids is None
+            or blob is None
+            or len(offsets) != terms + 1
+            or len(sorted_ids) != terms
+        ):
+            raise SnapshotError(
+                f"snapshot shard {path!s} is missing vocabulary arena arrays"
+            )
+        if int(offsets[0]) != 0 or (terms and bool((np.diff(offsets) < 0).any())):
+            raise SnapshotError(
+                f"snapshot shard {path!s} has a corrupt vocabulary arena: "
+                "offsets are not monotonically non-decreasing"
+            )
+        if int(offsets[-1]) != len(blob):
+            raise SnapshotError(
+                f"snapshot shard {path!s} has a corrupt vocabulary arena: "
+                f"offsets address byte {int(offsets[-1])} of a "
+                f"{len(blob)}-byte blob (offsets out of range)"
+            )
+        if terms and (
+            int(sorted_ids.min()) < 0 or int(sorted_ids.max()) >= terms
+        ):
+            raise SnapshotError(
+                f"snapshot shard {path!s} has a corrupt vocabulary arena: "
+                "sort permutation references ids outside the term range"
+            )
+        # The permutation must actually sort the terms by UTF-8 bytes —
+        # id_of binary-searches it, and a scrambled permutation would
+        # silently turn present terms into UnknownEntityError instead of
+        # corruption.  Full string comparison per adjacent pair would be
+        # an O(n) Python sweep per worker open (against this format's
+        # whole point), so the check is the vectorized first-byte
+        # projection: gross scrambles fail here, and the per-file
+        # SHA-256 already caught random corruption before this point.
+        if terms > 1 and len(blob):
+            starts = offsets[:-1][sorted_ids]
+            lengths = (offsets[1:] - offsets[:-1])[sorted_ids]
+            # Signed: np.diff on the raw uint8 gather would wrap mod 256
+            # and hide every descent.
+            first_bytes = np.where(
+                lengths > 0,
+                blob[np.minimum(starts, len(blob) - 1)].astype(np.int64),
+                -1,  # the empty term sorts before every byte
+            )
+            if bool((np.diff(first_bytes) < 0).any()):
+                raise SnapshotError(
+                    f"snapshot shard {path!s} has a corrupt vocabulary "
+                    "arena: the sort permutation is not in term byte order"
+                )
+        return MappedVocabulary(offsets, sorted_ids, blob)
+
+    # ------------------------------------------------------------------
+    def load_graph(self, vocabulary: MappedVocabulary) -> MappedKnowledgeGraph:
+        """Map the v3 graph CSR shard as a :class:`MappedKnowledgeGraph`."""
+        entry = self.manifest.get("graph")
+        if entry is None:
+            raise SnapshotError(
+                f"snapshot {self.directory!s} has no graph CSR shard "
+                "(v2 snapshots carry the graph as graph.section)"
+            )
+        path, mapped, header, view = self._map_shard(entry)
+        try:
+            graph = self._graph_from_header(path, header, view, vocabulary)
+        except SnapshotError:
+            _close_quietly(mapped)
+            raise
+        self._maps.append(mapped)
+        self.sections_loaded.append("graph")
+        return graph
+
+    def _graph_from_header(
+        self, path: Path, header: dict, view, vocabulary: MappedVocabulary
+    ) -> MappedKnowledgeGraph:
+        if header.get("kind") != "graph":
+            raise SnapshotError(
+                f"snapshot shard {path!s} is not a graph CSR shard "
+                f"(kind {header.get('kind')!r})"
+            )
+        nodes = header.get("nodes")
+        edges = header.get("edges")
+        labels = header.get("labels")
+        if not isinstance(nodes, int) or not isinstance(edges, int) or not isinstance(labels, list):
+            raise SnapshotError(
+                f"snapshot shard {path!s} has a malformed graph CSR header"
+            )
+        arrays = {}
+        for name in (
+            "out_indptr",
+            "out_objects",
+            "out_labels",
+            "in_indptr",
+            "in_subjects",
+            "in_labels",
+        ):
+            array = view(name)
+            if array is None:
+                raise SnapshotError(
+                    f"snapshot shard {path!s} is missing CSR array {name!r}"
+                )
+            arrays[name] = array
+        for name in ("out_indptr", "in_indptr"):
+            indptr = arrays[name]
+            if len(indptr) != nodes + 1:
+                raise SnapshotError(
+                    f"snapshot shard {path!s} has a corrupt graph CSR: "
+                    f"{name} has {len(indptr)} entries for {nodes} nodes"
+                )
+            if len(indptr) and (
+                int(indptr[0]) != 0
+                or int(indptr[-1]) != edges
+                or bool((np.diff(indptr) < 0).any())
+            ):
+                raise SnapshotError(
+                    f"snapshot shard {path!s} has a corrupt graph CSR: "
+                    f"{name} is non-monotonic or does not span the "
+                    f"{edges} edges"
+                )
+        for name, bound in (
+            ("out_objects", nodes),
+            ("out_labels", len(labels)),
+            ("in_subjects", nodes),
+            ("in_labels", len(labels)),
+        ):
+            column = arrays[name]
+            if len(column) != edges:
+                raise SnapshotError(
+                    f"snapshot shard {path!s} has a corrupt graph CSR: "
+                    f"{name} has {len(column)} entries for {edges} edges"
+                )
+            if edges and (
+                int(column.min()) < 0 or int(column.max()) >= bound
+            ):
+                raise SnapshotError(
+                    f"snapshot shard {path!s} has a corrupt graph CSR: "
+                    f"{name} references ids outside [0, {bound})"
+                )
+        return MappedKnowledgeGraph(
+            vocabulary,
+            labels,
+            arrays["out_indptr"],
+            arrays["out_objects"],
+            arrays["out_labels"],
+            arrays["in_indptr"],
+            arrays["in_subjects"],
+            arrays["in_labels"],
         )

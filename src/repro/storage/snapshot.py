@@ -15,20 +15,29 @@ one file read plus a checksum — 20-40x faster than the cold offline
 build — and even start + full materialization beats re-running the build
 from a triple file (see ROADMAP.md for measured medians).
 
-Two on-disk formats share this module's :class:`GraphStore` API:
+Three on-disk formats share this module's :class:`GraphStore` API:
 
 * **v1** — the single-file envelope documented below.  Everything is a
   pickle; loading deserializes each section into private process memory.
 * **v2** — the *sharded directory* layout of
-  :mod:`repro.storage.shards` (``GraphStore.save(path, format="v2")``,
-  ``gqbe build-index --format v2``): a JSON manifest, per-section pickle
-  files, and one raw binary shard per label table whose int64 columns
-  and probe indexes reopen as zero-copy read-only ``mmap`` views.  A v2
-  warm start reads only the manifest; label tables map on first probe,
-  and N processes mapping the same snapshot share the physical pages.
+  :mod:`repro.storage.shards` (``GraphStore.save(path, format="v2")``):
+  a JSON manifest, per-section pickle files, and one raw binary shard
+  per label table whose int64 columns and probe indexes reopen as
+  zero-copy read-only ``mmap`` views.  A v2 warm start reads only the
+  manifest; label tables map on first probe, and N processes mapping the
+  same snapshot share the physical pages.
+* **v3** — v2 plus mapped shards for the two sections v2 still pickled
+  (``gqbe build-index --format v3``): the vocabulary becomes an
+  offset-indexed UTF-8 string arena
+  (:class:`~repro.storage.vocabulary.MappedVocabulary`) and the data
+  graph a CSR adjacency shard
+  (:class:`~repro.graph.mapped.MappedKnowledgeGraph`), so a reopening
+  worker's private memory excludes the vocabulary and the graph too —
+  only the statistics section still unpickles per process.
 
 ``GraphStore.load`` auto-detects: a regular file is v1, a directory is
-v2.  v1 snapshots keep loading unchanged.
+v2/v3 (the manifest's ``format_version`` decides).  Older formats keep
+loading unchanged.
 
 File format (version 1)
 -----------------------
@@ -92,9 +101,10 @@ from repro.graph.statistics import GraphStatistics
 from repro.storage.shards import (
     MANIFEST_MAGIC,
     MANIFEST_NAME,
-    SHARDED_FORMAT_VERSION,
     ShardedSnapshotReader,
+    write_graph_shard,
     write_table_shard,
+    write_vocabulary_shard,
 )
 from repro.storage.store import VerticalPartitionStore
 from repro.storage.vocabulary import IdentityVocabulary
@@ -102,7 +112,7 @@ from repro.storage.vocabulary import IdentityVocabulary
 MAGIC = b"GQBESNAP"
 FORMAT_VERSION = 1
 #: The snapshot formats ``GraphStore.save`` accepts.
-SNAPSHOT_FORMATS = ("v1", "v2")
+SNAPSHOT_FORMATS = ("v1", "v2", "v3")
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 _HEADER = struct.Struct("<8sII32sQ")
 
@@ -134,6 +144,10 @@ class GraphStore:
         self._blobs: dict[str, bytes] | None = None
         self._reader: ShardedSnapshotReader | None = None
         self._meta: dict | None = None
+        self._mapped_vocabulary = None
+        #: Whether stores materialized from this bundle issue shard
+        #: prefetch hints at join-plan time (see ``GQBEConfig.prefetch_shards``).
+        self.prefetch_hints = True
 
     @classmethod
     def build(
@@ -160,6 +174,8 @@ class GraphStore:
         bundle._blobs = blobs
         bundle._reader = None
         bundle._meta = meta
+        bundle._mapped_vocabulary = None
+        bundle.prefetch_hints = True
         return bundle
 
     @classmethod
@@ -171,7 +187,30 @@ class GraphStore:
         bundle._blobs = None
         bundle._reader = reader
         bundle._meta = dict(reader.meta)
+        bundle._mapped_vocabulary = None
+        bundle.prefetch_hints = True
         return bundle
+
+    def _vocabulary_from_arena(self):
+        """The snapshot's mapped vocabulary (v3), shared by graph and store."""
+        if self._mapped_vocabulary is None:
+            self._mapped_vocabulary = self._reader.load_vocabulary()
+        return self._mapped_vocabulary
+
+    def set_prefetch(self, enabled: bool) -> None:
+        """Enable/disable shard read-ahead everywhere it is acted on.
+
+        One owner for the invariant: the flag reaches the reader's
+        ``madvise(WILLNEED)`` at shard open, any already-materialized
+        store's plan-time prefetching, and (via :attr:`prefetch_hints`)
+        stores that materialize later.  Wired from
+        ``GQBEConfig.prefetch_shards`` by :class:`~repro.core.gqbe.GQBE`.
+        """
+        self.prefetch_hints = enabled
+        if self._reader is not None:
+            self._reader.prefetch = enabled
+        if self._store is not None:
+            self._store._prefetch_hints = enabled
 
     # ------------------------------------------------------------------
     # sections (lazy)
@@ -183,9 +222,17 @@ class GraphStore:
 
     @property
     def graph(self) -> KnowledgeGraph:
-        """The data graph (materialized on first access)."""
+        """The data graph (materialized on first access).
+
+        From a v3 snapshot this maps the graph CSR shard (a
+        :class:`~repro.graph.mapped.MappedKnowledgeGraph` over shared
+        pages) instead of unpickling a private copy.
+        """
         if self._graph is None:
-            self._graph = pickle.loads(self._section_bytes("graph"))
+            if self._reader is not None and self._reader.has_mapped_graph:
+                self._graph = self._reader.load_graph(self._vocabulary_from_arena())
+            else:
+                self._graph = pickle.loads(self._section_bytes("graph"))
         return self._graph
 
     @property
@@ -211,7 +258,12 @@ class GraphStore:
             store = pickle.loads(self._section_bytes("store"))
             store._graph = self.graph
             if self._reader is not None:
+                if self._reader.has_mapped_vocabulary:
+                    # v3: the skeleton was written without its vocabulary;
+                    # adopt the mapped string arena instead.
+                    store._vocabulary = self._vocabulary_from_arena()
                 store._attach_lazy_tables(self._reader, self._reader.label_rows())
+                store._prefetch_hints = self.prefetch_hints
             self._store = store
         return self._store
 
@@ -236,7 +288,7 @@ class GraphStore:
         """
         if self._reader is not None:
             return {
-                "format": "v2",
+                "format": f"v{self._reader.format_version}",
                 "sections_loaded": list(self._reader.sections_loaded),
                 "tables_opened": self._reader.tables_opened,
                 "tables_total": len(self._reader.label_rows()),
@@ -296,9 +348,11 @@ class GraphStore:
 
         ``format="v1"`` writes the single-file envelope; ``format="v2"``
         writes the sharded directory layout (one memory-mappable shard
-        per label table — see :mod:`repro.storage.shards`), which is
-        what ``gqbe build-index --format v2`` produces.  Probe indexes
-        are materialized first so the snapshot carries them and a loaded
+        per label table — see :mod:`repro.storage.shards`);
+        ``format="v3"`` additionally maps the vocabulary (string arena
+        shard) and the data graph (CSR adjacency shard), which is what
+        ``gqbe build-index --format v3`` produces.  Probe indexes are
+        materialized first so the snapshot carries them and a loaded
         store answers its first query without an index-build pause.
 
         Example::
@@ -314,8 +368,8 @@ class GraphStore:
                 f"unknown snapshot format {format!r}; choose one of "
                 f"{', '.join(SNAPSHOT_FORMATS)}"
             )
-        if format == "v2":
-            return self._save_sharded(Path(path))
+        if format in ("v2", "v3"):
+            return self._save_sharded(Path(path), version=int(format[1:]))
         self.materialize()
         self.store.build_indexes()
         payload = pickle.dumps(
@@ -343,15 +397,22 @@ class GraphStore:
             raise SnapshotError(f"cannot write snapshot {path!s}: {error}") from error
         return len(data)
 
-    def _save_sharded(self, directory: Path) -> int:
-        """Write the v2 sharded directory layout; returns total bytes."""
+    def _save_sharded(self, directory: Path, version: int = 3) -> int:
+        """Write the sharded directory layout; returns total bytes.
+
+        ``version=2`` pickles the graph section and a store skeleton that
+        still carries the vocabulary; ``version=3`` replaces both with
+        mapped shards (vocabulary string arena + graph CSR) so reopening
+        workers share those pages too.
+        """
         self.materialize()
         store = self.store
         if not store.is_columnar:
             raise SnapshotError(
-                "the v2 sharded format stores raw int64 column shards and "
-                "requires the columnar interned engine; rebuild the store "
-                "with columnar=True (and interned entities) or save as v1"
+                f"the v{version} sharded format stores raw int64 column "
+                "shards and requires the columnar interned engine; rebuild "
+                "the store with columnar=True (and interned entities) or "
+                "save as v1"
             )
         store.build_indexes()
         try:
@@ -364,14 +425,24 @@ class GraphStore:
             skeleton._tables = {}
             skeleton._lazy_loader = None
             skeleton._lazy_rows = None
-            for name, payload in (
-                ("graph", pickle.dumps(self.graph, protocol=_PICKLE_PROTOCOL)),
+            payloads = [
                 (
                     "statistics",
                     pickle.dumps(self.statistics, protocol=_PICKLE_PROTOCOL),
                 ),
-                ("store", pickle.dumps(skeleton, protocol=_PICKLE_PROTOCOL)),
-            ):
+            ]
+            if version >= 3:
+                # The vocabulary ships as a mapped arena: strip it from
+                # the skeleton so the store section carries only flags.
+                skeleton._vocabulary = None
+            else:
+                payloads.insert(
+                    0, ("graph", pickle.dumps(self.graph, protocol=_PICKLE_PROTOCOL))
+                )
+            payloads.append(
+                ("store", pickle.dumps(skeleton, protocol=_PICKLE_PROTOCOL))
+            )
+            for name, payload in payloads:
                 file_name = f"{name}.section"
                 (directory / file_name).write_bytes(payload)
                 sections[name] = {
@@ -381,6 +452,29 @@ class GraphStore:
                 }
                 total += len(payload)
 
+            manifest = {
+                "magic": MANIFEST_MAGIC,
+                "format_version": version,
+                "pickle_protocol": _PICKLE_PROTOCOL,
+                "meta": self.meta(),
+                "sections": sections,
+            }
+
+            if version >= 3:
+                vocabulary_entry = write_vocabulary_shard(
+                    directory / "vocabulary.arena", store.vocabulary
+                )
+                vocabulary_entry["file"] = "vocabulary.arena"
+                manifest["vocabulary"] = vocabulary_entry
+                total += vocabulary_entry["bytes"]
+
+                graph_entry = write_graph_shard(
+                    directory / "graph.csr", self.graph, store.vocabulary
+                )
+                graph_entry["file"] = "graph.csr"
+                manifest["graph"] = graph_entry
+                total += graph_entry["bytes"]
+
             tables = []
             for index, label in enumerate(store.labels()):
                 file_name = f"tables/{index:05d}.shard"
@@ -388,15 +482,8 @@ class GraphStore:
                 entry["file"] = file_name
                 tables.append(entry)
                 total += entry["bytes"]
+            manifest["tables"] = tables
 
-            manifest = {
-                "magic": MANIFEST_MAGIC,
-                "format_version": SHARDED_FORMAT_VERSION,
-                "pickle_protocol": _PICKLE_PROTOCOL,
-                "meta": self.meta(),
-                "sections": sections,
-                "tables": tables,
-            }
             manifest_bytes = json.dumps(manifest, indent=1, sort_keys=True).encode(
                 "utf-8"
             )
@@ -412,9 +499,10 @@ class GraphStore:
         """Read and verify a snapshot; sections stay lazy until accessed.
 
         A regular file is read as a v1 single-file snapshot; a directory
-        is opened as a v2 sharded snapshot (only its manifest is read —
-        sections deserialize on first access and each label table maps
-        its shard on first probe).
+        is opened as a v2/v3 sharded snapshot (only its manifest is read
+        — sections deserialize on first access, each label table maps
+        its shard on first probe, and a v3 snapshot's vocabulary arena
+        and graph CSR map on first graph/store access).
 
         Example::
 

@@ -60,11 +60,12 @@ class VerticalPartitionStore:
         # filled through plain lookups.
         lookup = self._vocabulary.id_of
         self._tables: dict[str, EdgeTable | ColumnarEdgeTable] = {}
-        # Lazy-table state: a v2 sharded snapshot attaches a loader plus
-        # the manifest's per-label row counts, so unopened labels can
-        # answer cardinality/labels questions without mapping a shard.
+        # Lazy-table state: a v2/v3 sharded snapshot attaches a loader
+        # plus the manifest's per-label row counts, so unopened labels
+        # can answer cardinality/labels questions without mapping a shard.
         self._lazy_loader = None
         self._lazy_rows: dict[str, int] | None = None
+        self._prefetch_hints = True
         tables = self._tables
         for edge in graph.edges:
             table = tables.get(edge.label)
@@ -96,6 +97,7 @@ class VerticalPartitionStore:
         # Pickles written before the lazy-table state existed.
         self.__dict__.setdefault("_lazy_loader", None)
         self.__dict__.setdefault("_lazy_rows", None)
+        self.__dict__.setdefault("_prefetch_hints", True)
 
     # ------------------------------------------------------------------
     # lazy table resolution (v2 sharded snapshots)
@@ -129,6 +131,26 @@ class VerticalPartitionStore:
         if self._lazy_loader is not None:
             for label in self._lazy_rows:
                 self._resolve_table(label)
+
+    def prefetch_labels(self, labels) -> int:
+        """Open (and read-ahead hint) the shards of ``labels`` now.
+
+        Called by the join engine with the labels of a freshly planned
+        join so the kernel can fault the shards in (the reader issues
+        ``madvise(WILLNEED)`` at open) while execution is still setting
+        up, instead of blocking on the first probe of each table.  A
+        no-op for already-resolved labels, unknown labels, non-sharded
+        stores, and when disabled (``GQBEConfig.prefetch_shards=False``).
+        Returns how many shards were opened.
+        """
+        if self._lazy_loader is None or not self._prefetch_hints:
+            return 0
+        opened = 0
+        for label in labels:
+            if label not in self._tables and label in self._lazy_rows:
+                self._resolve_table(label)
+                opened += 1
+        return opened
 
     @property
     def graph(self) -> KnowledgeGraph:

@@ -15,11 +15,23 @@ user (``lattice.exploration`` / ``core.answer``).
 every term to itself, so a store built with it reproduces the pre-interning
 behavior exactly.  The property tests use it as the reference engine to
 assert that interning never changes an answer.
+
+:class:`MappedVocabulary` is the zero-copy variant behind the v3 sharded
+snapshot (:mod:`repro.storage.shards`): the terms live in one UTF-8 blob
+addressed by an int64 offset column, both memory-mapped straight out of
+the snapshot's vocabulary arena.  ``term_of`` is an offset slice + decode;
+``id_of`` is a binary search over a mapped sort permutation of the terms —
+no eager ``dict`` (or term list) is ever rebuilt, which is what keeps a
+serve worker's private RSS free of the vocabulary entirely.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    import numpy as np
 
 #: An entity identifier inside the engine: a dense ``int`` under the
 #: interning :class:`Vocabulary`, or the entity string itself under the
@@ -85,6 +97,147 @@ class Vocabulary:
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(size={len(self._terms)})"
+
+
+class MappedVocabulary:
+    """A read-only vocabulary over a memory-mapped string arena.
+
+    Backed by three mapped arrays written by the v3 snapshot's vocabulary
+    arena shard (:func:`repro.storage.shards.write_vocabulary_shard`):
+
+    ``blob``
+        Every term's UTF-8 bytes, concatenated in id order.
+    ``offsets``
+        ``n + 1`` int64 offsets; term ``i`` is ``blob[offsets[i] :
+        offsets[i + 1]]``.
+    ``sorted_ids``
+        The term ids sorted by UTF-8 byte order — the binary-search index
+        behind :meth:`id_of`, so the string→id direction also needs no
+        materialized ``dict``.
+
+    The mapped portion is immutable; :meth:`intern` of a *new* term goes
+    to a small in-process overlay (ids continue past the mapped range),
+    which keeps the full :class:`Vocabulary` contract without ever
+    touching the snapshot.  Pickling materializes a plain
+    :class:`Vocabulary` so serialized stores stay self-contained.
+    """
+
+    #: Bound on the hot-term decode cache.  Neighborhood extraction
+    #: decodes the same region's terms query after query; caching them
+    #: recovers dict-vocabulary speed while capping the private-memory
+    #: cost at the *working set* (≤ ~64k strings) instead of the whole
+    #: vocabulary.  The cache is cleared, not LRU-evicted, at the cap —
+    #: eviction bookkeeping would cost more than the rare re-decode.
+    DECODE_CACHE_LIMIT = 65536
+
+    __slots__ = (
+        "_offsets",
+        "_sorted_ids",
+        "_blob",
+        "_base",
+        "_extra_ids",
+        "_extra_terms",
+        "_decoded",
+    )
+
+    def __init__(
+        self,
+        offsets: "np.ndarray",
+        sorted_ids: "np.ndarray",
+        blob: "np.ndarray",
+    ) -> None:
+        self._offsets = offsets
+        self._sorted_ids = sorted_ids
+        self._blob = blob
+        self._base = len(offsets) - 1
+        self._extra_ids: dict[str, int] = {}
+        self._extra_terms: list[str] = []
+        self._decoded: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    def _term_bytes(self, entity_id: int) -> bytes:
+        offsets = self._offsets
+        return bytes(self._blob[int(offsets[entity_id]) : int(offsets[entity_id + 1])])
+
+    def _find_mapped(self, term: str) -> int | None:
+        """Binary search the sort permutation for ``term`` (None if absent)."""
+        encoded = term.encode("utf-8")
+        sorted_ids = self._sorted_ids
+        lo, hi = 0, self._base
+        while lo < hi:
+            mid = (lo + hi) // 2
+            candidate_id = int(sorted_ids[mid])
+            candidate = self._term_bytes(candidate_id)
+            if candidate < encoded:
+                lo = mid + 1
+            elif candidate > encoded:
+                hi = mid
+            else:
+                return candidate_id
+        return None
+
+    # ------------------------------------------------------------------
+    def intern(self, term: str) -> int:
+        """Return the id of ``term``, assigning an overlay id if new."""
+        entity_id = self.id_of(term)
+        if entity_id is None:
+            entity_id = self._base + len(self._extra_terms)
+            self._extra_ids[term] = entity_id
+            self._extra_terms.append(term)
+        return entity_id
+
+    def id_of(self, term: str) -> int | None:
+        """The id of ``term`` if present (binary search, no dict)."""
+        entity_id = self._find_mapped(term)
+        if entity_id is None and self._extra_ids:
+            return self._extra_ids.get(term)
+        return entity_id
+
+    def term_of(self, entity_id: int) -> str:
+        """The entity string for ``entity_id`` (offset slice + decode).
+
+        Decoded strings are cached up to :attr:`DECODE_CACHE_LIMIT` so
+        the hot working set costs one decode, not one per touch.
+        """
+        decoded = self._decoded.get(entity_id)
+        if decoded is not None:
+            return decoded
+        if entity_id >= self._base:
+            return self._extra_terms[entity_id - self._base]
+        if entity_id < 0:
+            raise IndexError(f"negative entity id {entity_id}")
+        decoded = self._term_bytes(entity_id).decode("utf-8")
+        if len(self._decoded) >= self.DECODE_CACHE_LIMIT:
+            self._decoded.clear()
+        self._decoded[entity_id] = decoded
+        return decoded
+
+    def decode_row(self, row: Sequence[int]) -> tuple[str, ...]:
+        """Decode a tuple of ids back to the entity strings."""
+        return tuple(self.term_of(int(entity_id)) for entity_id in row)
+
+    def __len__(self) -> int:
+        return self._base + len(self._extra_terms)
+
+    def __contains__(self, term: object) -> bool:
+        return isinstance(term, str) and self.id_of(term) is not None
+
+    def __iter__(self) -> Iterator[str]:
+        for entity_id in range(self._base):
+            yield self._term_bytes(entity_id).decode("utf-8")
+        yield from self._extra_terms
+
+    # A mapped vocabulary pickles as the equivalent owned Vocabulary:
+    # mapped buffers must never leak into a pickle, and a v3→v1 resave
+    # has to stay self-contained.
+    def __reduce__(self):
+        return (Vocabulary, (list(self),))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(size={len(self)}, mapped={self._base}, "
+            f"overlay={len(self._extra_terms)})"
+        )
 
 
 class IdentityVocabulary:

@@ -2,14 +2,22 @@
 
 The acceptance contract of the pooled backend (``serving/pool.py``):
 ranked answers — entities, scores, ranks — and their order are identical
-across **v1-loaded**, **v2-mapped**, **inline** and **pooled** execution,
-for batch sizes 1, 2 and the full 20-query Fig. 14-style workload
-(mirroring ``tests/test_batch_equivalence.py``).  Also covers duplicate
-fan-out through the pool, the serve layer's pooled dispatch, error
-handling, and the config surface.
+across **v1-loaded**, **v2-mapped**, **v3-mapped**, **inline** and
+**pooled** execution (pooled over both mapped formats), for batch sizes
+1, 2 and the full 20-query Fig. 14-style workload (mirroring
+``tests/test_batch_equivalence.py``).  Also covers duplicate fan-out
+through the pool, the serve layer's pooled dispatch, error handling
+(including a worker dying inside the fork-pool initializer, which must
+fail fast with a clean ``GQBEError`` instead of hanging on the startup
+barrier), and the config surface.
 """
 
 from __future__ import annotations
+
+import functools
+import multiprocessing
+import os
+import time
 
 import pytest
 
@@ -51,8 +59,15 @@ def snapshot_v2(workload, tmp_path_factory):
 
 
 @pytest.fixture(scope="module")
-def systems(workload, snapshot_v1, snapshot_v2):
-    """The four execution variants of the acceptance criterion."""
+def snapshot_v3(workload, tmp_path_factory):
+    path = tmp_path_factory.mktemp("pool") / "workload.snapdir3"
+    GraphStore.build(workload.dataset.graph).save(path, format="v3")
+    return path
+
+
+@pytest.fixture(scope="module")
+def systems(workload, snapshot_v1, snapshot_v2, snapshot_v3):
+    """The execution variants of the acceptance criterion."""
     inline_config = GQBEConfig(**_CONFIG)
     pooled_config = GQBEConfig(
         **_CONFIG, execution="pool", pool_workers=POOL_WORKERS
@@ -61,10 +76,13 @@ def systems(workload, snapshot_v1, snapshot_v2):
         "inline": GQBE(workload.dataset.graph, config=inline_config),
         "v1-loaded": GQBE.from_snapshot(snapshot_v1, config=inline_config),
         "v2-mapped": GQBE.from_snapshot(snapshot_v2, config=inline_config),
+        "v3-mapped": GQBE.from_snapshot(snapshot_v3, config=inline_config),
         "pooled": GQBE.from_snapshot(snapshot_v2, config=pooled_config),
+        "pooled-v3": GQBE.from_snapshot(snapshot_v3, config=pooled_config),
     }
     yield built
     built["pooled"].close()
+    built["pooled-v3"].close()
 
 
 def answer_key(result):
@@ -75,11 +93,12 @@ def answer_key(result):
 
 
 @pytest.mark.parametrize("batch_size", [1, 2, 20])
-def test_four_way_equivalence(systems, tuples, batch_size):
+def test_format_and_execution_equivalence(systems, tuples, batch_size):
+    """v1 / v2 / v3 × inline / pooled all rank byte-identically."""
     batch = tuples[:batch_size]
     assert len(batch) == batch_size
     reference = [answer_key(r) for r in systems["inline"].query_batch(batch, k=5)]
-    for name in ("v1-loaded", "v2-mapped", "pooled"):
+    for name in ("v1-loaded", "v2-mapped", "v3-mapped", "pooled", "pooled-v3"):
         results = systems[name].query_batch(batch, k=5)
         assert [answer_key(r) for r in results] == reference, name
 
@@ -148,6 +167,39 @@ def test_pool_propagates_engine_errors(systems, snapshot_v2):
 def test_worker_pool_requires_source():
     with pytest.raises(GQBEError, match="snapshot_path or a system"):
         WorkerPool(workers=2)
+
+
+def _exit_first_worker(flag) -> None:
+    """Init hook killing exactly one worker mid-initialization."""
+    with flag.get_lock():
+        first = flag.value == 0
+        if first:
+            flag.value = 1
+    if first:
+        os._exit(1)
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+def test_dying_worker_in_initializer_fails_fast(workload):
+    """Satellite: a worker dying inside ``_init_worker`` must not leave
+    its siblings blocked on the startup barrier for the 120s timeout —
+    the constructor detects the death, tears the pool down and raises a
+    clean GQBEError within seconds."""
+    context = multiprocessing.get_context("fork")
+    flag = context.Value("i", 0)
+    system = GQBE(workload.dataset.graph, config=GQBEConfig(**_CONFIG))
+    started = time.monotonic()
+    with pytest.raises(GQBEError, match="pool failed during initialization"):
+        WorkerPool(
+            workers=2,
+            system=system,
+            _init_hook=functools.partial(_exit_first_worker, flag),
+        )
+    # Far below the barrier timeout: the failure was detected, not waited out.
+    assert time.monotonic() - started < 30
 
 
 def test_chunk_balancing():

@@ -260,6 +260,106 @@ def test_serve_rejects_bad_requests(figure1_server):
     assert _get(figure1_server, "/nope")[0] == 404
 
 
+def _raw_request(server, raw: bytes):
+    """Send a hand-crafted HTTP request; returns (status, parsed body)."""
+    import socket
+
+    with socket.create_connection((server.host, server.port), timeout=30) as sock:
+        sock.sendall(raw)
+        sock.shutdown(socket.SHUT_WR)
+        data = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    head, _, body = data.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    # Keep only the first response's JSON object.
+    return status, json.loads(body.split(b"\r\n")[0] or body)
+
+
+def test_serve_caps_oversized_request_bodies(figure1_server):
+    """Satellite: an attacker-declared Content-Length cannot make the
+    server allocate arbitrary memory — it is refused with 413 before a
+    single body byte is read."""
+    huge = figure1_server.max_body_bytes + 1
+    raw = (
+        b"POST /query HTTP/1.1\r\n"
+        b"Host: test\r\nContent-Type: application/json\r\n"
+        + f"Content-Length: {huge}\r\n\r\n".encode()
+    )
+    status, body = _raw_request(figure1_server, raw)
+    assert status == 413
+    assert "exceeds" in body["error"] and str(huge) in body["error"]
+    # The server is still healthy afterwards.
+    assert _get(figure1_server, "/healthz")[0] == 200
+
+
+def test_serve_accepts_bodies_under_the_cap(figure1_graph, tmp_path):
+    server = GQBEServer(
+        GQBE(figure1_graph, config=GQBEConfig(mqg_size=10)),
+        port=0,
+        cache_size=0,
+        max_body_bytes=256,
+    ).start()
+    try:
+        status, _ = _post(
+            server, "/query", {"tuple": ["Jerry Yang", "Yahoo!"], "k": 2}
+        )
+        assert status == 200
+        big_payload = {"tuple": ["Jerry Yang", "Yahoo!"], "pad": "x" * 512}
+        status, body = _post(server, "/query", big_payload)
+        assert status == 413
+    finally:
+        server.stop()
+
+
+def test_serve_malformed_content_length_is_accurate_400(figure1_server):
+    """Satellite: ``Content-Length: abc`` used to fall into the generic
+    "request body is not valid JSON" 400; it must name the real problem."""
+    raw = (
+        b"POST /query HTTP/1.1\r\n"
+        b"Host: test\r\nContent-Type: application/json\r\n"
+        b"Content-Length: abc\r\n\r\n"
+    )
+    status, body = _raw_request(figure1_server, raw)
+    assert status == 400
+    assert "Content-Length" in body["error"]
+    assert "JSON" not in body["error"]
+
+    raw = (
+        b"POST /query HTTP/1.1\r\n"
+        b"Host: test\r\nContent-Type: application/json\r\n"
+        b"Content-Length: -5\r\n\r\n"
+    )
+    status, body = _raw_request(figure1_server, raw)
+    assert status == 400 and "Content-Length" in body["error"]
+
+
+def test_serve_internal_errors_are_opaque(figure1_graph, monkeypatch):
+    """Satellite: the last-resort 500 must not leak exception details to
+    the client; the traceback is logged server-side and counted."""
+    server = GQBEServer(
+        GQBE(figure1_graph, config=GQBEConfig(mqg_size=10)), port=0, cache_size=0
+    ).start()
+    try:
+        def explode(payload):
+            raise TypeError("secret internal detail: /etc/gqbe/snapshot.bin")
+
+        monkeypatch.setattr(server, "handle_query", explode)
+        status, body = _post(
+            server, "/query", {"tuple": ["Jerry Yang", "Yahoo!"]}
+        )
+        assert status == 500
+        assert body == {"error": "internal server error"}
+        stats = server.stats()
+        assert stats["internal_errors"] == 1
+        assert stats["request_errors"] >= 1
+    finally:
+        server.stop()
+
+
 def test_serve_healthz(figure1_server, figure1_graph):
     status, body = _get(figure1_server, "/healthz")
     assert status == 200
@@ -424,4 +524,15 @@ def test_cli_serve_parser_wiring():
     assert args.snapshot == "x.snap"
     assert args.port == 0
     assert args.batch_window_ms == 2.0
+    assert args.max_body_bytes is None  # server default (4 MiB) applies
     assert args.func.__name__ == "_cmd_serve"
+
+    args = build_parser().parse_args(
+        ["serve", "--snapshot", "x.snap", "--max-body-bytes", "1024"]
+    )
+    assert args.max_body_bytes == 1024
+
+    args = build_parser().parse_args(
+        ["bench-serve", "--workload", "freebase", "--snapshot-format", "v2"]
+    )
+    assert args.snapshot_format == "v2"

@@ -1,23 +1,31 @@
-"""Tests for the v2 sharded snapshot format (``storage/shards.py``).
+"""Tests for the v2/v3 sharded snapshot formats (``storage/shards.py``).
 
 Pins the contracts the mmap path must guarantee:
 
-* a v2-mapped system answers **byte-identically** to the cold build and
-  to a v1-loaded system;
+* a v2-mapped and a v3-mapped system answer **byte-identically** to the
+  cold build and to a v1-loaded system;
 * warm starts are *partial* — only the manifest is read up front, and a
   query maps only the label shards its plan actually probes (asserted
   via the reader's lazy-load counters);
 * mapped tables promote copy-on-write on mutation and never write
   through to the snapshot files;
+* v3 maps the remaining pickled sections: the vocabulary reopens as a
+  :class:`MappedVocabulary` string arena and the graph as a
+  :class:`MappedKnowledgeGraph` CSR view, while plain v2 directories
+  keep loading unchanged;
 * every corruption mode — truncated shard, checksum mismatch, missing
-  shard file, a v2 directory carrying a v1 magic — raises
-  ``SnapshotError`` naming the offending path, for both formats.
+  shard file, a directory carrying a v1 magic, a truncated vocabulary
+  arena, out-of-range arena offsets, a non-monotonic CSR indptr —
+  raises ``SnapshotError`` naming the offending path, for all formats.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import struct
 
+import numpy as np
 import pytest
 
 from repro.cli import main
@@ -25,9 +33,11 @@ from repro.core.config import GQBEConfig
 from repro.core.gqbe import GQBE
 from repro.datasets.synthetic import FreebaseLikeGenerator
 from repro.exceptions import SnapshotError
+from repro.graph.mapped import MappedKnowledgeGraph
 from repro.graph.triples import write_triples
 from repro.storage.shards import MANIFEST_NAME, ShardedSnapshotReader
 from repro.storage.snapshot import GraphStore, read_snapshot_meta
+from repro.storage.vocabulary import MappedVocabulary, Vocabulary
 
 
 @pytest.fixture(scope="module")
@@ -44,6 +54,13 @@ def config():
 def snapshot_dir(dataset, tmp_path_factory):
     directory = tmp_path_factory.mktemp("snap") / "freebase.snapdir"
     GraphStore.build(dataset.graph).save(directory, format="v2")
+    return directory
+
+
+@pytest.fixture(scope="module")
+def snapshot_v3_dir(dataset, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("snap") / "freebase.snapdir3"
+    GraphStore.build(dataset.graph).save(directory, format="v3")
     return directory
 
 
@@ -69,6 +86,39 @@ def _copy_snapshot_dir(source, target):
             destination = target / item.relative_to(source)
             destination.write_bytes(item.read_bytes())
     return target
+
+
+def _patch_shard_array(path, name, transform):
+    """Rewrite one named array inside a binary shard file in place."""
+    data = bytearray(path.read_bytes())
+    _magic, _version, header_length = struct.unpack_from("<8sII", data, 0)
+    header = json.loads(bytes(data[16 : 16 + header_length]))
+    base = (16 + header_length + 63) // 64 * 64
+    spec = header["arrays"][name]
+    dtype = spec.get("dtype", "<i8")
+    itemsize = 1 if dtype == "u1" else 8
+    start = base + spec["offset"]
+    end = start + spec["count"] * itemsize
+    array = np.frombuffer(bytes(data[start:end]), dtype=dtype).copy()
+    transform(array)
+    data[start:end] = array.tobytes()
+    path.write_bytes(bytes(data))
+
+
+def _refresh_manifest_sha(directory, *keys):
+    """Recompute a shard's manifest checksum after a deliberate rewrite.
+
+    Structural-corruption tests must get *past* the checksum gate to
+    prove the reader also validates what the bytes claim.
+    """
+    manifest = json.loads((directory / MANIFEST_NAME).read_text())
+    entry = manifest
+    for key in keys:
+        entry = entry[key]
+    shard = directory / entry["file"]
+    entry["sha256"] = hashlib.sha256(shard.read_bytes()).hexdigest()
+    entry["bytes"] = shard.stat().st_size
+    (directory / MANIFEST_NAME).write_text(json.dumps(manifest))
 
 
 class TestRoundTrip:
@@ -104,7 +154,7 @@ class TestRoundTrip:
     def test_unknown_format_rejected(self, dataset, tmp_path):
         bundle = GraphStore.build(dataset.graph)
         with pytest.raises(SnapshotError, match="unknown snapshot format"):
-            bundle.save(tmp_path / "x.snap", format="v3")
+            bundle.save(tmp_path / "x.snap", format="v9")
 
     def test_v2_resaves_as_v1(self, dataset, config, snapshot_dir, tmp_path):
         """A mapped bundle can be re-serialized self-contained (no mmap
@@ -118,6 +168,142 @@ class TestRoundTrip:
         assert _answer_key(system.query(query_tuple, k=5)) == _answer_key(
             reference.query(query_tuple, k=5)
         )
+
+
+class TestV3MappedSections:
+    """The v3 tentpole: vocabulary arena + graph CSR are mapped shards."""
+
+    def test_byte_identical_to_cold_v1_v2(
+        self, dataset, config, snapshot_dir, snapshot_v3_dir, v1_path
+    ):
+        cold = GQBE(dataset.graph, config=config)
+        warm_v1 = GQBE(config=config, graph_store=GraphStore.load(v1_path))
+        warm_v2 = GQBE(config=config, graph_store=GraphStore.load(snapshot_dir))
+        warm_v3 = GQBE(config=config, graph_store=GraphStore.load(snapshot_v3_dir))
+        for table_name in dataset.table_names()[:2]:
+            query_tuple = tuple(dataset.table(table_name)[0])
+            reference = _answer_key(cold.query(query_tuple, k=10))
+            assert _answer_key(warm_v1.query(query_tuple, k=10)) == reference
+            assert _answer_key(warm_v2.query(query_tuple, k=10)) == reference
+            assert _answer_key(warm_v3.query(query_tuple, k=10)) == reference
+
+    def test_vocabulary_and_graph_are_mapped(self, dataset, config, snapshot_v3_dir):
+        bundle = GraphStore.load(snapshot_v3_dir)
+        system = GQBE(config=config, graph_store=bundle)
+        assert isinstance(system.graph, MappedKnowledgeGraph)
+        assert isinstance(system.store.vocabulary, MappedVocabulary)
+        report = bundle.lazy_report()
+        assert report["format"] == "v3"
+        assert "vocabulary" in report["sections_loaded"]
+        assert "graph" in report["sections_loaded"]
+        # The v3 store skeleton carries no vocabulary and there is no
+        # pickled graph section at all.
+        assert not (snapshot_v3_dir / "graph.section").exists()
+        assert (snapshot_v3_dir / "vocabulary.arena").exists()
+        assert (snapshot_v3_dir / "graph.csr").exists()
+
+    def test_warm_start_is_lazy(self, snapshot_v3_dir):
+        bundle = GraphStore.load(snapshot_v3_dir)
+        report = bundle.lazy_report()
+        assert report["sections_loaded"] == [] and report["tables_opened"] == 0
+
+    def test_mapped_graph_matches_built_graph(self, dataset, snapshot_v3_dir):
+        graph = dataset.graph
+        mapped = GraphStore.load(snapshot_v3_dir).graph
+        assert mapped.num_nodes == graph.num_nodes
+        assert mapped.num_edges == graph.num_edges
+        assert mapped.num_labels == graph.num_labels
+        assert mapped.label_counts() == graph.label_counts()
+        assert set(mapped.nodes) == set(graph.nodes)
+        some_edges = list(graph.edges)[:25]
+        for edge in some_edges:
+            assert mapped.has_edge(*edge)
+            assert edge in mapped
+        assert not mapped.has_edge("no-such", "nope", "nothing")
+        for node in list(graph.nodes)[:10]:
+            assert mapped.has_node(node)
+            # Per-node adjacency lists match the original orders exactly.
+            assert mapped.out_edges(node) == graph.out_edges(node)
+            assert mapped.in_edges(node) == graph.in_edges(node)
+            assert mapped.incident_edges(node) == graph.incident_edges(node)
+            assert mapped.neighbors(node) == graph.neighbors(node)
+        assert mapped.to_knowledge_graph() == graph
+
+    def test_mapped_vocabulary_contract(self, snapshot_v3_dir):
+        vocabulary = GraphStore.load(snapshot_v3_dir)._vocabulary_from_arena()
+        terms = list(vocabulary)
+        assert len(terms) == len(vocabulary)
+        for index in (0, len(terms) // 2, len(terms) - 1):
+            assert vocabulary.term_of(index) == terms[index]
+            assert vocabulary.id_of(terms[index]) == index
+            assert terms[index] in vocabulary
+        assert vocabulary.id_of("definitely-not-in-the-graph") is None
+        assert "definitely-not-in-the-graph" not in vocabulary
+        assert vocabulary.decode_row((0, 1)) == (terms[0], terms[1])
+        # Interning an existing term is stable; a new term goes to the
+        # overlay past the mapped range (the snapshot is untouched).
+        assert vocabulary.intern(terms[3]) == 3
+        new_id = vocabulary.intern("overlay-term")
+        assert new_id == len(terms)
+        assert vocabulary.term_of(new_id) == "overlay-term"
+        assert vocabulary.id_of("overlay-term") == new_id
+
+    def test_v3_resaves_stay_self_contained(
+        self, dataset, config, snapshot_v3_dir, tmp_path
+    ):
+        """v3 → v1 / v2 / v3 resaves carry no mapped handles and answer
+        byte-identically."""
+        query_tuple = tuple(dataset.table(dataset.table_names()[0])[0])
+        reference = _answer_key(
+            GQBE(config=config, graph_store=GraphStore.load(snapshot_v3_dir)).query(
+                query_tuple, k=5
+            )
+        )
+        for format, name in (("v1", "re.snap"), ("v2", "re.v2dir"), ("v3", "re.v3dir")):
+            target = tmp_path / name
+            GraphStore.load(snapshot_v3_dir).save(target, format=format)
+            system = GQBE.from_snapshot(target, config=config)
+            assert _answer_key(system.query(query_tuple, k=5)) == reference, format
+
+    def test_v3_mapped_vocabulary_pickles_as_owned(self, snapshot_v3_dir):
+        import pickle
+
+        vocabulary = GraphStore.load(snapshot_v3_dir)._vocabulary_from_arena()
+        clone = pickle.loads(pickle.dumps(vocabulary))
+        assert isinstance(clone, Vocabulary)
+        assert list(clone) == list(vocabulary)
+        assert clone.id_of(next(iter(vocabulary))) == 0
+
+    def test_query_still_maps_only_probed_shards(
+        self, dataset, config, snapshot_v3_dir
+    ):
+        bundle = GraphStore.load(snapshot_v3_dir)
+        system = GQBE(config=config, graph_store=bundle)
+        query_tuple = tuple(dataset.table(dataset.table_names()[0])[0])
+        system.query(query_tuple, k=5)
+        report = bundle.lazy_report()
+        assert 0 < report["tables_opened"] < report["tables_total"]
+
+    def test_prefetch_can_be_disabled(self, dataset, config, snapshot_v3_dir):
+        from dataclasses import replace
+
+        bundle = GraphStore.load(snapshot_v3_dir)
+        system = GQBE(
+            config=replace(config, prefetch_shards=False), graph_store=bundle
+        )
+        # The flag reaches both layers: plan-time opening on the store
+        # and madvise read-ahead on the shard reader.
+        assert bundle._reader.prefetch is False
+        query_tuple = tuple(dataset.table(dataset.table_names()[0])[0])
+        assert system.store.prefetch_labels(["anything"]) == 0
+        system.query(query_tuple, k=5)
+        report = bundle.lazy_report()
+        assert 0 < report["tables_opened"] < report["tables_total"]
+
+    def test_meta_reads_without_touching_shards(self, dataset, snapshot_v3_dir):
+        meta = read_snapshot_meta(snapshot_v3_dir)
+        assert meta["num_edges"] == dataset.graph.num_edges
+        assert meta["num_nodes"] == dataset.graph.num_nodes
 
 
 class TestLazyLoading:
@@ -200,7 +386,7 @@ class TestCorruptionPaths:
         manifest = json.loads((broken / MANIFEST_NAME).read_text())
         manifest["magic"] = "GQBESNAP"  # the v1 magic
         (broken / MANIFEST_NAME).write_text(json.dumps(manifest))
-        with pytest.raises(SnapshotError, match="not a v2 snapshot") as excinfo:
+        with pytest.raises(SnapshotError, match="not a v2/v3 snapshot") as excinfo:
             GraphStore.load(broken)
         assert MANIFEST_NAME in str(excinfo.value)
 
@@ -234,6 +420,100 @@ class TestCorruptionPaths:
         bundle = GraphStore.load(broken)
         with pytest.raises(SnapshotError, match="statistics.section"):
             _ = bundle.statistics
+
+    # --- v3 mapped-section shards (vocabulary arena + graph CSR) ------
+    def _broken_v3(self, snapshot_v3_dir, tmp_path, name):
+        return _copy_snapshot_dir(snapshot_v3_dir, tmp_path / name)
+
+    def test_truncated_vocabulary_arena(self, snapshot_v3_dir, tmp_path):
+        broken = self._broken_v3(snapshot_v3_dir, tmp_path, "truncarena")
+        arena = broken / "vocabulary.arena"
+        arena.write_bytes(arena.read_bytes()[:128])
+        _refresh_manifest_sha(broken, "vocabulary")
+        with pytest.raises(SnapshotError, match="truncated|missing") as excinfo:
+            GraphStore.load(broken).store
+        assert "vocabulary.arena" in str(excinfo.value)
+
+    def test_vocabulary_arena_checksum_mismatch(self, snapshot_v3_dir, tmp_path):
+        broken = self._broken_v3(snapshot_v3_dir, tmp_path, "arenarot")
+        arena = broken / "vocabulary.arena"
+        data = bytearray(arena.read_bytes())
+        data[-1] ^= 0xFF
+        arena.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="checksum mismatch") as excinfo:
+            GraphStore.load(broken).store
+        assert "vocabulary.arena" in str(excinfo.value)
+
+    def test_vocabulary_offsets_out_of_range(self, snapshot_v3_dir, tmp_path):
+        broken = self._broken_v3(snapshot_v3_dir, tmp_path, "badoffsets")
+
+        def overflow(offsets):
+            offsets[-1] += 4096  # addresses bytes past the blob
+
+        _patch_shard_array(broken / "vocabulary.arena", "offsets", overflow)
+        _refresh_manifest_sha(broken, "vocabulary")
+        with pytest.raises(SnapshotError, match="offsets out of range") as excinfo:
+            GraphStore.load(broken).store
+        assert "vocabulary.arena" in str(excinfo.value)
+
+    def test_vocabulary_offsets_non_monotonic(self, snapshot_v3_dir, tmp_path):
+        broken = self._broken_v3(snapshot_v3_dir, tmp_path, "zigzag")
+
+        def zigzag(offsets):
+            if len(offsets) > 2:
+                offsets[1], offsets[2] = offsets[2] + 1, offsets[1]
+
+        _patch_shard_array(broken / "vocabulary.arena", "offsets", zigzag)
+        _refresh_manifest_sha(broken, "vocabulary")
+        with pytest.raises(SnapshotError, match="monotonic") as excinfo:
+            GraphStore.load(broken).store
+        assert "vocabulary.arena" in str(excinfo.value)
+
+    def test_vocabulary_sort_permutation_scrambled(self, snapshot_v3_dir, tmp_path):
+        """A permutation that no longer sorts the terms must be reported
+        as corruption — a silent load would break id_of and turn valid
+        queries into UnknownEntityError."""
+        broken = self._broken_v3(snapshot_v3_dir, tmp_path, "scrambledperm")
+
+        def swap_extremes(sorted_ids):
+            sorted_ids[0], sorted_ids[-1] = sorted_ids[-1], sorted_ids[0]
+
+        _patch_shard_array(broken / "vocabulary.arena", "sorted_ids", swap_extremes)
+        _refresh_manifest_sha(broken, "vocabulary")
+        with pytest.raises(SnapshotError, match="not in term byte order") as excinfo:
+            GraphStore.load(broken).store
+        assert "vocabulary.arena" in str(excinfo.value)
+
+    def test_graph_csr_non_monotonic_indptr(self, snapshot_v3_dir, tmp_path):
+        broken = self._broken_v3(snapshot_v3_dir, tmp_path, "badindptr")
+
+        def scramble(indptr):
+            indptr[len(indptr) // 2] = -5  # guaranteed descent mid-array
+
+        _patch_shard_array(broken / "graph.csr", "out_indptr", scramble)
+        _refresh_manifest_sha(broken, "graph")
+        with pytest.raises(SnapshotError, match="non-monotonic") as excinfo:
+            GraphStore.load(broken).graph
+        assert "graph.csr" in str(excinfo.value)
+
+    def test_graph_csr_ids_out_of_range(self, snapshot_v3_dir, tmp_path):
+        broken = self._broken_v3(snapshot_v3_dir, tmp_path, "badids")
+
+        def escape(objects):
+            objects[0] = 2**40  # far outside the node-id range
+
+        _patch_shard_array(broken / "graph.csr", "out_objects", escape)
+        _refresh_manifest_sha(broken, "graph")
+        with pytest.raises(SnapshotError, match="outside") as excinfo:
+            GraphStore.load(broken).graph
+        assert "graph.csr" in str(excinfo.value)
+
+    def test_missing_graph_shard(self, snapshot_v3_dir, tmp_path):
+        broken = self._broken_v3(snapshot_v3_dir, tmp_path, "nograph")
+        (broken / "graph.csr").unlink()
+        with pytest.raises(SnapshotError, match="cannot read") as excinfo:
+            GraphStore.load(broken).graph
+        assert "graph.csr" in str(excinfo.value)
 
     # --- the same satellite guarantees on the v1 single file ----------
     def test_v1_truncation_names_path(self, v1_path, tmp_path):
@@ -273,6 +553,37 @@ class TestCLIWorkflow:
         out = capsys.readouterr().out
         assert "v2 sharded directory" in out
         assert (snapshot / MANIFEST_NAME).exists()
+
+        code = main(
+            [
+                "query",
+                "--snapshot",
+                str(snapshot),
+                "--tuple",
+                "Jerry Yang,Yahoo!",
+                "--k",
+                "3",
+                "--mqg-size",
+                "8",
+            ]
+        )
+        assert code == 0
+        assert "Top-3 answers" in capsys.readouterr().out
+
+    def test_build_index_v3_then_query(self, tmp_path, capsys, figure1_graph):
+        triples = tmp_path / "fig1.tsv"
+        write_triples(sorted(figure1_graph.edges), triples)
+        snapshot = tmp_path / "fig1.snapdir3"
+
+        assert (
+            main(["build-index", str(triples), str(snapshot), "--format", "v3"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "v3 sharded directory" in out
+        assert (snapshot / "vocabulary.arena").exists()
+        assert (snapshot / "graph.csr").exists()
+        assert not (snapshot / "graph.section").exists()
 
         code = main(
             [
