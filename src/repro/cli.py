@@ -28,6 +28,12 @@ Subcommands
         gqbe bench-serve --workload freebase --requests 200 --json out.json
 ``gqbe generate``
     Generate a synthetic Freebase-like or DBpedia-like dataset to a TSV file.
+``gqbe check``
+    Run the :mod:`tools.gqbecheck` static invariant analyzers (determinism,
+    mapped-memory safety, concurrency hygiene, exception discipline,
+    config/doc coverage) over the checkout::
+
+        gqbe check src benchmarks tools
 ``gqbe experiment``
     Run one of the paper's experiments (fig13, table3, table4, ...) and
     print its table.
@@ -353,6 +359,47 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _find_check_root() -> Path | None:
+    """The directory holding the ``tools.gqbecheck`` package, if any.
+
+    Walk up from the working directory first (so the analyzers run
+    against the tree the user is standing in), then fall back to the
+    checkout this module was imported from — an editable install has
+    ``src/repro/cli.py`` two levels below the repo root.
+    """
+    candidates = [Path.cwd(), *Path.cwd().parents]
+    candidates.append(Path(__file__).resolve().parents[2])
+    for candidate in candidates:
+        if (candidate / "tools" / "gqbecheck" / "__init__.py").is_file():
+            return candidate
+    return None
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    return _run_check(list(args.check_args))
+
+
+def _run_check(forwarded: list[str]) -> int:
+    root = _find_check_root()
+    if root is None:
+        print(
+            "gqbe check: cannot locate the tools/gqbecheck package "
+            "(run from a repo checkout)",
+            file=sys.stderr,
+        )
+        return 2
+    if str(root) not in sys.path:
+        sys.path.insert(0, str(root))
+    from tools.gqbecheck.cli import main as check_main
+
+    # A leading "--" separator (gqbe check -- --flags) is noise; drop it.
+    if forwarded and forwarded[0] == "--":
+        forwarded = forwarded[1:]
+    if not any(piece.startswith("--root") for piece in forwarded):
+        forwarded = ["--root", str(root), *forwarded]
+    return check_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -528,13 +575,36 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", type=float, default=0.5)
     experiment.set_defaults(func=_cmd_experiment)
 
+    check = subparsers.add_parser(
+        "check",
+        help="run the gqbecheck static invariant analyzers",
+        description=(
+            "Run tools.gqbecheck (determinism, mapped-memory, concurrency, "
+            "exception-discipline and config/doc analyzers) over the repo. "
+            "All arguments are forwarded; see `gqbe check -- --help`."
+        ),
+    )
+    check.add_argument(
+        "check_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m tools.gqbecheck",
+    )
+    check.set_defaults(func=_cmd_check)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
+    arg_list = list(argv) if argv is not None else sys.argv[1:]
+    if arg_list and arg_list[0] == "check":
+        # argparse.REMAINDER cannot capture leading option-style
+        # arguments (`gqbe check --list-rules`), so the check
+        # subcommand forwards its argv verbatim.  The subparser stays
+        # registered above purely so `gqbe --help` documents it.
+        return _run_check(arg_list[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arg_list)
     return args.func(args)
 
 

@@ -339,6 +339,10 @@ class AnswerAccumulator:
                 if signature:  # 0: shared id at a different column only
                     matches.append((answer_of(row), signature))
 
+        # gqbe: ignore[DET001] -- order-independent: each answer updates
+        # its own record with max-merges; the final records dict content
+        # is identical under any iteration order, and ranking happens
+        # later over the records, not over this loop's side effects.
         for answer in distinct_answers:
             if answer in excluded:
                 continue

@@ -43,6 +43,8 @@ def _spanning_trees(edges: list[Edge]) -> list[frozenset[Edge]]:
         for edge in subset:
             adjacency[edge.subject].append(edge.object)
             adjacency[edge.object].append(edge.subject)
+        # gqbe: ignore[DET003] -- connectivity is invariant in the start
+        # node: the reachability verdict is the same from any element.
         start = next(iter(nodes))
         seen = {start}
         stack = [start]
@@ -64,6 +66,8 @@ def _trim_tree(tree: frozenset[Edge], query_entities: set[str]) -> frozenset[Edg
     while changed and edges:
         changed = False
         degree: dict[str, int] = {}
+        # gqbe: ignore[DET001] -- commutative accumulation: degree counts
+        # do not depend on the order edges are visited.
         for edge in edges:
             degree[edge.subject] = degree.get(edge.subject, 0) + 1
             degree[edge.object] = degree.get(edge.object, 0) + 1
@@ -74,6 +78,9 @@ def _trim_tree(tree: frozenset[Edge], query_entities: set[str]) -> frozenset[Edg
         }
         if not removable_nodes:
             break
+        # gqbe: ignore[DET001] -- order-independent: every edge incident
+        # to a removable node is discarded regardless of visit order; the
+        # surviving edge set is the same under any ordering.
         for edge in list(edges):
             if edge.subject in removable_nodes or edge.object in removable_nodes:
                 edges.discard(edge)
@@ -104,6 +111,8 @@ def minimal_query_trees(space: LatticeSpace) -> list[int]:
     entities = set(space.query_tuple)
 
     if len(entities) == 1:
+        # gqbe: ignore[DET003] -- singleton set: there is only one
+        # element to extract, so the choice is fully determined.
         entity = next(iter(entities))
         leaves = {
             1 << i

@@ -174,9 +174,12 @@ class QueryBatcher:
                 return
             if not group:
                 continue
-            self.batches_run += 1
-            self.queries_batched += len(group)
-            self.largest_batch = max(self.largest_batch, len(group))
+            with self._condition:
+                # stats() runs on handler threads; an unlocked += here is
+                # load/add/store and loses increments under contention.
+                self.batches_run += 1
+                self.queries_batched += len(group)
+                self.largest_batch = max(self.largest_batch, len(group))
             # One query_batch call needs uniform (k, k_prime); group by it,
             # preserving arrival order inside each subgroup.
             subgroups: dict[tuple[int, int | None], list[_Pending]] = {}
@@ -189,6 +192,9 @@ class QueryBatcher:
                 tuples = [member.query_tuple for member in members]
                 try:
                     results = self._execute(tuples, k, k_prime)
+                # gqbe: ignore[EXC001] -- worker thread must never die: every
+                # failure (including KeyboardInterrupt-class) is forwarded to
+                # the waiting caller, which re-raises it on its own thread.
                 except BaseException as error:  # noqa: BLE001 - forwarded to callers
                     for member in members:
                         member.error = error
@@ -213,21 +219,29 @@ class QueryBatcher:
         if pool is not None and len(tuples) > 1:
             try:
                 results = pool.query_batch(tuples, k=k, k_prime=k_prime)
+            # gqbe: ignore[EXC001] -- deliberate degrade path: any pool
+            # failure (broken worker, pickling error, engine fault) falls
+            # back to the inline runner, which isolates per-query errors.
             except Exception:  # noqa: BLE001 - degrade to the inline runner
                 return self._runner(tuples, k, k_prime)
-            self.pooled_batches += 1
+            with self._condition:
+                self.pooled_batches += 1
             return results
         return self._runner(tuples, k, k_prime)
 
     def stats(self) -> dict[str, float]:
         """Counter snapshot for the ``/stats`` endpoint."""
-        batches = self.batches_run
+        with self._condition:
+            batches = self.batches_run
+            queries = self.queries_batched
+            largest = self.largest_batch
+            pooled = self.pooled_batches
         return {
             "window_seconds": self.window_seconds,
             "max_batch": self.max_batch,
             "batches_run": batches,
-            "queries_batched": self.queries_batched,
-            "largest_batch": self.largest_batch,
-            "mean_batch_size": (self.queries_batched / batches) if batches else 0.0,
-            "pooled_batches": self.pooled_batches,
+            "queries_batched": queries,
+            "largest_batch": largest,
+            "mean_batch_size": (queries / batches) if batches else 0.0,
+            "pooled_batches": pooled,
         }

@@ -303,6 +303,9 @@ class WorkerPool:
         for chunk, future in zip(chunks, futures):
             try:
                 results = future.result()
+            # gqbe: ignore[EXC001] -- every future must be drained even
+            # when one fails (no leaked in-flight work); the first error,
+            # whatever its type, is re-raised once draining completes.
             except BaseException as error:  # noqa: BLE001 - re-raised below
                 # Drain every future before raising so no work leaks.
                 if first_error is None:
@@ -404,6 +407,7 @@ _FLOOR_SCRIPT = (
     "print(parent_rss_bytes() or 0)\n"
 )
 _interpreter_floor_cache: list[int | None] = []
+_interpreter_floor_lock = threading.Lock()
 
 
 def interpreter_floor_rss_bytes() -> int | None:
@@ -416,20 +420,23 @@ def interpreter_floor_rss_bytes() -> int | None:
     drive toward zero.  Measured once per process by spawning a child
     (Linux procfs; ``None`` elsewhere) and cached.
     """
-    if not _interpreter_floor_cache:
-        floor: int | None = None
-        try:
-            completed = subprocess.run(
-                [sys.executable, "-c", _FLOOR_SCRIPT],
-                capture_output=True,
-                timeout=60,
-                check=True,
-            )
-            floor = int(completed.stdout) or None
-        except (OSError, ValueError, subprocess.SubprocessError):
-            floor = None
-        _interpreter_floor_cache.append(floor)
-    return _interpreter_floor_cache[0]
+    with _interpreter_floor_lock:
+        # Unlocked, two handler threads could both see the empty cache,
+        # spawn two probe children and double-append.
+        if not _interpreter_floor_cache:
+            floor: int | None = None
+            try:
+                completed = subprocess.run(
+                    [sys.executable, "-c", _FLOOR_SCRIPT],
+                    capture_output=True,
+                    timeout=60,
+                    check=True,
+                )
+                floor = int(completed.stdout) or None
+            except (OSError, ValueError, subprocess.SubprocessError):
+                floor = None
+            _interpreter_floor_cache.append(floor)
+        return _interpreter_floor_cache[0]
 
 
 _STRUCTURAL_SCRIPT = (

@@ -555,6 +555,9 @@ class _Handler(BaseHTTPRequestHandler):
                 status, body = self._handle_reload(payload)
             else:
                 status, body = 404, {"error": f"unknown path {self.path!r}"}
+        # gqbe: ignore[EXC001] -- the top-of-request net: any unhandled
+        # failure becomes a logged traceback plus a generic 500 rather
+        # than a dropped connection or a leaked stack trace.
         except Exception as error:  # noqa: BLE001 - last-resort 500
             # Log the traceback server-side; never echo exception details
             # to the client.

@@ -469,6 +469,9 @@ class ShardedSnapshotReader:
                 # Read-ahead hint: the kernel starts faulting the shard in
                 # while the engine is still planning (no-op where absent).
                 mapped.madvise(mmap.MADV_WILLNEED)
+            # gqbe: ignore[EXC002] -- madvise is a purely advisory
+            # read-ahead hint; its failure changes timing, not
+            # correctness, so it must never surface as SnapshotError.
             except (AttributeError, ValueError, OSError):  # pragma: no cover
                 pass
         try:

@@ -530,6 +530,9 @@ class GraphStore:
             outer = pickle.loads(payload)
             meta = outer["meta"]
             blobs = {key: outer[key] for key in ("graph", "statistics", "store")}
+        # gqbe: ignore[EXC001] -- unpickling raises arbitrary types from
+        # arbitrary reduce hooks; everything is rewrapped as the
+        # documented SnapshotError with the original chained.
         except Exception as error:
             raise SnapshotError(
                 f"snapshot {path!s} passed its checksum but failed to "

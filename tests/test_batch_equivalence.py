@@ -122,6 +122,24 @@ def test_batch_with_memo_disabled_matches(systems, workload):
         assert answer_key(seq) == answer_key(bat)
 
 
+def test_batch_with_memo_row_cap_zero_matches(systems, workload):
+    """batch_memo_max_rows=0 caches nothing yet answers stay identical."""
+    reference = systems["columnar"]
+    config = GQBEConfig(
+        mqg_size=8,
+        k_prime=20,
+        node_budget=500,
+        max_join_rows=50_000,
+        batch_memo_max_rows=0,
+    )
+    system = GQBE(workload.dataset.graph, config=config)
+    tuples = [query.query_tuple for query in workload.queries][:5]
+    batched = system.query_batch(tuples, k=5)
+    sequential = [reference.query(t, k=5) for t in tuples]
+    for seq, bat in zip(sequential, batched):
+        assert answer_key(seq) == answer_key(bat)
+
+
 def test_duplicate_queries_collapse_and_fan_out(systems, workload):
     """Duplicates are evaluated once but every caller gets full answers."""
     system = systems["columnar"]

@@ -1,0 +1,6 @@
+"""Repository tooling (documentation checker, static analyzers).
+
+This package marker makes ``python -m tools.gqbecheck`` work from the
+repository root and lets the test suite import the analyzer framework.
+Nothing in here is shipped with the installed ``gqbe-repro`` package.
+"""

@@ -166,6 +166,8 @@ def run_console_block(code: str, cwd: Path, state: dict) -> list[str]:
                 try:
                     state["server"] = _DocServer(pieces[1:], cwd)
                     print(f"  serve: started ephemeral server for: {command}")
+                # gqbe: ignore[EXC001] -- doc checker collects every kind
+                # of block failure as a problem instead of aborting the run.
                 except Exception as error:  # noqa: BLE001 - reported below
                     problems.append(f"`{command}` failed: {error!r}")
             else:
@@ -173,6 +175,8 @@ def run_console_block(code: str, cwd: Path, state: dict) -> list[str]:
                     exit_code = cli_main(pieces[1:])
                 except SystemExit as error:  # argparse failures
                     exit_code = error.code
+                # gqbe: ignore[EXC001] -- doc checker collects every kind
+                # of block failure as a problem instead of aborting the run.
                 except Exception as error:  # noqa: BLE001 - reported below
                     problems.append(f"`{command}` raised {error!r}")
                     continue
@@ -185,6 +189,8 @@ def run_console_block(code: str, cwd: Path, state: dict) -> list[str]:
                 continue
             try:
                 status, payload = server.curl(pieces)
+            # gqbe: ignore[EXC001] -- doc checker collects every kind of
+            # block failure as a problem instead of aborting the run.
             except Exception as error:  # noqa: BLE001 - reported below
                 problems.append(f"`{command}` raised {error!r}")
                 continue
@@ -216,6 +222,8 @@ def check_file(path: Path) -> list[str]:
                     print(f"  exec python block at {location}")
                     try:
                         exec(compile(code, location, "exec"), namespace)  # noqa: S102
+                    # gqbe: ignore[EXC001] -- executed doc snippets may
+                    # fail arbitrarily; failures become reported problems.
                     except Exception as error:  # noqa: BLE001 - reported below
                         problems.append(f"python block at {location}: {error!r}")
                 elif language == "console":

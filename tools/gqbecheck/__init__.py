@@ -1,0 +1,45 @@
+"""gqbecheck: AST-based invariant analyzers for the GQBE reproduction.
+
+Zero-dependency static analysis over the repo's own contracts:
+determinism of the equivalence-pinned query path (``DET*``),
+mapped-memory write safety (``MAP*``), concurrency/fork hygiene
+(``CON*``), exception discipline (``EXC*``) and config/doc coverage
+(``CFG*``).  See ``docs/static-analysis.md`` for the rule catalog, the
+``# gqbe: ignore[...]`` suppression syntax and the baseline workflow.
+
+Run it as ``python -m tools.gqbecheck`` or ``gqbe check``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .analyzers import ALL_ANALYZERS, iter_rules
+from .findings import Finding, Rule
+from .project import Project
+
+__all__ = [
+    "ALL_ANALYZERS",
+    "Finding",
+    "Project",
+    "Rule",
+    "check_paths",
+    "iter_rules",
+]
+
+
+def check_paths(paths: list[Path], root: Path) -> list[Finding]:
+    """Scan ``paths`` and return kept (non-suppressed) findings, sorted.
+
+    The library-level equivalent of the CLI with no baseline applied —
+    tests and tools build on this to inspect raw analyzer output.
+    """
+    project = Project.scan(paths, root)
+    findings: list[Finding] = list(project.parse_failures)
+    for analyzer in ALL_ANALYZERS:
+        for source in project.files:
+            findings.extend(analyzer.check_file(source))
+        findings.extend(analyzer.check_project(project))
+    kept, _ = project.filter_suppressed(findings)
+    kept.sort(key=Finding.sort_key)
+    return kept

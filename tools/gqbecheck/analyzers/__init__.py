@@ -1,0 +1,27 @@
+"""Analyzer registry: all contract analyzers in a stable order."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..findings import Rule
+from .base import Analyzer
+from .concurrency import ConcurrencyAnalyzer
+from .config_docs import ConfigDocsAnalyzer
+from .determinism import DeterminismAnalyzer
+from .exception_discipline import ExceptionDisciplineAnalyzer
+from .mapped_memory import MappedMemoryAnalyzer
+
+ALL_ANALYZERS: tuple[Analyzer, ...] = (
+    DeterminismAnalyzer(),
+    MappedMemoryAnalyzer(),
+    ConcurrencyAnalyzer(),
+    ExceptionDisciplineAnalyzer(),
+    ConfigDocsAnalyzer(),
+)
+
+
+def iter_rules() -> Iterable[Rule]:
+    """Every rule of every registered analyzer, in registry order."""
+    for analyzer in ALL_ANALYZERS:
+        yield from analyzer.rules

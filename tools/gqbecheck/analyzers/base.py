@@ -1,0 +1,130 @@
+"""Analyzer base class and shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+
+from ..findings import Finding, Rule
+from ..project import Project, SourceFile
+
+
+class Analyzer:
+    """One contract analyzer: a per-file pass, a project pass, or both.
+
+    ``check_file`` runs once per scanned file; ``check_project`` runs
+    once with the whole :class:`~tools.gqbecheck.project.Project` (for
+    cross-file state).  Analyzers gate themselves on file contracts —
+    the framework calls every analyzer on every file.
+    """
+
+    name: str = "analyzer"
+    rules: tuple[Rule, ...] = ()
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The dotted name a call targets, else ``None`` for dynamic calls."""
+    return dotted_name(node.func)
+
+
+def imported_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted names they import.
+
+    ``import random`` maps ``random -> random``; ``import numpy as np``
+    maps ``np -> numpy``; ``from time import time as now`` maps
+    ``now -> time.time``.  Used to resolve calls back to their defining
+    module even through aliases.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_call(name: str, aliases: dict[str, str]) -> str:
+    """Expand the leading segment of ``name`` through import aliases."""
+    head, _, rest = name.partition(".")
+    expanded = aliases.get(head, head)
+    return f"{expanded}.{rest}" if rest else expanded
+
+
+_LOCKISH = re.compile(r"lock|condition|mutex|semaphore|rlock", re.IGNORECASE)
+
+
+def is_lockish(node: ast.expr) -> bool:
+    """Whether a ``with`` context expression looks like a lock.
+
+    Matches names/attributes containing ``lock``/``condition``/... —
+    e.g. ``self._counter_lock``, ``self._condition``, ``_STATE_LOCK`` —
+    including ``lock.acquire()``-style calls on such names.
+    """
+    if isinstance(node, ast.Call):
+        return is_lockish(node.func)
+    name = dotted_name(node)
+    if name is None:
+        return False
+    return bool(_LOCKISH.search(name))
+
+
+def lock_names_of_with(node: ast.With) -> list[str]:
+    """The lock-ish context names a ``with`` statement acquires."""
+    names = []
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        name = dotted_name(expr)
+        if name is not None and _LOCKISH.search(name):
+            names.append(name.split(".")[-1])
+    return names
+
+
+def iter_function_defs(
+    tree: ast.AST,
+) -> Iterable[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def exception_type_names(handler: ast.ExceptHandler) -> list[str]:
+    """The dotted names a handler catches (empty for a bare ``except:``)."""
+    node = handler.type
+    if node is None:
+        return []
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for expr in exprs:
+        name = dotted_name(expr)
+        if name is not None:
+            names.append(name)
+    return names

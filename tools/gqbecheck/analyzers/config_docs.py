@@ -1,0 +1,132 @@
+"""Config/documentation coverage rules (project pass).
+
+``GQBEConfig`` is the single knob surface of the engine; an
+undocumented field is a knob nobody can discover, and an untested field
+is a knob that silently stops working.  This pass finds the
+``GQBEConfig`` dataclass in the scanned tree and cross-references every
+field against ``docs/configuration.md`` and ``tests/*.py`` under the
+project root.
+
+Rules
+-----
+``CFG001``
+    A ``GQBEConfig`` field is not mentioned in
+    ``docs/configuration.md``.
+``CFG002``
+    A ``GQBEConfig`` field is not referenced by any test module.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+
+from ..findings import Finding, Rule
+from ..project import Project, SourceFile
+from .base import Analyzer
+
+CONFIG_CLASS = "GQBEConfig"
+DOC_PATH = "docs/configuration.md"
+TESTS_DIR = "tests"
+
+CFG001 = Rule(
+    rule_id="CFG001",
+    title="config field missing from docs/configuration.md",
+    severity="error",
+    contract=None,
+    rationale=(
+        "an undocumented GQBEConfig field is a knob nobody can discover; "
+        "every field needs a documented meaning and default"
+    ),
+)
+CFG002 = Rule(
+    rule_id="CFG002",
+    title="config field not exercised by any test",
+    severity="error",
+    contract=None,
+    rationale=(
+        "a field no test references can silently stop doing anything; "
+        "every field needs at least one test touching it"
+    ),
+)
+
+
+class ConfigDocsAnalyzer(Analyzer):
+    name = "config-docs"
+    rules = (CFG001, CFG002)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        located = _find_config_class(project)
+        if located is None:
+            return []
+        source, class_def = located
+        fields = _dataclass_fields(class_def)
+        if not fields:
+            return []
+
+        findings: list[Finding] = []
+        doc_path = project.root / DOC_PATH
+        doc_text = (
+            doc_path.read_text(encoding="utf-8") if doc_path.exists() else ""
+        )
+        tests_text = _tests_corpus(project)
+        for name, line in fields:
+            pattern = re.compile(rf"\b{re.escape(name)}\b")
+            if not pattern.search(doc_text):
+                findings.append(
+                    source.finding(
+                        CFG001,
+                        line,
+                        f"GQBEConfig.{name} is not documented in "
+                        f"{DOC_PATH}; add it to the field table",
+                    )
+                )
+            if not pattern.search(tests_text):
+                findings.append(
+                    source.finding(
+                        CFG002,
+                        line,
+                        f"GQBEConfig.{name} is not referenced by any module "
+                        f"under {TESTS_DIR}/; add a test that sets or "
+                        "asserts on it",
+                    )
+                )
+        return findings
+
+
+def _find_config_class(
+    project: Project,
+) -> tuple[SourceFile, ast.ClassDef] | None:
+    for source in project.files:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and node.name == CONFIG_CLASS:
+                return source, node
+    return None
+
+
+def _dataclass_fields(class_def: ast.ClassDef) -> list[tuple[str, int]]:
+    """``(name, line)`` for every annotated field of the dataclass."""
+    fields: list[tuple[str, int]] = []
+    for statement in class_def.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            name = statement.target.id
+            if not name.startswith("_"):
+                fields.append((name, statement.lineno))
+    return fields
+
+
+def _tests_corpus(project: Project) -> str:
+    """The concatenated text of every test module under the root."""
+    tests_dir = project.root / TESTS_DIR
+    if not tests_dir.is_dir():
+        return ""
+    pieces: list[str] = []
+    for path in sorted(tests_dir.rglob("*.py")):
+        try:
+            pieces.append(path.read_text(encoding="utf-8"))
+        except OSError:
+            continue
+    return "\n".join(pieces)

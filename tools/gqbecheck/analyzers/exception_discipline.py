@@ -1,0 +1,186 @@
+"""Exception-discipline rules.
+
+``EXC001`` applies everywhere; ``EXC002`` is gated on the
+``snapshot-io`` contract and ``EXC003`` on ``concurrent`` (the serving
+layer).
+
+Rules
+-----
+``EXC001`` (warning)
+    A bare ``except:`` or ``except Exception:``/``except BaseException:``
+    handler.  Broad handlers hide real bugs (typos become "snapshot
+    corrupt"); catch the failures you expect, or suppress with a
+    justification where last-resort catching is the point (top-level
+    request handlers, worker forwarding loops).
+``EXC002``
+    A handler in a snapshot-io module catches ``OSError`` or
+    ``struct.error`` but neither raises :class:`SnapshotError` (the
+    documented storage failure type) nor re-raises.  Callers are
+    promised SnapshotError; a naked OSError escaping ``storage/``
+    breaks every caller that catches the documented type.
+``EXC003``
+    A broad handler in the serving layer interpolates the caught
+    exception into a response (``str(error)`` / f-string into a body
+    or send call).  Exception text leaks file system paths and internal
+    state to HTTP clients; log it server-side, send a generic message.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..findings import Finding, Rule
+from ..project import SourceFile
+from .base import Analyzer, exception_type_names
+
+EXC001 = Rule(
+    rule_id="EXC001",
+    title="bare or broad exception handler",
+    severity="warning",
+    contract=None,
+    rationale=(
+        "except Exception turns typos and logic bugs into handled "
+        "conditions; catch specific failures, justify last-resort nets"
+    ),
+)
+EXC002 = Rule(
+    rule_id="EXC002",
+    title="storage I/O error escapes without SnapshotError wrapping",
+    severity="error",
+    contract="snapshot-io",
+    rationale=(
+        "storage promises SnapshotError for corrupt/missing snapshots; "
+        "a naked OSError escaping breaks callers that catch the "
+        "documented type"
+    ),
+)
+EXC003 = Rule(
+    rule_id="EXC003",
+    title="exception text interpolated into an HTTP response",
+    severity="error",
+    contract="concurrent",
+    rationale=(
+        "str(error) in a response leaks paths and internal state to "
+        "clients; log server-side and send a generic message"
+    ),
+)
+
+_BROAD = {"Exception", "BaseException"}
+_IO_ERRORS = {"OSError", "IOError", "struct.error"}
+#: Response-sending call names in the serving layer (http.server API
+#: plus the repo's own helpers).
+_RESPONSE_SINKS = {
+    "send_error",
+    "_send_json",
+    "_send_text",
+    "wfile.write",
+    "write",
+}
+
+
+class ExceptionDisciplineAnalyzer(Analyzer):
+    name = "exception-discipline"
+    rules = (EXC001, EXC002, EXC003)
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for handler in _handlers(source.tree):
+            names = exception_type_names(handler)
+            broad = not names or any(name in _BROAD for name in names)
+            if broad:
+                caught = names[0] if names else "everything (bare except)"
+                findings.append(
+                    source.finding(
+                        EXC001,
+                        handler,
+                        f"handler catches {caught}; catch the specific "
+                        "failures this block expects, or justify a "
+                        "last-resort net with a suppression",
+                    )
+                )
+            if "snapshot-io" in source.contracts and any(
+                name in _IO_ERRORS for name in names
+            ):
+                if not _wraps_or_reraises(handler):
+                    findings.append(
+                        source.finding(
+                            EXC002,
+                            handler,
+                            "OSError/struct.error handled without raising "
+                            "SnapshotError or re-raising; storage callers "
+                            "are promised SnapshotError",
+                        )
+                    )
+            if "concurrent" in source.contracts and broad:
+                for node in _exception_leaks(handler):
+                    findings.append(
+                        source.finding(
+                            EXC003,
+                            node,
+                            "caught exception interpolated into the HTTP "
+                            "response; log it server-side and send a "
+                            "generic message instead",
+                        )
+                    )
+        return findings
+
+
+def _handlers(tree: ast.Module) -> Iterable[ast.ExceptHandler]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler):
+            yield node
+
+
+def _wraps_or_reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler raises SnapshotError (or anything) or returns
+    a sentinel after an explicit decision.
+
+    Accepted as disciplined: any ``raise`` statement in the handler body
+    (bare re-raise, ``raise SnapshotError(...) from error``, or raising
+    some other typed error — the point is the failure does not silently
+    dissolve).
+    """
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def _exception_leaks(handler: ast.ExceptHandler) -> Iterable[ast.AST]:
+    """Response-sink calls inside ``handler`` whose arguments mention the
+    caught exception name."""
+    caught = handler.name
+    if caught is None:
+        return
+    for node in ast.walk(handler):
+        if not isinstance(node, ast.Call):
+            continue
+        sink = _sink_name(node)
+        if sink is None:
+            continue
+        for argument in list(node.args) + [kw.value for kw in node.keywords]:
+            if _mentions_name(argument, caught):
+                yield node
+                break
+
+
+def _sink_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr in ("send_error",) or func.attr.startswith("_send"):
+            return func.attr
+        if (
+            func.attr == "write"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "wfile"
+        ):
+            return "wfile.write"
+    return None
+
+
+def _mentions_name(node: ast.expr, name: str) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == name:
+            return True
+    return False

@@ -1,0 +1,130 @@
+"""Baseline file: grandfathered findings that do not fail the check.
+
+The baseline is a committed JSON document listing findings that predate
+a rule (or are individually justified) so the analyzer can be turned on
+strictly for *new* code without first fixing the world.  Entries match
+findings by ``(rule, path, fingerprint)`` — the fingerprint hashes the
+normalized source line, so unrelated edits elsewhere in the file do not
+orphan an entry, while editing the offending line retires it.
+
+Workflow::
+
+    python -m tools.gqbecheck --update-baseline   # grandfather current findings
+    # edit tools/gqbecheck/baseline.json: replace the placeholder
+    # justification of every new entry with a real reason
+    python -m tools.gqbecheck                     # now exits 0
+
+An entry whose finding disappears is dropped on the next
+``--update-baseline`` run; CI never requires a pruned baseline, so a
+stale entry is tidy-up, not breakage.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+#: Justification --update-baseline writes for entries it grandfathers;
+#: humans are expected to replace it before committing.
+PLACEHOLDER_JUSTIFICATION = "TODO: justify or fix"
+
+
+def load_baseline(path: Path) -> list[dict]:
+    """The baseline entries at ``path`` (empty when the file is absent)."""
+    if not path.exists():
+        return []
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as error:
+        raise ValueError(f"baseline {path} is not valid JSON: {error}") from error
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != BASELINE_VERSION
+        or not isinstance(document.get("findings"), list)
+    ):
+        raise ValueError(
+            f"baseline {path} is not a version-{BASELINE_VERSION} gqbecheck "
+            "baseline document"
+        )
+    return document["findings"]
+
+
+def save_baseline(path: Path, entries: list[dict]) -> None:
+    """Write ``entries`` as a baseline document (sorted, stable output)."""
+    document = {
+        "version": BASELINE_VERSION,
+        "findings": sorted(
+            entries,
+            key=lambda entry: (
+                entry.get("path", ""),
+                entry.get("rule", ""),
+                entry.get("fingerprint", ""),
+            ),
+        ),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def split_by_baseline(
+    findings: list[Finding], entries: list[dict]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split ``findings`` into ``(new, baselined)`` against ``entries``.
+
+    Identical lines produce identical fingerprints; a multiset match
+    makes N baseline entries excuse at most N occurrences, so adding one
+    more copy of a grandfathered pattern still fails.
+    """
+    budget = Counter(
+        (entry.get("rule"), entry.get("path"), entry.get("fingerprint"))
+        for entry in entries
+    )
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        key = (finding.rule_id, finding.path, finding.fingerprint)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined
+
+
+def merge_for_update(
+    findings: list[Finding], entries: list[dict]
+) -> list[dict]:
+    """Baseline entries covering exactly the current ``findings``.
+
+    Existing entries keep their justification; findings without one get
+    the :data:`PLACEHOLDER_JUSTIFICATION` for a human to replace.
+    """
+    justifications: dict[tuple, list[str]] = {}
+    for entry in entries:
+        key = (entry.get("rule"), entry.get("path"), entry.get("fingerprint"))
+        justifications.setdefault(key, []).append(
+            entry.get("justification", PLACEHOLDER_JUSTIFICATION)
+        )
+    merged: list[dict] = []
+    for finding in findings:
+        key = (finding.rule_id, finding.path, finding.fingerprint)
+        kept = justifications.get(key)
+        justification = (
+            kept.pop(0) if kept else PLACEHOLDER_JUSTIFICATION
+        )
+        merged.append(
+            {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "line": finding.line,
+                "fingerprint": finding.fingerprint,
+                "justification": justification,
+            }
+        )
+    return merged

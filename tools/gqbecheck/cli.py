@@ -1,0 +1,233 @@
+"""Command line front end: ``python -m tools.gqbecheck`` / ``gqbe check``.
+
+Exit codes: ``0`` clean (every finding suppressed or baselined), ``1``
+new findings, ``2`` usage or environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .analyzers import ALL_ANALYZERS, iter_rules
+from .baseline import (
+    load_baseline,
+    merge_for_update,
+    save_baseline,
+    split_by_baseline,
+)
+from .findings import Finding
+from .project import Project
+
+DEFAULT_PATHS = ("src", "benchmarks", "tools")
+DEFAULT_BASELINE = "tools/gqbecheck/baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gqbecheck",
+        description=(
+            "AST-based invariant analyzer for the GQBE reproduction: "
+            "determinism, mapped-write safety, concurrency hygiene, "
+            "exception discipline and config/doc coverage."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to scan (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="project root for relative paths and the baseline (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover current findings, then exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github", "json"),
+        default="text",
+        help="output format (github emits workflow annotations)",
+    )
+    parser.add_argument(
+        "--json-report",
+        default=None,
+        metavar="PATH",
+        help="also write a JSON findings report to PATH (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to report (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id with severity and rationale, then exit",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings silenced by inline pragmas",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in iter_rules():
+            contract = rule.contract or "all files"
+            print(f"{rule.rule_id}  [{rule.severity:7}]  ({contract})  {rule.title}")
+            print(f"         {rule.rationale}")
+        return 0
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"error: --root {args.root} is not a directory", file=sys.stderr)
+        return 2
+    raw_paths = args.paths or [
+        str(root / piece) for piece in DEFAULT_PATHS if (root / piece).is_dir()
+    ]
+    paths = [Path(piece) for piece in raw_paths]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    project = Project.scan(paths, root)
+    findings: list[Finding] = list(project.parse_failures)
+    for analyzer in ALL_ANALYZERS:
+        for source in project.files:
+            findings.extend(analyzer.check_file(source))
+        findings.extend(analyzer.check_project(project))
+
+    if args.select:
+        selected = {piece.strip() for piece in args.select.split(",") if piece.strip()}
+        unknown = selected - {rule.rule_id for rule in iter_rules()} - {"PARSE001"}
+        if unknown:
+            print(
+                f"error: unknown rule id(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+        findings = [f for f in findings if f.rule_id in selected]
+
+    findings, suppressed = project.filter_suppressed(findings)
+    findings.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
+
+    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    if args.update_baseline:
+        entries = load_baseline(baseline_path) if baseline_path.exists() else []
+        save_baseline(baseline_path, merge_for_update(findings, entries))
+        print(
+            f"baseline updated: {len(findings)} finding(s) recorded in "
+            f"{baseline_path}"
+        )
+        return 0
+
+    if args.no_baseline:
+        new, baselined = findings, []
+    else:
+        try:
+            entries = load_baseline(baseline_path)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        new, baselined = split_by_baseline(findings, entries)
+
+    _emit(args, project, new, baselined, suppressed)
+    if args.json_report:
+        _write_report(Path(args.json_report), new, baselined, suppressed)
+    return 1 if new else 0
+
+
+def _emit(
+    args: argparse.Namespace,
+    project: Project,
+    new: list[Finding],
+    baselined: list[Finding],
+    suppressed: list[Finding],
+) -> None:
+    if args.format == "json":
+        print(json.dumps(_report_document(new, baselined, suppressed), indent=2))
+        return
+    if args.format == "github":
+        for finding in new:
+            level = "error" if finding.severity == "error" else "warning"
+            # GitHub annotation format; commas/newlines in messages would
+            # break the property list, so normalize them away.
+            message = finding.message.replace("\n", " ")
+            print(
+                f"::{level} file={finding.path},line={finding.line},"
+                f"title={finding.rule_id}::{message}"
+            )
+    else:
+        for finding in new:
+            print(
+                f"{finding.path}:{finding.line}:{finding.column + 1}: "
+                f"{finding.rule_id} [{finding.severity}] {finding.message}"
+            )
+        if args.show_suppressed:
+            for finding in suppressed:
+                print(
+                    f"{finding.path}:{finding.line}: {finding.rule_id} "
+                    "suppressed by pragma"
+                )
+    scanned = len(project.files)
+    summary = (
+        f"gqbecheck: {scanned} file(s) scanned, {len(new)} new finding(s), "
+        f"{len(baselined)} baselined, {len(suppressed)} suppressed"
+    )
+    print(summary if args.format != "github" else f"::notice::{summary}")
+
+
+def _report_document(
+    new: list[Finding],
+    baselined: list[Finding],
+    suppressed: list[Finding],
+) -> dict:
+    return {
+        "version": 1,
+        "new": [finding.to_json() for finding in new],
+        "baselined": [finding.to_json() for finding in baselined],
+        "suppressed": [finding.to_json() for finding in suppressed],
+    }
+
+
+def _write_report(
+    path: Path,
+    new: list[Finding],
+    baselined: list[Finding],
+    suppressed: list[Finding],
+) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(_report_document(new, baselined, suppressed), indent=2)
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""Findings model: rules, severities, findings and stable fingerprints.
+
+A :class:`Rule` is a statically registered contract check with a stable
+id (``DET001``, ``MAP002``, ...) that suppression comments and the
+baseline file refer to.  A :class:`Finding` is one concrete violation at
+a source location.
+
+Fingerprints identify a finding across unrelated edits: they hash the
+rule id, the file path and the *normalized source line text* — not the
+line number — so inserting code above a grandfathered finding does not
+orphan its baseline entry, while editing the offending line itself
+(presumably to fix it) retires the entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+#: Finding severities, in decreasing order of importance.  Both fail the
+#: check; the distinction drives CI annotation levels and triage order.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One statically registered contract check."""
+
+    rule_id: str
+    title: str
+    severity: str
+    #: Contract gating which files the rule applies to (``None`` = every
+    #: scanned file).  See :data:`tools.gqbecheck.project.CONTRACT_PATHS`.
+    contract: str | None
+    #: Which runtime guarantee the rule protects (shown by --list-rules
+    #: and documented in docs/static-analysis.md).
+    rationale: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"rule {self.rule_id}: severity must be one of {SEVERITIES}, "
+                f"got {self.severity!r}"
+            )
+
+
+@dataclass
+class Finding:
+    """One concrete rule violation at a source location."""
+
+    rule_id: str
+    severity: str
+    path: str  # root-relative posix path
+    line: int
+    column: int
+    message: str
+    source_line: str = field(default="", repr=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used for baseline matching."""
+        normalized = " ".join(self.source_line.split())
+        payload = f"{self.rule_id}::{self.path}::{normalized}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.column, self.rule_id)
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }

@@ -1,0 +1,97 @@
+"""Pragma comments: inline suppressions and file-level contract opt-ins.
+
+Two comment pragmas drive the analyzer:
+
+``# gqbe: ignore[DET001]`` / ``# gqbe: ignore[DET001,EXC001] -- why``
+    Suppress the named rule(s) on the same line.  A pragma on a line of
+    its own suppresses the next code line instead, so long justifications
+    fit above the construct they excuse.  ``ignore[*]`` suppresses every
+    rule.  Text after the bracket is the (strongly encouraged)
+    justification; it is not parsed, only humans read it.
+
+``# gqbe: contract[deterministic]``
+    Opt the whole file into a contract beyond what its path implies —
+    used by fixture tests and by modules that move without wanting to
+    lose their checks.  Contracts: ``deterministic``, ``concurrent``,
+    ``snapshot-io``.
+
+Comments are found with :mod:`tokenize`, so pragma-looking text inside
+string literals is never misread as a pragma.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_IGNORE = re.compile(r"gqbe:\s*ignore\[([A-Za-z0-9_*,\s]+)\]")
+_CONTRACT = re.compile(r"gqbe:\s*contract\[([A-Za-z0-9_,\s-]+)\]")
+
+
+def scan_pragmas(text: str) -> tuple[dict[int, set[str]], frozenset[str]]:
+    """Extract ``(suppressions, contracts)`` from one file's source text.
+
+    ``suppressions`` maps line numbers (1-based) to the set of suppressed
+    rule ids (``"*"`` meaning all) effective on that line.
+    """
+    suppressions: dict[int, set[str]] = {}
+    contracts: set[str] = set()
+    standalone: list[tuple[int, set[str]]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The caller only scans files that already parsed with ast, so
+        # this is unreachable in practice; fail open (no pragmas).
+        return {}, frozenset()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        contract_match = _CONTRACT.search(token.string)
+        if contract_match:
+            contracts.update(
+                piece.strip()
+                for piece in contract_match.group(1).split(",")
+                if piece.strip()
+            )
+        ignore_match = _IGNORE.search(token.string)
+        if not ignore_match:
+            continue
+        rules = {
+            piece.strip()
+            for piece in ignore_match.group(1).split(",")
+            if piece.strip()
+        }
+        line = token.start[0]
+        before_comment = token.line[: token.start[1]]
+        if before_comment.strip():
+            suppressions.setdefault(line, set()).update(rules)
+        else:
+            # Comment-only line: the suppression targets the next code line.
+            standalone.append((line, rules))
+    if standalone:
+        lines = text.splitlines()
+        for comment_line, rules in standalone:
+            target = _next_code_line(lines, comment_line)
+            if target is not None:
+                suppressions.setdefault(target, set()).update(rules)
+    return suppressions, frozenset(contracts)
+
+
+def _next_code_line(lines: list[str], after: int) -> int | None:
+    """The first non-blank, non-comment line after 1-based line ``after``."""
+    for index in range(after, len(lines)):
+        stripped = lines[index].strip()
+        if stripped and not stripped.startswith("#"):
+            return index + 1
+    return None
+
+
+def is_suppressed(
+    suppressions: dict[int, set[str]], line: int, rule_id: str
+) -> bool:
+    """Whether ``rule_id`` is suppressed on ``line``."""
+    rules = suppressions.get(line)
+    if not rules:
+        return False
+    return "*" in rules or rule_id in rules
