@@ -15,8 +15,11 @@ Two workload shapes, both answering with byte-identical ranked results
 
 A third benchmark times one steady-state serve-layer load pass over HTTP
 (threaded server + batcher + answer cache) to keep the full frontend
-under the regression gate.  The absolute serve-throughput artifact for CI
-comes from ``gqbe bench-serve`` (see ``.github/workflows/ci.yml``).
+under the regression gate, and a fourth runs the same pass through the
+asyncio frontend (admission control + metrics on the request path) so a
+regression in the event-loop hot path is caught next to its threaded
+twin.  The absolute serve-throughput artifact for CI comes from
+``gqbe bench-serve`` (see ``.github/workflows/ci.yml``).
 
 PR 4 additions: the **v2 sharded snapshot warm start** (manifest-only
 open — no section deserialization, no shard maps) and the **pooled
@@ -224,6 +227,36 @@ def test_bench_serve_layer_load_pass(batch_system, benchmark):
     try:
         # Warm pass fills the answer cache; the measured pass is the
         # cache-hot serving hot path.
+        run_load(server.host, server.port, tuples, k=10, requests=20, concurrency=4)
+        report = benchmark(
+            run_load,
+            server.host,
+            server.port,
+            tuples,
+            10,
+            40,
+            4,
+        )
+        assert report["errors"] == 0 and report["completed"] == 40
+    finally:
+        server.stop()
+
+
+def test_bench_async_serve_layer_load_pass(batch_system, benchmark):
+    """The same cache-hot load pass through the asyncio frontend.
+
+    Measured against ``test_bench_serve_layer_load_pass``: the delta is
+    the event loop + admission control (gate, metrics, per-stage timers)
+    replacing thread-per-connection dispatch on the hot path.
+    """
+    from repro.serving.async_server import AsyncGQBEServer
+    from repro.serving.loadgen import run_load
+
+    system, tuples = batch_system
+    server = AsyncGQBEServer(
+        system, port=0, batch_window_seconds=0.001, cache_size=256
+    ).start()
+    try:
         run_load(server.host, server.port, tuples, k=10, requests=20, concurrency=4)
         report = benchmark(
             run_load,

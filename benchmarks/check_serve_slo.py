@@ -1,0 +1,262 @@
+#!/usr/bin/env python
+"""Functional SLO gate for the serving tier (CI's ``serve-slo`` job).
+
+Runs the load generator at reduced scale against real servers and
+hard-asserts *behavior*, not speed (shared CI runners are too noisy to
+gate a latency median — percentiles land in the report artifact as
+informational numbers):
+
+1. **Equivalence** — the async frontend serves answers byte-identical
+   to the threaded frontend for the same queries.
+2. **Capacity** — a closed-loop run under the high-water mark completes
+   with every request answered 200: nothing is shed, nothing errors.
+3. **Overload** — an open-loop burst far past a tiny high-water mark is
+   shed with 429s that all carry ``Retry-After``; zero 5xx responses
+   and zero transport errors (no hung or dropped connections).
+4. **Reconciliation** — ``/metrics`` parses as Prometheus text and its
+   ``gqbe_http_requests_total{path="/query",...}`` deltas equal the
+   loadgen's own per-status ground truth, and the queue_full shed
+   counter equals the number of 429s observed on the wire.
+
+Usage::
+
+    python benchmarks/check_serve_slo.py --json slo-report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _scrape_metrics(host: str, port: int) -> dict:
+    import http.client
+
+    from repro.serving.metrics import parse_prometheus_text
+
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        connection.request("GET", "/metrics")
+        response = connection.getresponse()
+        body = response.read().decode("utf-8")
+    finally:
+        connection.close()
+    if response.status != 200:
+        raise AssertionError(f"GET /metrics returned {response.status}")
+    content_type = response.getheader("Content-Type", "")
+    if not content_type.startswith("text/plain"):
+        raise AssertionError(f"/metrics Content-Type is {content_type!r}")
+    return parse_prometheus_text(body)
+
+
+def _query_counts(samples: dict) -> dict[str, float]:
+    """``{status code: count}`` for /query from a parsed exposition."""
+    counts: dict[str, float] = {}
+    for (name, labels), value in samples.items():
+        if name != "gqbe_http_requests_total":
+            continue
+        label_map = dict(labels)
+        if label_map.get("path") == "/query":
+            counts[label_map["code"]] = value
+    return counts
+
+
+def _check(condition: bool, problems: list[str], message: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        problems.append(message)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--requests", type=int, default=60)
+    parser.add_argument("--concurrency", type=int, default=6)
+    parser.add_argument("--json", default=None, help="write the report here")
+    args = parser.parse_args()
+
+    from repro.core.gqbe import GQBE
+    from repro.datasets.workloads import build_freebase_workload
+    from repro.serving.async_server import AsyncGQBEServer
+    from repro.serving.loadgen import run_load
+    from repro.serving.server import GQBEServer
+
+    problems: list[str] = []
+    report: dict = {"scale": args.scale, "timestamp": time.time()}
+
+    print("building workload ...")
+    workload = build_freebase_workload(scale=args.scale)
+    system = GQBE(workload.dataset.graph)
+    tuples = [list(query.query_tuple) for query in workload.queries]
+
+    # ------------------------------------------------------------------
+    # 1. equivalence: async answers == threaded answers
+    # ------------------------------------------------------------------
+    print("phase 1: frontend equivalence")
+    import http.client
+
+    def fetch(host: str, port: int, query: list) -> dict:
+        connection = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            connection.request(
+                "POST",
+                "/query",
+                body=json.dumps({"tuple": query, "k": 10}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            return json.loads(connection.getresponse().read())
+        finally:
+            connection.close()
+
+    threaded = GQBEServer(system, port=0, cache_size=0).start()
+    async_server = AsyncGQBEServer(system, port=0, cache_size=0).start()
+    try:
+        for query in tuples:
+            threaded_body = fetch(threaded.host, threaded.port, query)
+            async_body = fetch(async_server.host, async_server.port, query)
+            for field in ("answers", "mqg_edges", "nodes_evaluated"):
+                _check(
+                    async_body.get(field) == threaded_body.get(field),
+                    problems,
+                    f"{field} identical across frontends for {query}",
+                )
+    finally:
+        threaded.stop()
+        async_server.stop()
+
+    # ------------------------------------------------------------------
+    # 2. capacity: closed-loop under the high-water mark -> all 200
+    #    (+ /metrics reconciliation on the same server)
+    # ------------------------------------------------------------------
+    print("phase 2: capacity (closed loop under high water)")
+    server = AsyncGQBEServer(system, port=0, high_water=64).start()
+    try:
+        before = _query_counts(_scrape_metrics(server.host, server.port))
+        capacity = run_load(
+            server.host,
+            server.port,
+            tuples,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            timeout=120.0,
+        )
+        after = _query_counts(_scrape_metrics(server.host, server.port))
+    finally:
+        server.stop()
+    report["capacity"] = capacity
+    _check(
+        capacity["status_counts"] == {"200": args.requests},
+        problems,
+        f"all {args.requests} capacity requests answered 200 "
+        f"(got {capacity['status_counts']})",
+    )
+    _check(
+        capacity["transport_errors"] == 0,
+        problems,
+        "zero transport errors under capacity",
+    )
+    deltas = {
+        code: after.get(code, 0) - before.get(code, 0)
+        for code in set(before) | set(after)
+    }
+    expected = {code: float(count) for code, count in capacity["status_counts"].items()}
+    _check(
+        deltas == expected,
+        problems,
+        f"/metrics /query deltas reconcile with loadgen ({deltas} == {expected})",
+    )
+
+    # ------------------------------------------------------------------
+    # 3. overload: open-loop burst past a tiny high-water mark
+    # ------------------------------------------------------------------
+    print("phase 3: overload (open-loop burst past high water)")
+    server = AsyncGQBEServer(system, port=0, high_water=2, cache_size=0).start()
+    try:
+        before = _query_counts(_scrape_metrics(server.host, server.port))
+        overload = run_load(
+            server.host,
+            server.port,
+            tuples,
+            requests=max(40, args.requests),
+            arrival="open",
+            rate=400.0,
+            timeout=120.0,
+        )
+        samples = _scrape_metrics(server.host, server.port)
+        after = _query_counts(samples)
+    finally:
+        server.stop()
+    report["overload"] = overload
+    counts = overload["status_counts"]
+    shed = counts.get("429", 0)
+    _check(shed > 0, problems, f"overload burst was shed with 429s ({counts})")
+    _check(
+        overload["retry_after_seen"] == shed,
+        problems,
+        f"every 429 carried Retry-After ({overload['retry_after_seen']}/{shed})",
+    )
+    _check(
+        not any(code.startswith("5") for code in counts),
+        problems,
+        f"zero 5xx under overload ({counts})",
+    )
+    _check(
+        overload["transport_errors"] == 0,
+        problems,
+        "zero transport errors under overload (no hung/dropped connections)",
+    )
+    _check(
+        counts.get("200", 0) + shed == overload["requests"],
+        problems,
+        "every overload request was answered (200 or 429)",
+    )
+    deltas = {
+        code: after.get(code, 0) - before.get(code, 0)
+        for code in set(before) | set(after)
+    }
+    expected = {code: float(count) for code, count in counts.items()}
+    _check(
+        deltas == expected,
+        problems,
+        f"/metrics /query deltas reconcile under overload ({deltas} == {expected})",
+    )
+    queue_full = samples.get(("gqbe_http_shed_total", (("reason", "queue_full"),)), 0)
+    _check(
+        queue_full == shed,
+        problems,
+        f"queue_full shed counter equals observed 429s ({queue_full} == {shed})",
+    )
+
+    # ------------------------------------------------------------------
+    # report artifact (latency stays informational)
+    # ------------------------------------------------------------------
+    latency = capacity["latency_ms"]
+    print(
+        f"capacity latency ms (informational): p50 {latency['p50']:.2f}  "
+        f"p95 {latency['p95']:.2f}  p99 {latency['p99']:.2f}"
+    )
+    report["problems"] = problems
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote report to {args.json}")
+
+    if problems:
+        print(f"\n{len(problems)} SLO violation(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("\nserve SLO: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -152,33 +152,63 @@ def _load_system(args: argparse.Namespace) -> tuple[GQBE, str | None] | int:
     return 2
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serving.server import GQBEServer
+def build_frontend(system: GQBE, snapshot_path: str | None, args: argparse.Namespace):
+    """Construct the serving frontend the parsed ``serve``/``bench-serve``
+    argv asks for (shared with ``tools/check_docs.py``, which replays the
+    documented console blocks against a real server)."""
+    options = {
+        "snapshot_path": snapshot_path,
+        "host": args.host,
+        "port": args.port,
+        "batch_window_seconds": args.batch_window_ms / 1000.0,
+        "max_batch": args.max_batch,
+        "cache_size": args.cache_size,
+        "workers": args.workers,
+    }
+    if args.max_body_bytes is not None:
+        options["max_body_bytes"] = args.max_body_bytes
+    if args.frontend == "threaded":
+        from repro.serving.server import GQBEServer
 
+        return GQBEServer(system, **options)
+    from repro.serving.async_server import AsyncGQBEServer
+
+    return AsyncGQBEServer(
+        system,
+        high_water=args.high_water,
+        deadline_ms=args.deadline_ms,
+        rate_limit_rps=args.rate_limit_rps,
+        rate_limit_burst=args.rate_limit_burst,
+        api_keys=args.api_keys or None,
+        cache_ttl_seconds=args.cache_ttl_seconds,
+        **options,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
     loaded = _load_system(args)
     if isinstance(loaded, int):
         return loaded
     system, snapshot_path = loaded
-    server_options = {}
-    if args.max_body_bytes is not None:
-        server_options["max_body_bytes"] = args.max_body_bytes
-    server = GQBEServer(
-        system,
-        snapshot_path=snapshot_path,
-        host=args.host,
-        port=args.port,
-        batch_window_seconds=args.batch_window_ms / 1000.0,
-        max_batch=args.max_batch,
-        cache_size=args.cache_size,
-        workers=args.workers,
-        **server_options,
-    )
+    server = build_frontend(system, snapshot_path, args)
     meta = system.graph_store.meta()
+    extras = ""
+    if args.frontend == "async":
+        extras = (
+            f", high water {args.high_water}"
+            + (f", deadline {args.deadline_ms}ms" if args.deadline_ms else "")
+            + (
+                f", rate limit {args.rate_limit_rps:g} rps"
+                if args.rate_limit_rps
+                else ""
+            )
+        )
     print(
         f"serving {meta.get('num_edges')} edges ({meta.get('num_nodes')} nodes) "
         f"on http://{server.host}:{server.port}  "
-        f"[batch window {args.batch_window_ms:g}ms, max batch {args.max_batch}, "
-        f"cache {args.cache_size}, workers {args.workers}]"
+        f"[{args.frontend} frontend, batch window {args.batch_window_ms:g}ms, "
+        f"max batch {args.max_batch}, cache {args.cache_size}, "
+        f"workers {args.workers}{extras}]"
     )
     try:
         server.serve_forever()
@@ -190,7 +220,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from repro.serving.loadgen import bench_serve
-    from repro.serving.server import GQBEServer
 
     scratch_dir: str | None = None
     if args.workload is not None:
@@ -242,20 +271,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             return 2
         tuples = [t.split(",") for t in args.tuple]
 
-    server_options = {}
-    if args.max_body_bytes is not None:
-        server_options["max_body_bytes"] = args.max_body_bytes
-    server = GQBEServer(
-        system,
-        snapshot_path=snapshot_path,
-        host=args.host,
-        port=args.port,
-        batch_window_seconds=args.batch_window_ms / 1000.0,
-        max_batch=args.max_batch,
-        cache_size=args.cache_size,
-        workers=args.workers,
-        **server_options,
-    ).start()
+    server = build_frontend(system, snapshot_path, args).start()
     try:
         report = bench_serve(
             server,
@@ -264,6 +280,9 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             requests=args.requests,
             concurrency=args.concurrency,
             warmup_requests=args.warmup,
+            arrival=args.arrival,
+            rate=args.rate,
+            api_key=args.api_keys[0] if args.api_keys else None,
         )
     finally:
         server.stop()
@@ -273,11 +292,26 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             shutil.rmtree(scratch_dir, ignore_errors=True)
 
     latency = report["latency_ms"]
+    source = (
+        f"from {report['concurrency']} workers"
+        if report["arrival"] == "closed"
+        else f"at {report['rate_rps']:g} req/s open-loop"
+    )
     print(
         f"{report['completed']}/{report['requests']} requests ok "
         f"({report['errors']} errors, {report['cached_responses']} cached) "
-        f"in {report['duration_seconds']:.2f}s from {report['concurrency']} workers"
+        f"in {report['duration_seconds']:.2f}s {source}"
     )
+    if report["arrival"] == "open":
+        counts = "  ".join(
+            f"{status}: {count}"
+            for status, count in report["status_counts"].items()
+        )
+        print(
+            f"status counts: {counts}   "
+            f"Retry-After on {report['retry_after_seen']} responses, "
+            f"{report['transport_errors']} transport errors"
+        )
     print(
         f"throughput {report['throughput_rps']:.1f} req/s   latency ms: "
         f"mean {latency['mean']:.2f}  p50 {latency['p50']:.2f}  "
@@ -514,6 +548,63 @@ def build_parser() -> argparse.ArgumentParser:
             "declared Content-Lengths are refused with 413 before any "
             "body byte is read",
         )
+        defaults = GQBEConfig()
+        parser.add_argument(
+            "--frontend",
+            choices=("async", "threaded"),
+            default="async",
+            help="async: event-loop frontend with admission control and "
+            "/metrics (the default); threaded: the original "
+            "thread-per-connection frontend",
+        )
+        parser.add_argument(
+            "--high-water",
+            type=int,
+            default=defaults.serve_high_water,
+            dest="high_water",
+            help="admission high-water mark of the async frontend: requests "
+            "past this many in flight are shed with 429 + Retry-After",
+        )
+        parser.add_argument(
+            "--deadline-ms",
+            type=int,
+            default=defaults.serve_deadline_ms,
+            dest="deadline_ms",
+            help="per-request engine deadline (ms) of the async frontend; "
+            "expired requests get 504 and their batch slot is abandoned "
+            "(default: no deadline)",
+        )
+        parser.add_argument(
+            "--rate-limit-rps",
+            type=float,
+            default=defaults.serve_rate_limit_rps,
+            dest="rate_limit_rps",
+            help="per-client sustained rate limit (requests/second, token "
+            "bucket keyed by API key); default: no rate limit",
+        )
+        parser.add_argument(
+            "--rate-limit-burst",
+            type=int,
+            default=defaults.serve_rate_limit_burst,
+            dest="rate_limit_burst",
+            help="token-bucket burst capacity per client",
+        )
+        parser.add_argument(
+            "--api-key",
+            action="append",
+            default=None,
+            dest="api_keys",
+            help="allowed API key (repeatable); when set, requests must send "
+            "Authorization: Bearer <key>",
+        )
+        parser.add_argument(
+            "--cache-ttl-seconds",
+            type=float,
+            default=defaults.serve_cache_ttl_seconds,
+            dest="cache_ttl_seconds",
+            help="time-to-live for answer-cache entries of the async "
+            "frontend (default: no TTL, pure LRU)",
+        )
 
     serve = subparsers.add_parser(
         "serve",
@@ -555,6 +646,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--k", type=int, default=10)
     bench_serve.add_argument("--requests", type=int, default=200)
     bench_serve.add_argument("--concurrency", type=int, default=8)
+    bench_serve.add_argument(
+        "--arrival",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed: workers issue the next request when the previous "
+        "answer lands (capacity); open: fixed-rate dispatch regardless of "
+        "completions (overload/shedding behavior)",
+    )
+    bench_serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="offered load in requests/second for --arrival open",
+    )
     bench_serve.add_argument(
         "--warmup", type=int, default=20, help="unmeasured warm-up requests"
     )

@@ -82,6 +82,32 @@ class GQBEConfig:
         (v2/v3) snapshot; answers are identical either way.  Disable to
         keep shard opening strictly probe-driven (e.g. when measuring
         lazy-load behavior).
+    serve_high_water:
+        Admission high-water mark of the async serving frontend
+        (:class:`~repro.serving.async_server.AsyncGQBEServer`): the
+        maximum number of admitted in-flight requests.  Past it, new
+        queries are shed with ``429`` + ``Retry-After`` instead of
+        queueing unboundedly.  Only read by the serving tier (``gqbe
+        serve --high-water``); the engine itself ignores it.
+    serve_deadline_ms:
+        Per-request engine deadline of the async frontend, in
+        milliseconds.  A request whose engine work has not finished
+        inside the deadline is answered ``504`` and its batcher slot
+        abandoned.  ``None`` disables deadlines (the serving
+        ``request_timeout`` still caps batcher waits with ``503``).
+    serve_rate_limit_rps:
+        Per-client sustained rate limit of the async frontend, in
+        requests/second (token bucket keyed by API key).  ``None``
+        disables rate limiting.
+    serve_rate_limit_burst:
+        Token-bucket burst capacity per client — how many requests a
+        previously idle client may issue back-to-back before the
+        sustained ``serve_rate_limit_rps`` applies.
+    serve_cache_ttl_seconds:
+        Time-to-live for answer-cache entries of the async frontend: an
+        entry older than this is treated as a miss and evicted on
+        access.  ``None`` keeps pure LRU (entries live until evicted or
+        invalidated by ``/admin/reload``).
     """
 
     d: int = 2
@@ -97,6 +123,11 @@ class GQBEConfig:
     execution: str = "inline"
     pool_workers: int | None = None
     prefetch_shards: bool = True
+    serve_high_water: int = 64
+    serve_deadline_ms: int | None = None
+    serve_rate_limit_rps: float | None = None
+    serve_rate_limit_burst: int = 32
+    serve_cache_ttl_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.d < 1:
@@ -122,4 +153,28 @@ class GQBEConfig:
         if self.pool_workers is not None and self.pool_workers < 1:
             raise EvaluationError(
                 f"pool_workers must be >= 1, got {self.pool_workers}"
+            )
+        if self.serve_high_water < 1:
+            raise EvaluationError(
+                f"serve_high_water must be >= 1, got {self.serve_high_water}"
+            )
+        if self.serve_deadline_ms is not None and self.serve_deadline_ms < 1:
+            raise EvaluationError(
+                f"serve_deadline_ms must be >= 1, got {self.serve_deadline_ms}"
+            )
+        if self.serve_rate_limit_rps is not None and self.serve_rate_limit_rps <= 0:
+            raise EvaluationError(
+                f"serve_rate_limit_rps must be > 0, got {self.serve_rate_limit_rps}"
+            )
+        if self.serve_rate_limit_burst < 1:
+            raise EvaluationError(
+                f"serve_rate_limit_burst must be >= 1, got {self.serve_rate_limit_burst}"
+            )
+        if (
+            self.serve_cache_ttl_seconds is not None
+            and self.serve_cache_ttl_seconds <= 0
+        ):
+            raise EvaluationError(
+                "serve_cache_ttl_seconds must be > 0, "
+                f"got {self.serve_cache_ttl_seconds}"
             )

@@ -6,26 +6,37 @@ north star is serving heavy traffic.  This package adds the missing layer:
 * :class:`~repro.serving.cache.AnswerCache` — a thread-safe LRU of
   serialized answers keyed on the canonicalized query, with
   generation-based invalidation so a snapshot reload can never serve a
-  stale answer;
+  stale answer (:class:`~repro.serving.limits.TTLAnswerCache` adds
+  per-entry time-to-live on top);
 * :class:`~repro.serving.batching.QueryBatcher` — a micro-batching worker
   that groups requests arriving within a small window into one
   :meth:`~repro.core.gqbe.GQBE.query_batch` call;
-* :class:`~repro.serving.server.GQBEServer` — a threaded HTTP server
-  (stdlib ``ThreadingHTTPServer``) exposing ``POST /query``,
-  ``GET /healthz``, ``GET /stats`` and ``POST /admin/reload``;
+* :class:`~repro.serving.server.ServingCore` — the frontend-agnostic
+  engine (cache + batcher + pool + reload) both HTTP frontends share;
+* :class:`~repro.serving.async_server.AsyncGQBEServer` — the default
+  asyncio frontend: admission control (bounded in-flight queue,
+  per-client token-bucket rate limits, request deadlines) and a
+  Prometheus-text ``GET /metrics`` endpoint on top of the core's
+  ``POST /query``, ``GET /healthz``, ``GET /stats`` and
+  ``POST /admin/reload``;
+* :class:`~repro.serving.server.GQBEServer` — the original threaded HTTP
+  frontend (stdlib ``ThreadingHTTPServer``), kept as
+  ``gqbe serve --frontend threaded`` and as the equivalence reference
+  (both frontends serve byte-identical answers);
 * :class:`~repro.serving.pool.WorkerPool` — a process pool that shards
   a batch window across N workers, each holding the same (ideally
   memory-mapped v2) snapshot open, bypassing the GIL for CPU-bound
   explorations (``gqbe serve --workers N``);
 * :mod:`~repro.serving.loadgen` — the ``gqbe bench-serve`` load driver
-  that measures serve throughput and latency percentiles.
+  (closed-loop capacity and open-loop overload arrivals) that measures
+  serve throughput, latency percentiles and shed behavior.
 
 Start a server from the CLI (``gqbe serve --snapshot data.snap``) or
 programmatically::
 
-    from repro.serving.server import GQBEServer
+    from repro.serving.async_server import AsyncGQBEServer
 
-    server = GQBEServer.from_snapshot("data.snap", port=0)
+    server = AsyncGQBEServer.from_snapshot("data.snap", port=0)
     server.start()
     print("listening on", server.port)
     ...
@@ -35,6 +46,12 @@ programmatically::
 from repro.serving.batching import QueryBatcher
 from repro.serving.cache import AnswerCache
 from repro.serving.pool import WorkerPool
-from repro.serving.server import GQBEServer
+from repro.serving.server import GQBEServer, ServingCore
 
-__all__ = ["AnswerCache", "QueryBatcher", "GQBEServer", "WorkerPool"]
+__all__ = [
+    "AnswerCache",
+    "QueryBatcher",
+    "GQBEServer",
+    "ServingCore",
+    "WorkerPool",
+]

@@ -1,0 +1,241 @@
+"""Admission control for the async serving frontend.
+
+Three levers, applied in order by
+:class:`~repro.serving.async_server.AsyncGQBEServer` before a request is
+allowed to touch the batcher/pool:
+
+1. :class:`RateLimiter` — per-client token buckets keyed by API key
+   (``Authorization`` header).  A client above its sustained rate is
+   shed with ``429`` + ``Retry-After`` computed from its bucket's refill
+   time, so one hot client cannot starve the rest.
+2. :class:`TTLAnswerCache` — the cross-batch answer cache (LRU +
+   generation guard inherited from
+   :class:`~repro.serving.cache.AnswerCache`, plus per-entry TTL expiry).
+   Duplicate-heavy traffic short-circuits here without consuming an
+   admission slot, which is what makes the cache an admission-control
+   lever and not just a latency one.
+3. :class:`AdmissionGate` — a bounded in-flight counter.  Past the
+   high-water mark the request is shed with ``429`` + ``Retry-After``
+   instead of queueing unboundedly (the failure mode of the threaded
+   frontend: one thread per connection, no backpressure).
+
+Thread-safety note: :class:`RateLimiter` and :class:`AdmissionGate` are
+**event-loop confined** — they are only ever touched from coroutines on
+the server's loop thread, which serializes access, so they deliberately
+own no locks.  Mutating them from a foreign thread would be a bug; the
+``CON005`` analyzer (``tools/gqbecheck``) polices exactly that pattern.
+:class:`TTLAnswerCache` inherits the parent cache's lock because cache
+puts also happen on executor threads.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Callable, Hashable
+from typing import Any
+
+from repro.serving.cache import AnswerCache
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    Starts full (a well-behaved client gets its burst immediately).
+    ``clock`` is injectable so refill behavior is testable without
+    sleeping.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_updated", "_now")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 tokens/second, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1 token, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._now = clock
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def allow(self) -> bool:
+        """Spend one token if available."""
+        self._refill(self._now())
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after_seconds(self) -> float:
+        """Seconds until one full token has accrued (0 if one is ready)."""
+        self._refill(self._now())
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class RateLimiter:
+    """Per-client token buckets keyed by the client's API key.
+
+    ``max_clients`` bounds the bucket table: an attacker rotating keys
+    cannot grow it without bound.  When full, the least recently used
+    bucket is dropped — a returning client then starts from a full
+    bucket, which errs toward admitting, never toward starving.
+
+    Event-loop confined: no locks (see the module docstring).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        max_clients: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_clients < 1:
+            raise ValueError(f"max_clients must be >= 1, got {max_clients}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_clients = max_clients
+        self._now = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self.rejections = 0
+
+    def check(self, client_id: str) -> float | None:
+        """``None`` if the client may proceed, else suggested retry-after
+        seconds (always > 0)."""
+        bucket = self._buckets.pop(client_id, None)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, clock=self._now)
+            while len(self._buckets) >= self.max_clients:
+                # dicts preserve insertion order; re-inserting on every
+                # check makes the first key the least recently used.
+                self._buckets.pop(next(iter(self._buckets)))
+        self._buckets[client_id] = bucket
+        if bucket.allow():
+            return None
+        self.rejections += 1
+        return max(bucket.retry_after_seconds(), 1.0 / self.rate)
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "rate_rps": self.rate,
+            "burst": self.burst,
+            "tracked_clients": len(self._buckets),
+            "rejections": self.rejections,
+        }
+
+
+class AdmissionGate:
+    """Bounded count of in-flight admitted requests (the request queue).
+
+    ``try_enter`` admits while fewer than ``high_water`` requests hold a
+    slot; past the mark the caller sheds the request with ``429``.
+    Event-loop confined: no locks (see the module docstring).
+    """
+
+    def __init__(self, high_water: int, retry_after_seconds: float = 1.0) -> None:
+        if high_water < 1:
+            raise ValueError(f"high_water must be >= 1, got {high_water}")
+        if retry_after_seconds <= 0:
+            raise ValueError(
+                f"retry_after_seconds must be > 0, got {retry_after_seconds}"
+            )
+        self.high_water = high_water
+        self.retry_after_seconds = retry_after_seconds
+        self.depth = 0
+        self.admitted = 0
+        self.rejections = 0
+
+    def try_enter(self) -> bool:
+        if self.depth >= self.high_water:
+            self.rejections += 1
+            return False
+        self.depth += 1
+        self.admitted += 1
+        return True
+
+    def leave(self) -> None:
+        if self.depth <= 0:
+            raise RuntimeError("AdmissionGate.leave() without a matching enter")
+        self.depth -= 1
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "high_water": self.high_water,
+            "depth": self.depth,
+            "admitted": self.admitted,
+            "rejections": self.rejections,
+        }
+
+
+def retry_after_header(seconds: float) -> str:
+    """``Retry-After`` delay-seconds: a positive integer, rounded up."""
+    return str(max(1, math.ceil(seconds)))
+
+
+class TTLAnswerCache(AnswerCache):
+    """The LRU answer cache plus per-entry time-to-live expiry.
+
+    Everything the parent guarantees still holds — thread safety, LRU
+    eviction, and the generation guard that drops puts computed against
+    a pre-reload snapshot (``tests/test_serving.py`` pins it; the async
+    reload test re-pins it through this class).  On top of that, an
+    entry older than ``ttl_seconds`` is treated as a miss and evicted on
+    access, so long-lived duplicate-heavy traffic cannot pin answers
+    forever on a server that never reloads.  ``ttl_seconds=None``
+    disables expiry (pure LRU, byte-compatible with the parent).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be > 0 or None, got {ttl_seconds}")
+        super().__init__(capacity)
+        self.ttl_seconds = ttl_seconds
+        self._now = clock
+        self.expirations = 0
+
+    def get(self, key: Hashable) -> Any | None:
+        if self.ttl_seconds is None:
+            return super().get(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                value, expires_at = entry
+                if self._now() < expires_at:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return value
+                del self._entries[key]
+                self.expirations += 1
+            self.misses += 1
+            return None
+
+    def put(self, key: Hashable, value: Any, generation: int) -> bool:
+        if self.ttl_seconds is None:
+            return super().put(key, value, generation)
+        wrapped = (value, self._now() + self.ttl_seconds)
+        return super().put(key, wrapped, generation)
+
+    def stats(self) -> dict[str, float]:
+        return {
+            **super().stats(),
+            "ttl_seconds": self.ttl_seconds,
+            "expirations": self.expirations,
+        }

@@ -88,8 +88,14 @@ def _result_payload(result: QueryResult) -> dict:
     }
 
 
-class GQBEServer:
-    """One warm GQBE system behind a threaded HTTP server.
+class ServingCore:
+    """The frontend-agnostic serving engine: cache, batcher, pool, reload.
+
+    Both HTTP frontends — the threaded :class:`GQBEServer` below and the
+    asyncio :class:`~repro.serving.async_server.AsyncGQBEServer` — are
+    thin transports over this core, so answers, caching semantics and
+    reload behavior are identical regardless of which frontend accepted
+    the connection.
 
     Parameters
     ----------
@@ -97,9 +103,6 @@ class GQBEServer:
         The (already built or snapshot-loaded) engine to serve.
     snapshot_path:
         Recorded for ``/healthz`` and reload bookkeeping (optional).
-    host / port:
-        Bind address.  ``port=0`` picks an ephemeral port; read
-        :attr:`port` after construction.
     batch_window_seconds / max_batch:
         Micro-batching knobs (see :class:`~repro.serving.batching.QueryBatcher`).
     cache_size:
@@ -118,20 +121,24 @@ class GQBEServer:
         the served snapshot (shared mapped pages with a v2 snapshot),
         bypassing the GIL for CPU-bound explorations; ``1`` keeps the
         inline single-process path.
+    cache:
+        An :class:`~repro.serving.cache.AnswerCache` instance to use
+        instead of constructing one from ``cache_size`` — the async
+        frontend passes a :class:`~repro.serving.limits.TTLAnswerCache`
+        here.
     """
 
     def __init__(
         self,
         system: GQBE,
         snapshot_path: str | PathLike | None = None,
-        host: str = "127.0.0.1",
-        port: int = 8080,
         batch_window_seconds: float = 0.005,
         max_batch: int = 64,
         cache_size: int = 1024,
         request_timeout: float = 60.0,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         workers: int = 1,
+        cache: AnswerCache | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -143,7 +150,7 @@ class GQBEServer:
         self.max_body_bytes = max_body_bytes
         self.workers = workers
         self._exec_lock = threading.Lock()
-        self._cache = AnswerCache(cache_size)
+        self._cache = cache if cache is not None else AnswerCache(cache_size)
         self._pool = self._make_pool()
         self._batcher = QueryBatcher(
             self._run_batch,
@@ -151,10 +158,6 @@ class GQBEServer:
             max_batch=max_batch,
             pool=self._pool,
         )
-        self._http = _Http((host, port), _Handler)
-        self._http.daemon_threads = True
-        self._http.app = self  # type: ignore[attr-defined] - handler backref
-        self._thread: threading.Thread | None = None
         self._started_at = time.monotonic()
         # Handler threads are concurrent; counter updates take this lock
         # (a bare += is a lost-update race across threads).
@@ -197,7 +200,7 @@ class GQBEServer:
     # construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def from_snapshot(cls, path: str | PathLike, **kwargs) -> "GQBEServer":
+    def from_snapshot(cls, path: str | PathLike, **kwargs):
         """Build a server around :meth:`GQBE.from_snapshot`."""
         return cls(GQBE.from_snapshot(path), snapshot_path=path, **kwargs)
 
@@ -205,45 +208,17 @@ class GQBEServer:
     # lifecycle
     # ------------------------------------------------------------------
     @property
-    def host(self) -> str:
-        """The bound host address."""
-        return self._http.server_address[0]
-
-    @property
-    def port(self) -> int:
-        """The bound port (useful with ``port=0``)."""
-        return self._http.server_address[1]
-
-    @property
     def system(self) -> GQBE:
         """The engine currently serving queries."""
         return self._system
 
-    def start(self) -> "GQBEServer":
-        """Serve in a background daemon thread; returns ``self``."""
-        if self._thread is not None:
-            raise RuntimeError("server already started")
-        self._thread = threading.Thread(
-            target=self._http.serve_forever, name="gqbe-serve", daemon=True
-        )
-        self._thread.start()
-        return self
-
-    def serve_forever(self) -> None:
-        """Serve on the calling thread (the ``gqbe serve`` entry point)."""
-        self._http.serve_forever()
-
-    def stop(self) -> None:
-        """Shut the HTTP listener, the batching worker and the pool down."""
-        self._http.shutdown()
-        self._http.server_close()
+    def close_engine(self) -> None:
+        """Shut the batching worker and the pool down (frontends call
+        this from their own ``stop``)."""
         self._batcher.close()
         if self._pool is not None:
             self._pool.close()
             self._pool = None
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
 
     # ------------------------------------------------------------------
     # snapshot reloads
@@ -463,6 +438,69 @@ class GQBEServer:
             "worker_incremental_rss_bytes": incremental,
             "total_worker_incremental_rss_bytes": sum(incremental),
         }
+
+
+class GQBEServer(ServingCore):
+    """One warm GQBE system behind a threaded HTTP server.
+
+    The original (threaded) frontend: one daemon thread runs a
+    ``ThreadingHTTPServer`` — a handler thread per connection — over the
+    shared :class:`ServingCore`.  ``gqbe serve --frontend threaded``
+    selects it; the asyncio frontend
+    (:class:`~repro.serving.async_server.AsyncGQBEServer`) is the
+    default and adds admission control and ``/metrics``.
+
+    Takes every :class:`ServingCore` parameter plus ``host`` / ``port``
+    (``port=0`` picks an ephemeral port; read :attr:`port` after
+    construction).
+    """
+
+    def __init__(
+        self,
+        system: GQBE,
+        snapshot_path: str | PathLike | None = None,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        **core_kwargs,
+    ) -> None:
+        super().__init__(system, snapshot_path=snapshot_path, **core_kwargs)
+        self._http = _Http((host, port), _Handler)
+        self._http.daemon_threads = True
+        self._http.app = self  # type: ignore[attr-defined] - handler backref
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        """The bound host address."""
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        return self._http.server_address[1]
+
+    def start(self) -> "GQBEServer":
+        """Serve in a background daemon thread; returns ``self``."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._http.serve_forever, name="gqbe-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``gqbe serve`` entry point)."""
+        self._http.serve_forever()
+
+    def stop(self) -> None:
+        """Shut the HTTP listener, the batching worker and the pool down."""
+        self._http.shutdown()
+        self._http.server_close()
+        self.close_engine()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
 
 
 class _Http(ThreadingHTTPServer):

@@ -240,6 +240,31 @@ def start_worker():
     return threading.Thread(target=work)
 """
 
+CON005_FIRING = """\
+# gqbe: contract[concurrent]
+class Gate:
+    def __init__(self):
+        self.depth = 0
+
+    async def enter(self):
+        self.depth += 1
+
+    def leave(self):
+        self.depth -= 1
+"""
+CON005_CLEAN = """\
+# gqbe: contract[concurrent]
+class Gate:
+    def __init__(self):
+        self.depth = 0
+
+    async def enter(self):
+        self.depth += 1
+
+    async def leave(self):
+        self.depth -= 1
+"""
+
 EXC001_FIRING = """\
 def load(path):
     try:
@@ -306,6 +331,7 @@ MATRIX = {
     "CON002": (CON002_FIRING, CON002_CLEAN),
     "CON003": (CON003_FIRING, CON003_CLEAN),
     "CON004": (CON004_FIRING, CON004_CLEAN),
+    "CON005": (CON005_FIRING, CON005_CLEAN),
     "EXC001": (EXC001_FIRING, EXC001_CLEAN),
     "EXC002": (EXC002_FIRING, EXC002_CLEAN),
     "EXC003": (EXC003_FIRING, EXC003_CLEAN),
@@ -537,7 +563,7 @@ def test_cli_rejects_unknown_rule_selection(tmp_path, capsys):
 def test_repo_tree_has_zero_non_baselined_findings(capsys):
     scan = [
         str(REPO_ROOT / piece)
-        for piece in ("src", "benchmarks", "tools")
+        for piece in ("src", "benchmarks", "tools", "tests")
         if (REPO_ROOT / piece).is_dir()
     ]
     rc = check_main(["--root", str(REPO_ROOT), *scan])

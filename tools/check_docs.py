@@ -86,8 +86,7 @@ class _DocServer:
     """The background server standing in for a documented ``gqbe serve``."""
 
     def __init__(self, argv: list[str], cwd: Path) -> None:
-        from repro.cli import _load_system, build_parser
-        from repro.serving.server import GQBEServer
+        from repro.cli import _load_system, build_frontend, build_parser
 
         args = build_parser().parse_args(argv)
         loaded = _load_system(args)
@@ -95,20 +94,14 @@ class _DocServer:
             raise RuntimeError(f"gqbe serve could not load a system: {argv}")
         system, snapshot_path = loaded
         self.documented_port = args.port
-        self.server = GQBEServer(
-            system,
-            snapshot_path=snapshot_path,
-            host=args.host,
-            port=0,  # the doc's port may be taken; curl lines are remapped
-            batch_window_seconds=args.batch_window_ms / 1000.0,
-            max_batch=args.max_batch,
-            cache_size=args.cache_size,
-        ).start()
+        args.port = 0  # the doc's port may be taken; curl lines are remapped
+        self.server = build_frontend(system, snapshot_path, args).start()
 
     def curl(self, pieces: list[str]) -> tuple[int, bytes]:
         method = "GET"
         body = None
         url = None
+        headers: dict[str, str] = {}
         iterator = iter(pieces[1:])
         for piece in iterator:
             if piece in ("-X", "--request"):
@@ -118,7 +111,8 @@ class _DocServer:
                 if method == "GET":
                     method = "POST"
             elif piece in ("-H", "--header"):
-                next(iterator)
+                name, _, value = next(iterator).partition(":")
+                headers[name.strip()] = value.strip()
             elif piece == "-s":
                 continue
             elif not piece.startswith("-"):
@@ -133,11 +127,13 @@ class _DocServer:
             target = parsed.path or "/"
             if parsed.query:
                 target += "?" + parsed.query
+            if body and "Content-Type" not in headers:
+                headers["Content-Type"] = "application/json"
             connection.request(
                 method,
                 target,
                 body=body.encode() if body is not None else None,
-                headers={"Content-Type": "application/json"} if body else {},
+                headers=headers,
             )
             response = connection.getresponse()
             return response.status, response.read()

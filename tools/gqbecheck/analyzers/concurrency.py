@@ -27,6 +27,15 @@ Rules
 ``CON004``
     ``threading.Thread(...)`` created (or ``.start()`` called) at
     module scope — import-time threads break fork-based pools.
+``CON005``
+    Event-loop confinement violation: in a lock-free class with
+    ``async def`` methods, the same attribute is read-modify-written
+    both from a coroutine (serialized by the event loop) and from a
+    plain synchronous method (callable from any thread).  Loop-confined
+    state is only safe while *every* mutation happens on the loop
+    thread; the sync-side mutation is the hazard and anchors the
+    finding.  Classes that own a lock are policed by ``CON002``
+    instead.
 """
 
 from __future__ import annotations
@@ -90,11 +99,22 @@ CON004 = Rule(
         "object constructors instead"
     ),
 )
+CON005 = Rule(
+    rule_id="CON005",
+    title="loop-confined state mutated from a synchronous context",
+    severity="error",
+    contract=CONTRACT,
+    rationale=(
+        "an async class without locks relies on the event loop to "
+        "serialize access; mutating the same attribute from a plain "
+        "sync method reachable from other threads races with the loop"
+    ),
+)
 
 
 class ConcurrencyAnalyzer(Analyzer):
     name = "concurrency"
-    rules = (CON001, CON002, CON003, CON004)
+    rules = (CON001, CON002, CON003, CON004, CON005)
 
     def check_file(self, source: SourceFile) -> Iterable[Finding]:
         if CONTRACT not in source.contracts:
@@ -103,6 +123,7 @@ class ConcurrencyAnalyzer(Analyzer):
         findings.extend(_check_global_rmw(source))
         findings.extend(_check_self_rmw(source))
         findings.extend(_check_module_threads(source))
+        findings.extend(_check_loop_confinement(source))
         return findings
 
     def check_project(self, project: Project) -> Iterable[Finding]:
@@ -270,6 +291,51 @@ def _self_rmw_attribute(node: ast.AST) -> str | None:
             ):
                 return attribute
     return None
+
+
+# --------------------------------------------------------------------------
+# CON005 — loop-confined state mutated from a synchronous context
+
+
+def _check_loop_confinement(source: SourceFile) -> Iterable[Finding]:
+    for class_def in ast.walk(source.tree):
+        if not isinstance(class_def, ast.ClassDef):
+            continue
+        if _class_owns_lock(class_def):
+            continue  # CON002 territory: the lock is the discipline
+        async_rmw: set[str] = set()
+        sync_rmw: list[tuple[str, ast.stmt]] = []
+        for function in class_def.body:
+            if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if function.name == "__init__":
+                # Construction happens-before publication; races there
+                # are a lifecycle bug, not a confinement one.
+                continue
+            is_async = isinstance(function, ast.AsyncFunctionDef)
+            for statement, under_lock in _statements_with_lock_state(function):
+                if under_lock:
+                    continue
+                attribute = _self_rmw_attribute(statement)
+                if attribute is None:
+                    continue
+                if is_async:
+                    async_rmw.add(attribute)
+                else:
+                    sync_rmw.append((attribute, statement))
+        if not async_rmw:
+            continue
+        for attribute, statement in sync_rmw:
+            if attribute in async_rmw:
+                yield source.finding(
+                    CON005,
+                    statement,
+                    f"self.{attribute} is mutated from coroutines (loop-"
+                    "confined) and from this synchronous method; a caller "
+                    "on another thread races with the event loop — move "
+                    "the mutation onto the loop (call_soon_threadsafe) or "
+                    "guard it with a lock",
+                )
 
 
 # --------------------------------------------------------------------------
