@@ -32,6 +32,49 @@ def test_bench_neighborhood_extraction(system, benchmark):
     assert result.num_edges > 0
 
 
+@pytest.fixture(scope="module")
+def mapped_graph(system, tmp_path_factory):
+    """The benchmark graph reopened as a v3 mapped CSR view."""
+    gqbe, _workload = system
+    directory = tmp_path_factory.mktemp("bench_v3") / "freebase.snapdir3"
+    GraphStore.build(gqbe.graph).save(directory, format="v3")
+    return GraphStore.load(directory).graph
+
+
+def test_bench_mapped_neighborhood_extraction(system, mapped_graph, benchmark):
+    """Def. 1 extraction over the mapped CSR columns — the serve path.
+
+    Pairs with ``test_bench_neighborhood_extraction`` (the owned
+    dict-of-lists graph): the wide BFS depths here expand through the
+    whole-frontier numpy gather, which this benchmark gates.
+    """
+    _gqbe, workload = system
+    query = workload.query("F18")
+    result = benchmark(neighborhood_graph, mapped_graph, query.query_tuple, 2)
+    assert result.num_edges > 0
+
+
+def test_bench_delta_overlay_neighborhood_extraction(
+    system, mapped_graph, benchmark
+):
+    """Def. 1 extraction over a live (mapped base + delta) overlay.
+
+    The overlay adds per-node Python-list appends on top of the base CSR
+    slices; this gates the read-amplification live ingest introduces on
+    the hottest pipeline stage.
+    """
+    from repro.graph.delta import DeltaKnowledgeGraph
+
+    _gqbe, workload = system
+    query = workload.query("F18")
+    overlay = DeltaKnowledgeGraph(mapped_graph)
+    anchor = query.query_tuple[0]
+    for index in range(8):
+        overlay.add_delta_edge(anchor, "bench_delta_edge", f"DeltaNode_{index}")
+    result = benchmark(neighborhood_graph, overlay, query.query_tuple, 2)
+    assert result.num_edges > 0
+
+
 def test_bench_mqg_discovery_with_reduction(system, benchmark):
     gqbe, workload = system
     query = workload.query("F18")

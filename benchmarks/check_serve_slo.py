@@ -17,6 +17,13 @@ informational numbers):
    ``gqbe_http_requests_total{path="/query",...}`` deltas equal the
    loadgen's own per-status ground truth, and the queue_full shed
    counter equals the number of 429s observed on the wire.
+5. **Ingest soak** — concurrent readers hammer a snapshot-backed
+   server while ``POST /admin/ingest`` bursts land and an explicit
+   ``POST /admin/compact`` folds the delta into a new generation.
+   Every read is answered 200 (no 5xx, no transport errors — no torn
+   swap), the ingest/compaction counters on ``/metrics`` reconcile
+   with the wire, and the post-soak answers are identical to a system
+   built from scratch over the merged edge set.
 
 Usage::
 
@@ -233,6 +240,158 @@ def main() -> int:
         problems,
         f"queue_full shed counter equals observed 429s ({queue_full} == {shed})",
     )
+
+    # ------------------------------------------------------------------
+    # 4. ingest soak: writes + compaction racing reads on a
+    #    snapshot-backed server
+    # ------------------------------------------------------------------
+    print("phase 4: ingest soak (writes + compaction racing reads)")
+    import tempfile
+    import threading
+
+    from repro.storage.snapshot import GraphStore
+
+    def post(host: str, port: int, path: str, payload: dict) -> tuple[int, dict]:
+        connection = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            connection.request(
+                "POST",
+                path,
+                body=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            connection.close()
+
+    soak_query = tuples[0]
+    bursts = [
+        [
+            [f"SoakEntity_{burst}_{index}", "soak_edge_of", soak_query[0]]
+            for index in range(4)
+        ]
+        for burst in range(6)
+    ]
+    with tempfile.TemporaryDirectory() as scratch:
+        snapshot_path = Path(scratch) / "soak.snapdir3"
+        GraphStore.build(workload.dataset.graph).save(snapshot_path, format="v3")
+        server = AsyncGQBEServer.from_snapshot(
+            snapshot_path, port=0, high_water=64
+        ).start()
+        read_statuses: dict[str, int] = {}
+        status_lock = threading.Lock()
+        stop = threading.Event()
+
+        def hammer() -> None:
+            while not stop.is_set():
+                try:
+                    status, _ = post(
+                        server.host,
+                        server.port,
+                        "/query",
+                        {"tuple": soak_query, "k": 10},
+                    )
+                    key = str(status)
+                except (OSError, http.client.HTTPException, ValueError):
+                    key = "transport_error"
+                with status_lock:
+                    read_statuses[key] = read_statuses.get(key, 0) + 1
+
+        readers = [threading.Thread(target=hammer) for _ in range(3)]
+        applied = 0
+        try:
+            for thread in readers:
+                thread.start()
+            for burst in bursts:
+                status, body = post(
+                    server.host, server.port, "/admin/ingest", {"triples": burst}
+                )
+                _check(
+                    status == 200,
+                    problems,
+                    f"ingest burst accepted under read load (status {status})",
+                )
+                applied += body.get("applied", 0)
+            status, compacted = post(
+                server.host, server.port, "/admin/compact", {}
+            )
+            _check(
+                status == 200,
+                problems,
+                f"compaction succeeded under read load (status {status})",
+            )
+            # Let the readers race the freshly swapped generation too.
+            time.sleep(0.25)
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+        try:
+            samples = _scrape_metrics(server.host, server.port)
+            status, final_body = post(
+                server.host,
+                server.port,
+                "/query",
+                {"tuple": soak_query, "k": 10},
+            )
+        finally:
+            server.stop()
+        report["ingest_soak"] = {
+            "read_statuses": read_statuses,
+            "applied": applied,
+            "compacted": compacted,
+        }
+        total_triples = sum(len(burst) for burst in bursts)
+        _check(
+            applied == total_triples,
+            problems,
+            f"every soak triple applied ({applied}/{total_triples})",
+        )
+        _check(
+            set(read_statuses) == {"200"},
+            problems,
+            f"every racing read answered 200 ({read_statuses})",
+        )
+        _check(
+            str(compacted.get("snapshot", "")).endswith(".gen1"),
+            problems,
+            f"compaction wrote generation 1 ({compacted.get('snapshot')})",
+        )
+        _check(
+            samples.get(("gqbe_ingest_requests_total", ()), 0) == len(bursts),
+            problems,
+            f"ingest request counter reconciles ({len(bursts)} bursts)",
+        )
+        _check(
+            samples.get(
+                ("gqbe_ingest_triples_total", (("result", "applied"),)), 0
+            )
+            == total_triples,
+            problems,
+            "applied-triple counter reconciles",
+        )
+        _check(
+            samples.get(("gqbe_compactions_total", ()), 0) == 1,
+            problems,
+            "compaction counter reconciles",
+        )
+        _check(
+            samples.get(("gqbe_delta_edges", ()), -1) == 0,
+            problems,
+            "delta gauge returns to zero after the fold",
+        )
+        merged = workload.dataset.graph.copy()
+        for subject, label, obj in (t for burst in bursts for t in burst):
+            merged.add_edge(subject, label, obj)
+        reference = GQBE(merged).query(tuple(soak_query), k=10)
+        _check(
+            status == 200
+            and [answer["entities"] for answer in final_body["answers"]]
+            == [list(answer.entities) for answer in reference.answers],
+            problems,
+            "post-soak answers equal a from-scratch merged build",
+        )
 
     # ------------------------------------------------------------------
     # report artifact (latency stays informational)

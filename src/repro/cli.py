@@ -26,6 +26,11 @@ Subcommands
     synthetic workload) and report throughput/latency::
 
         gqbe bench-serve --workload freebase --requests 200 --json out.json
+``gqbe ingest``
+    Push a triple file into a running server's live delta overlay via
+    ``POST /admin/ingest`` (``--compact`` folds it to disk afterwards)::
+
+        gqbe ingest new-edges.tsv --url http://127.0.0.1:8080 --compact
 ``gqbe generate``
     Generate a synthetic Freebase-like or DBpedia-like dataset to a TSV file.
 ``gqbe check``
@@ -124,6 +129,83 @@ def _cmd_build_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _post_json(url: str, path: str, payload, api_key: str | None, timeout: float):
+    """POST ``payload`` to ``url + path``; returns ``(status, body_dict)``."""
+    import http.client
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(url)
+    if parts.scheme not in ("http", ""):
+        raise ValueError(f"only http:// URLs are supported, got {url!r}")
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port or 80
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    headers = {"Content-Type": "application/json"}
+    if api_key:
+        headers["Authorization"] = f"Bearer {api_key}"
+    try:
+        connection.request("POST", path, body=json.dumps(payload), headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+    finally:
+        connection.close()
+    try:
+        body = json.loads(raw) if raw else {}
+    except ValueError:
+        body = {"error": raw.decode("utf-8", "replace")}
+    return response.status, body
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.graph.triples import read_triples
+
+    if args.batch_size < 1:
+        print(f"--batch-size must be >= 1, got {args.batch_size}", file=sys.stderr)
+        return 2
+    triples = read_triples(args.triples)
+    if not triples:
+        print(f"no triples found in {args.triples}", file=sys.stderr)
+        return 2
+    applied = duplicates = 0
+    delta_edges = 0
+    for start in range(0, len(triples), args.batch_size):
+        batch = triples[start : start + args.batch_size]
+        payload = {"triples": [[t.subject, t.label, t.object] for t in batch]}
+        status, body = _post_json(
+            args.url, "/admin/ingest", payload, args.api_key, args.timeout
+        )
+        if status != 200:
+            print(
+                f"ingest batch at offset {start} failed with HTTP {status}: "
+                f"{body.get('error', body)}",
+                file=sys.stderr,
+            )
+            return 1
+        applied += body.get("applied", 0)
+        duplicates += body.get("duplicates", 0)
+        delta_edges = body.get("delta_edges", delta_edges)
+    print(
+        f"ingested {len(triples)} triples: {applied} applied, "
+        f"{duplicates} duplicates, delta now {delta_edges} edges"
+    )
+    if args.compact:
+        status, body = _post_json(
+            args.url, "/admin/compact", None, args.api_key, args.timeout
+        )
+        if status != 200:
+            print(
+                f"compaction failed with HTTP {status}: "
+                f"{body.get('error', body)}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"compacted {body.get('delta_edges')} delta edges into "
+            f"{body.get('snapshot')} ({body.get('format')})"
+        )
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     if args.dataset == "freebase":
         generator = FreebaseLikeGenerator(seed=args.seed, scale=args.scale)
@@ -145,7 +227,13 @@ def _load_system(args: argparse.Namespace) -> tuple[GQBE, str | None] | int:
         print("pass either a graph file or --snapshot, not both", file=sys.stderr)
         return 2
     if args.snapshot is not None:
-        return GQBE.from_snapshot(args.snapshot), args.snapshot
+        from repro.storage.generations import resolve_latest_generation
+
+        # After a crash or restart, serve the newest compacted
+        # generation of this snapshot family (sweeping any .tmp
+        # wreckage a dying compaction left behind).
+        resolved = str(resolve_latest_generation(args.snapshot))
+        return GQBE.from_snapshot(resolved), resolved
     if args.graph is not None:
         return GQBE(load_graph(args.graph)), None
     print("pass a graph file or --snapshot", file=sys.stderr)
@@ -164,6 +252,7 @@ def build_frontend(system: GQBE, snapshot_path: str | None, args: argparse.Names
         "max_batch": args.max_batch,
         "cache_size": args.cache_size,
         "workers": args.workers,
+        "compact_threshold": args.compact_threshold,
     }
     if args.max_body_bytes is not None:
         options["max_body_bytes"] = args.max_body_bytes
@@ -605,6 +694,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="time-to-live for answer-cache entries of the async "
             "frontend (default: no TTL, pure LRU)",
         )
+        parser.add_argument(
+            "--compact-threshold",
+            type=int,
+            default=defaults.serve_compact_threshold,
+            dest="compact_threshold",
+            help="start a background compaction once the in-memory ingest "
+            "delta holds this many edges, folding base + delta into a "
+            "fresh snapshot generation (default: compact only on "
+            "POST /admin/compact)",
+        )
 
     serve = subparsers.add_parser(
         "serve",
@@ -667,6 +766,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, help="write the JSON report to this path"
     )
     bench_serve.set_defaults(func=_cmd_bench_serve)
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="push a triple file into a running server via POST /admin/ingest",
+    )
+    ingest.add_argument("triples", help="path to a TSV or NT triple file")
+    ingest.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="base URL of the running gqbe serve instance",
+    )
+    ingest.add_argument(
+        "--api-key",
+        default=None,
+        dest="api_key",
+        help="API key to send as Authorization: Bearer <key>",
+    )
+    ingest.add_argument(
+        "--batch-size",
+        type=int,
+        default=1000,
+        dest="batch_size",
+        help="triples per /admin/ingest request",
+    )
+    ingest.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="per-request HTTP timeout in seconds",
+    )
+    ingest.add_argument(
+        "--compact",
+        action="store_true",
+        help="POST /admin/compact after the last batch, folding the delta "
+        "into a fresh on-disk snapshot generation",
+    )
+    ingest.set_defaults(func=_cmd_ingest)
 
     generate = subparsers.add_parser("generate", help="generate a synthetic dataset")
     generate.add_argument("dataset", choices=("freebase", "dbpedia"))

@@ -108,6 +108,11 @@ class GQBEConfig:
         entry older than this is treated as a miss and evicted on
         access.  ``None`` keeps pure LRU (entries live until evicted or
         invalidated by ``/admin/reload``).
+    serve_compact_threshold:
+        Delta size (edges ingested via ``/admin/ingest``) past which a
+        snapshot-backed server starts a background compaction, folding
+        base + delta into a fresh on-disk generation.  ``None`` leaves
+        compaction to explicit ``/admin/compact`` calls.
     """
 
     d: int = 2
@@ -128,6 +133,7 @@ class GQBEConfig:
     serve_rate_limit_rps: float | None = None
     serve_rate_limit_burst: int = 32
     serve_cache_ttl_seconds: float | None = None
+    serve_compact_threshold: int | None = None
 
     def __post_init__(self) -> None:
         if self.d < 1:
@@ -177,4 +183,12 @@ class GQBEConfig:
             raise EvaluationError(
                 "serve_cache_ttl_seconds must be > 0, "
                 f"got {self.serve_cache_ttl_seconds}"
+            )
+        if (
+            self.serve_compact_threshold is not None
+            and self.serve_compact_threshold < 1
+        ):
+            raise EvaluationError(
+                "serve_compact_threshold must be >= 1, "
+                f"got {self.serve_compact_threshold}"
             )

@@ -342,15 +342,48 @@ class GQBE:
         return results
 
     # ------------------------------------------------------------------
+    # live ingest (delta overlay)
+    # ------------------------------------------------------------------
+    @property
+    def pending_delta(self) -> list[tuple[str, str, str]]:
+        """Triples ingested since load, in application order.
+
+        Snapshot-backed worker pools replay exactly this list so every
+        worker reproduces the parent's delta state (and answers).
+        """
+        return self._graph_store.delta_triples
+
+    def ingest(self, triples) -> dict:
+        """Apply new triples to the live system; returns what happened.
+
+        Delegates the mutation to
+        :meth:`~repro.storage.snapshot.GraphStore.ingest` (graph +
+        vocabulary + tables + statistics, deduplicated against the
+        current union), then drops every piece of derived state that
+        described the pre-ingest graph: cached lattice spaces would
+        otherwise keep serving answers over stale join tables, and an
+        existing worker pool holds whole processes built from the old
+        state — the next pooled call rebuilds it with the delta
+        replayed.  Returns ``{"applied", "duplicates", "delta_edges"}``.
+        """
+        result = self._graph_store.ingest(triples)
+        if result["applied"]:
+            self._space_cache.clear()
+            self.close()
+        return result
+
+    # ------------------------------------------------------------------
     # pooled execution
     # ------------------------------------------------------------------
     def worker_pool(self):
         """The process pool backing ``execution="pool"`` (built lazily).
 
         Snapshot-loaded systems hand each worker the snapshot path to
-        reopen (zero-copy shared pages with a v2 mapped snapshot);
-        graph-built systems fall back to fork-time inheritance.  Call
-        :meth:`close` to shut the workers down.
+        reopen (zero-copy shared pages with a v2 mapped snapshot), plus
+        any pending ingest delta to replay on top; graph-built systems
+        fall back to fork-time inheritance (the forked image already
+        contains the delta).  Call :meth:`close` to shut the workers
+        down.
         """
         # Double-checked under a lock: concurrent first callers must not
         # each build (and then leak) a pool of worker processes.
@@ -364,6 +397,11 @@ class GQBE:
                         snapshot_path=self._snapshot_path,
                         system=self if self._snapshot_path is None else None,
                         config=replace(self.config, execution="inline"),
+                        delta_triples=(
+                            self.pending_delta
+                            if self._snapshot_path is not None
+                            else None
+                        ),
                     )
         return self._pool
 

@@ -32,7 +32,10 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.exceptions import QueryError, UnknownEntityError
+from repro.graph.delta import DeltaKnowledgeGraph
 from repro.graph.knowledge_graph import Edge, KnowledgeGraph
 from repro.graph.mapped import MappedKnowledgeGraph
 
@@ -90,6 +93,58 @@ def _validate_query_tuple(graph: KnowledgeGraph, query_tuple: Sequence[str]) -> 
     return entities
 
 
+# Below this many frontier nodes the per-node slice loop beats the
+# vectorized gather's fixed numpy overhead (a handful of array allocs).
+_GATHER_MIN_FRONTIER = 16
+
+
+def _gather_frontier(
+    frontier: list[int],
+    out_indptr: np.ndarray,
+    out_objects: np.ndarray,
+    in_indptr: np.ndarray,
+    in_subjects: np.ndarray,
+) -> list[int]:
+    """All neighbors of ``frontier``, in per-node out-then-in slice order.
+
+    One fancy-indexed gather replaces ``2 * len(frontier)`` per-node
+    slice+tolist round trips.  The output is laid out exactly as the
+    scalar loop would visit it — for each frontier node, its out slice
+    then its in slice — so feeding it through the same first-occurrence
+    dedup yields an identical ``distances`` insertion order.
+    """
+    nodes = np.asarray(frontier, dtype=np.int64)
+    out_starts = out_indptr[nodes]
+    out_counts = out_indptr[nodes + 1] - out_starts
+    in_starts = in_indptr[nodes]
+    in_counts = in_indptr[nodes + 1] - in_starts
+    totals = out_counts + in_counts
+    total = int(totals.sum())
+    if total == 0:
+        return []
+    dest_base = np.cumsum(totals) - totals
+    gathered = np.empty(total, dtype=np.int64)
+    out_total = int(out_counts.sum())
+    if out_total:
+        # Positions within each node's run: a global arange minus each
+        # run's starting rank, broadcast per-element via repeat.
+        offsets = np.arange(out_total, dtype=np.int64) - np.repeat(
+            np.cumsum(out_counts) - out_counts, out_counts
+        )
+        source = np.repeat(out_starts, out_counts) + offsets
+        dest = np.repeat(dest_base, out_counts) + offsets
+        gathered[dest] = out_objects[source]
+    if total - out_total:
+        in_total = total - out_total
+        offsets = np.arange(in_total, dtype=np.int64) - np.repeat(
+            np.cumsum(in_counts) - in_counts, in_counts
+        )
+        source = np.repeat(in_starts, in_counts) + offsets
+        dest = np.repeat(dest_base + out_counts, in_counts) + offsets
+        gathered[dest] = in_subjects[source]
+    return gathered.tolist()
+
+
 def _mapped_distance_ids(
     graph: MappedKnowledgeGraph,
     entities: Sequence[str],
@@ -99,7 +154,10 @@ def _mapped_distance_ids(
 
     Expansion order matches the adjacency-map path exactly (out slice
     then in slice per frontier node), so the returned dict's insertion
-    order — and everything derived from it — is identical.
+    order — and everything derived from it — is identical.  Wide
+    frontiers expand through one whole-frontier numpy gather instead of
+    per-node slices; the gather emits neighbors in the same order, so
+    the result is unchanged.
     """
     entity_ids = [graph.node_id(entity) for entity in entities]
     distances: dict[int, int] = {entity_id: 0 for entity_id in entity_ids}
@@ -112,6 +170,15 @@ def _mapped_distance_ids(
     while frontier and (cutoff is None or depth < cutoff):
         depth += 1
         next_frontier: list[int] = []
+        if len(frontier) >= _GATHER_MIN_FRONTIER:
+            for neighbor in _gather_frontier(
+                frontier, out_indptr, out_objects, in_indptr, in_subjects
+            ):
+                if neighbor not in distances:
+                    distances[neighbor] = depth
+                    next_frontier.append(neighbor)
+            frontier = next_frontier
+            continue
         for node_id in frontier:
             start = int(out_indptr[node_id])
             end = int(out_indptr[node_id + 1])
@@ -122,6 +189,60 @@ def _mapped_distance_ids(
             start = int(in_indptr[node_id])
             end = int(in_indptr[node_id + 1])
             for neighbor in in_subjects[start:end].tolist():
+                if neighbor not in distances:
+                    distances[neighbor] = depth
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return distances
+
+
+def _delta_distance_ids(
+    graph: DeltaKnowledgeGraph,
+    entities: Sequence[str],
+    cutoff: int | None,
+) -> dict[int, int]:
+    """The BFS of :func:`query_entity_distances` over a delta overlay.
+
+    Per frontier node the expansion order is base out slice, delta out
+    appends, base in slice, delta in appends — exactly the adjacency
+    list order of the merged owned graph, so the insertion order (and
+    every answer downstream) is byte-identical to a from-scratch build.
+    """
+    entity_ids = [graph.node_id(entity) for entity in entities]
+    distances: dict[int, int] = {entity_id: 0 for entity_id in entity_ids}
+    frontier = entity_ids
+    depth = 0
+    base = graph.base
+    base_nodes = base.num_nodes
+    out_indptr = base.out_indptr
+    out_objects = base.out_objects
+    in_indptr = base.in_indptr
+    in_subjects = base.in_subjects
+    out_extras = graph.out_extras
+    in_extras = graph.in_extras
+    while frontier and (cutoff is None or depth < cutoff):
+        depth += 1
+        next_frontier: list[int] = []
+        for node_id in frontier:
+            if node_id < base_nodes:
+                start = int(out_indptr[node_id])
+                end = int(out_indptr[node_id + 1])
+                for neighbor in out_objects[start:end].tolist():
+                    if neighbor not in distances:
+                        distances[neighbor] = depth
+                        next_frontier.append(neighbor)
+            for _, neighbor in out_extras(node_id):
+                if neighbor not in distances:
+                    distances[neighbor] = depth
+                    next_frontier.append(neighbor)
+            if node_id < base_nodes:
+                start = int(in_indptr[node_id])
+                end = int(in_indptr[node_id + 1])
+                for neighbor in in_subjects[start:end].tolist():
+                    if neighbor not in distances:
+                        distances[neighbor] = depth
+                        next_frontier.append(neighbor)
+            for _, neighbor in in_extras(node_id):
                 if neighbor not in distances:
                     distances[neighbor] = depth
                     next_frontier.append(neighbor)
@@ -142,6 +263,14 @@ def query_entity_distances(
         return {
             term_of(node_id): dist
             for node_id, dist in _mapped_distance_ids(
+                graph, entities, cutoff
+            ).items()
+        }
+    if isinstance(graph, DeltaKnowledgeGraph):
+        term_of = graph.term
+        return {
+            term_of(node_id): dist
+            for node_id, dist in _delta_distance_ids(
                 graph, entities, cutoff
             ).items()
         }
@@ -190,6 +319,8 @@ def neighborhood_graph(
     entities = _validate_query_tuple(graph, query_tuple)
     if isinstance(graph, MappedKnowledgeGraph):
         return _mapped_neighborhood_graph(graph, entities, d)
+    if isinstance(graph, DeltaKnowledgeGraph):
+        return _delta_neighborhood_graph(graph, entities, d)
     distances = query_entity_distances(graph, entities, cutoff=d)
 
     subgraph = KnowledgeGraph()
@@ -264,6 +395,72 @@ def _mapped_neighborhood_graph(
                 # Self-loops already appeared in the out slice.
                 if other != node_id and other in distance_ids:
                     add_edge(Edge(term(other), labels[label_id], node_term))
+    kept_distances = {
+        term(node_id): dist for node_id, dist in distance_ids.items()
+    }
+    return NeighborhoodGraph(
+        graph=subgraph, query_tuple=entities, d=d, distances=kept_distances
+    )
+
+
+def _delta_neighborhood_graph(
+    graph: DeltaKnowledgeGraph, entities: tuple[str, ...], d: int
+) -> NeighborhoodGraph:
+    """:func:`neighborhood_graph` over a live (base + delta) overlay.
+
+    Edge visitation per near node is base out slice, delta out appends,
+    base in slice (self-loops skipped), delta in appends (self-loops
+    skipped) — the merged owned graph's ``incident_edges`` order — so
+    the extracted subgraph is byte-identical to a from-scratch build of
+    base plus delta.
+    """
+    distance_ids = _delta_distance_ids(graph, entities, cutoff=d)
+    labels = graph.label_strings
+    term = graph.vocabulary.term_of
+
+    subgraph = KnowledgeGraph()
+    for node_id in distance_ids:
+        subgraph.add_node(term(node_id))
+    base = graph.base
+    base_nodes = base.num_nodes
+    out_indptr = base.out_indptr
+    out_objects = base.out_objects
+    out_label_ids = base.out_label_ids
+    in_indptr = base.in_indptr
+    in_subjects = base.in_subjects
+    in_label_ids = base.in_label_ids
+    add_edge = subgraph.add_edge_object
+    for node_id, dist in distance_ids.items():
+        if dist > d - 1:
+            continue
+        node_term = term(node_id)
+        if node_id < base_nodes:
+            start = int(out_indptr[node_id])
+            end = int(out_indptr[node_id + 1])
+            if start != end:
+                for other, label_id in zip(
+                    out_objects[start:end].tolist(),
+                    out_label_ids[start:end].tolist(),
+                ):
+                    if other in distance_ids:
+                        add_edge(Edge(node_term, labels[label_id], term(other)))
+        for label_id, other in graph.out_extras(node_id):
+            if other in distance_ids:
+                add_edge(Edge(node_term, labels[label_id], term(other)))
+        if node_id < base_nodes:
+            start = int(in_indptr[node_id])
+            end = int(in_indptr[node_id + 1])
+            if start != end:
+                for other, label_id in zip(
+                    in_subjects[start:end].tolist(),
+                    in_label_ids[start:end].tolist(),
+                ):
+                    # Self-loops already appeared in the out slice.
+                    if other != node_id and other in distance_ids:
+                        add_edge(Edge(term(other), labels[label_id], node_term))
+        for label_id, other in graph.in_extras(node_id):
+            if other != node_id and other in distance_ids:
+                add_edge(Edge(term(other), labels[label_id], node_term))
     kept_distances = {
         term(node_id): dist for node_id, dist in distance_ids.items()
     }

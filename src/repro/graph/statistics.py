@@ -118,6 +118,32 @@ class GraphStatistics:
         return self.participation_degree(edge)
 
     # ------------------------------------------------------------------
+    # live ingest (delta overlay) support
+    # ------------------------------------------------------------------
+    def apply_edge(self, edge: Edge) -> None:
+        """Account one newly ingested edge (the caller deduplicated it).
+
+        Increments exactly the counters ``__init__`` would have produced
+        had ``edge`` been part of the original graph, so statistics over
+        (base + delta) equal a from-scratch rebuild of the merged graph.
+        The caller runs :meth:`finish_mutation` once per ingest batch.
+        """
+        self._total_edges += 1
+        self._label_counts[edge.label] = self._label_counts.get(edge.label, 0) + 1
+        out_key = (edge.subject, edge.label)
+        self._out_label_counts[out_key] = self._out_label_counts.get(out_key, 0) + 1
+        in_key = (edge.object, edge.label)
+        self._in_label_counts[in_key] = self._in_label_counts.get(in_key, 0) + 1
+
+    def finish_mutation(self) -> None:
+        """Drop memoized Eq. 2 weights after a mutation batch.
+
+        ``ief`` depends on the global edge total, so every memoized
+        weight is stale once any edge lands.
+        """
+        self._base_weight_cache.clear()
+
+    # ------------------------------------------------------------------
     def base_edge_weight(self, edge: Edge) -> float:
         """w(e) = ief(e) / p(e) — Eq. 2, used for MQG discovery (memoized)."""
         weight = self._base_weight_cache.get(edge)

@@ -157,10 +157,11 @@ class AsyncGQBEServer(ServingCore):
             if rate_limit_rps is not None
             else None
         )
-        # The executor only ever holds admitted work, so high_water + a
-        # slot for /admin/reload bounds it exactly; nothing queues here.
+        # The executor only ever holds admitted work, so high_water plus
+        # a slot for /admin/reload and one for /admin/ingest//compact
+        # bounds it exactly; nothing queues here.
         self._executor = ThreadPoolExecutor(
-            max_workers=high_water + 1, thread_name_prefix="gqbe-async"
+            max_workers=high_water + 2, thread_name_prefix="gqbe-async"
         )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
@@ -200,6 +201,24 @@ class AsyncGQBEServer(ServingCore):
         )
         self._m_cache_misses = registry.counter(
             "gqbe_cache_misses_total", "Answer-cache misses on /query."
+        )
+        self._m_ingest_requests = registry.counter(
+            "gqbe_ingest_requests_total",
+            "POST /admin/ingest requests answered 200.",
+        )
+        self._m_ingest_triples = registry.counter(
+            "gqbe_ingest_triples_total",
+            "Triples received by /admin/ingest, by outcome.",
+            ("result",),
+        )
+        self._m_compactions = registry.counter(
+            "gqbe_compactions_total",
+            "Completed delta compactions (manual or threshold-triggered).",
+        )
+        registry.gauge(
+            "gqbe_delta_edges",
+            "Edges currently held by the in-memory delta overlay.",
+            callback=lambda: len(self._system.pending_delta),
         )
         registry.gauge(
             "gqbe_queue_depth",
@@ -426,7 +445,15 @@ class AsyncGQBEServer(ServingCore):
     @staticmethod
     def _metric_route(route: str) -> str:
         """Bound the label cardinality: unknown paths collapse to one."""
-        if route in ("/query", "/healthz", "/stats", "/metrics", "/admin/reload"):
+        if route in (
+            "/query",
+            "/healthz",
+            "/stats",
+            "/metrics",
+            "/admin/reload",
+            "/admin/ingest",
+            "/admin/compact",
+        ):
             return route
         return "other"
 
@@ -482,6 +509,10 @@ class AsyncGQBEServer(ServingCore):
             return await self._handle_query(headers, body, started)
         if route == "/admin/reload":
             return await self._handle_reload(headers, body)
+        if route == "/admin/ingest":
+            return await self._handle_ingest(headers, body)
+        if route == "/admin/compact":
+            return await self._handle_compact(headers)
         return 404, {"error": f"unknown path {route!r}"}, {}
 
     def _authenticate(self, headers: dict) -> str:
@@ -647,6 +678,39 @@ class AsyncGQBEServer(ServingCore):
             },
             {},
         )
+
+    async def _handle_ingest(
+        self, headers: dict, body: bytes
+    ) -> tuple[int, object, dict]:
+        client_id = self._authenticate(headers)
+        self._admit(client_id)
+        payload = self._parse_json(body)
+        loop = asyncio.get_running_loop()
+        status, response = await loop.run_in_executor(
+            self._executor, lambda: self.handle_ingest(payload)
+        )
+        if status == 200:
+            self._m_ingest_requests.inc()
+            if response["applied"]:
+                self._m_ingest_triples.inc(
+                    amount=response["applied"], result="applied"
+                )
+            if response["duplicates"]:
+                self._m_ingest_triples.inc(
+                    amount=response["duplicates"], result="duplicate"
+                )
+        return status, response, {}
+
+    async def _handle_compact(self, headers: dict) -> tuple[int, object, dict]:
+        self._authenticate(headers)
+        loop = asyncio.get_running_loop()
+        status, response = await loop.run_in_executor(
+            self._executor, lambda: self.handle_compact()
+        )
+        return status, response, {}
+
+    def _note_compaction(self) -> None:
+        self._m_compactions.inc()
 
     # ------------------------------------------------------------------
     # info endpoints

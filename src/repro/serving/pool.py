@@ -61,7 +61,9 @@ def default_worker_count() -> int:
     return max(1, min(DEFAULT_MAX_WORKERS, os.cpu_count() or 1))
 
 
-def _init_worker(snapshot_path, config, system, barrier, init_hook=None) -> None:
+def _init_worker(
+    snapshot_path, config, system, barrier, init_hook=None, delta_triples=None
+) -> None:
     """Worker initializer: open the snapshot, or adopt the forked system.
 
     ``system`` and ``barrier`` ride along only on fork pools, where
@@ -70,6 +72,11 @@ def _init_worker(snapshot_path, config, system, barrier, init_hook=None) -> None
     that is what lets the pool constructor force the *entire* fleet to
     fork eagerly, while the parent is still in a known thread state,
     instead of lazily from whatever threads are running at first submit.
+
+    ``delta_triples`` is the parent's pending ingest delta: replaying the
+    applied triples in their original order against a fresh load of the
+    same snapshot is deterministic (same ids, same adjacency orders), so
+    every worker answers byte-identically to the parent's overlay.
 
     ``init_hook`` is a test seam: called first, so tests can simulate a
     worker dying mid-initialization.
@@ -83,6 +90,8 @@ def _init_worker(snapshot_path, config, system, barrier, init_hook=None) -> None
         # Each worker opens the snapshot itself.  For v2/v3 this maps the
         # shard files read-only: all workers share the physical pages.
         _WORKER_SYSTEM = GQBE.from_snapshot(snapshot_path, config=config)
+        if delta_triples:
+            _WORKER_SYSTEM.ingest(delta_triples)
     else:
         _WORKER_SYSTEM = system
     if barrier is not None:
@@ -138,6 +147,10 @@ class WorkerPool:
     config:
         Engine config for snapshot-backed workers (defaults to the
         snapshot's own flags).
+    delta_triples:
+        Applied ingest triples for snapshot-backed workers to replay on
+        top of the snapshot (fork pools inherit the parent's delta in
+        their memory image instead).
     """
 
     def __init__(
@@ -146,6 +159,7 @@ class WorkerPool:
         snapshot_path: str | PathLike | None = None,
         system=None,
         config=None,
+        delta_triples=None,
         _init_hook=None,
     ) -> None:
         if snapshot_path is None and system is None:
@@ -187,11 +201,23 @@ class WorkerPool:
         # deadlock on whatever locks those threads hold.
         inherited = system if self.snapshot_path is None else None
         barrier = context.Barrier(self.workers) if start_method == "fork" else None
+        self.delta_triples = (
+            [tuple(triple) for triple in delta_triples]
+            if self.snapshot_path is not None and delta_triples
+            else None
+        )
         self._executor = ProcessPoolExecutor(
             max_workers=self.workers,
             mp_context=context,
             initializer=_init_worker,
-            initargs=(self.snapshot_path, config, inherited, barrier, _init_hook),
+            initargs=(
+                self.snapshot_path,
+                config,
+                inherited,
+                barrier,
+                _init_hook,
+                self.delta_triples,
+            ),
         )
         self._closed = False
         if barrier is not None:
@@ -369,6 +395,7 @@ class WorkerPool:
             "workers": self.workers,
             "snapshot_backed": self.snapshot_path is not None,
             "worker_pids": self.worker_pids(),
+            "delta_replayed": len(self.delta_triples or ()),
         }
 
     def close(self) -> None:

@@ -27,12 +27,25 @@ Endpoints
     invalidate the answer cache (in-flight computations against the old
     snapshot can no longer be cached; see
     :mod:`repro.serving.cache`).
+``POST /admin/ingest``
+    Body ``{"triples": [["s", "label", "o"], ...]}`` — apply new edges
+    to the live graph as an in-memory delta overlay; queries see the
+    union immediately (the answer cache is invalidated, so no response
+    after the ack describes the pre-ingest graph).  The delta is
+    volatile until compacted.
+``POST /admin/compact``
+    Fold (base snapshot + delta) into a fresh on-disk generation next to
+    the base (``<snapshot>.genN``) and swap it in — the LSM-style
+    flush.  ``--compact-threshold`` triggers the same fold automatically
+    in the background once the delta grows past it.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import os
+import shutil
 import threading
 import time
 from dataclasses import replace
@@ -45,6 +58,7 @@ from repro.core.gqbe import GQBE
 from repro.exceptions import GQBEError
 from repro.serving.batching import QueryBatcher
 from repro.serving.cache import AnswerCache
+from repro.storage.generations import next_generation_path, prune_generations
 from repro.storage.snapshot import GraphStore
 
 logger = logging.getLogger("repro.serving")
@@ -126,6 +140,11 @@ class ServingCore:
         instead of constructing one from ``cache_size`` — the async
         frontend passes a :class:`~repro.serving.limits.TTLAnswerCache`
         here.
+    compact_threshold:
+        Trigger a background compaction once the in-memory delta holds
+        at least this many edges (``gqbe serve --compact-threshold``).
+        ``None`` (the default) leaves compaction to explicit
+        ``POST /admin/compact`` calls.
     """
 
     def __init__(
@@ -139,17 +158,28 @@ class ServingCore:
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         workers: int = 1,
         cache: AnswerCache | None = None,
+        compact_threshold: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_body_bytes < 1:
             raise ValueError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
+        if compact_threshold is not None and compact_threshold < 1:
+            raise ValueError(
+                f"compact_threshold must be >= 1, got {compact_threshold}"
+            )
         self._system = system
         self.snapshot_path = str(snapshot_path) if snapshot_path is not None else None
         self.request_timeout = request_timeout
         self.max_body_bytes = max_body_bytes
         self.workers = workers
+        self.compact_threshold = compact_threshold
         self._exec_lock = threading.Lock()
+        # Mutations (ingest, compaction, reload) serialize on this outer
+        # lock; each briefly takes ``_exec_lock`` inside it for the
+        # actual swap.  Lock order is always mutate -> exec, never the
+        # reverse — query execution takes only ``_exec_lock``.
+        self._mutate_lock = threading.Lock()
         self._cache = cache if cache is not None else AnswerCache(cache_size)
         self._pool = self._make_pool()
         self._batcher = QueryBatcher(
@@ -165,6 +195,11 @@ class ServingCore:
         self.requests_served = 0
         self.request_errors = 0
         self.internal_errors = 0
+        self.ingest_requests = 0
+        self.triples_applied = 0
+        self.triples_duplicate = 0
+        self.compactions = 0
+        self._compact_thread: threading.Thread | None = None
 
     def _count(self, counter: str) -> None:
         with self._counter_lock:
@@ -194,6 +229,14 @@ class ServingCore:
             snapshot_path=self.snapshot_path,
             system=self._system if self.snapshot_path is None else None,
             config=replace(self._system.config, execution="inline"),
+            # Spawned workers reopen the snapshot from disk, which lacks
+            # any live delta — they replay it at init so pooled answers
+            # match the parent's (base + delta) union exactly.
+            delta_triples=(
+                self._system.pending_delta or None
+                if self.snapshot_path is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -229,8 +272,15 @@ class ServingCore:
         The swap holds the execution lock, so it serializes against any
         running batch; requests computed against the old snapshot can no
         longer enter the cache because their recorded generation is
-        outdated after :meth:`AnswerCache.invalidate`.
+        outdated after :meth:`AnswerCache.invalidate`.  Any live delta
+        overlay is discarded: a reload is an explicit statement that
+        ``path`` is the truth.
         """
+        with self._mutate_lock:
+            return self._load_snapshot_locked(path)
+
+    def _load_snapshot_locked(self, path: str | PathLike) -> int:
+        """:meth:`load_snapshot` body; caller holds ``_mutate_lock``."""
         graph_store = GraphStore.load(path)
         config = GQBEConfig(
             intern_entities=graph_store.intern_entities,
@@ -256,6 +306,181 @@ class ServingCore:
             # cache's generation guard, same as inline in-flight work).
             old_pool.close()
         return self._cache.invalidate()
+
+    # ------------------------------------------------------------------
+    # live ingest + compaction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_ingest_payload(payload) -> list[tuple[str, str, str]]:
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        raw = payload.get("triples")
+        if not isinstance(raw, list) or not raw:
+            raise ValueError(
+                '"triples" must be a non-empty list of '
+                "[subject, label, object] triples"
+            )
+        triples: list[tuple[str, str, str]] = []
+        for position, entry in enumerate(raw):
+            if (
+                not isinstance(entry, list)
+                or len(entry) != 3
+                or not all(isinstance(item, str) and item for item in entry)
+            ):
+                raise ValueError(
+                    f"triple #{position} must be a [subject, label, object] "
+                    "list of non-empty strings"
+                )
+            triples.append((entry[0], entry[1], entry[2]))
+        return triples
+
+    def handle_ingest(self, payload) -> tuple[int, dict]:
+        """Apply one ``POST /admin/ingest`` body; returns ``(status, body)``.
+
+        The triples land in the engine's in-memory delta overlay under
+        the execution lock, so no query batch runs against a
+        half-applied state; the answer cache is invalidated afterwards,
+        so every response sent after this ack reflects the new edges.
+        """
+        try:
+            triples = self._parse_ingest_payload(payload)
+        except ValueError as error:
+            self._count("request_errors")
+            return 400, {"error": str(error)}
+        self._count("ingest_requests")
+        old_pool = None
+        with self._mutate_lock:
+            with self._exec_lock:
+                try:
+                    result = self._system.ingest(triples)
+                except GQBEError as error:
+                    self._count("request_errors")
+                    return 400, {"error": str(error), "type": type(error).__name__}
+                if result["applied"] and self.workers > 1:
+                    # Pool workers hold pre-ingest state; rebuild them
+                    # with the updated delta replay, under the same lock
+                    # as the mutation (mirrors load_snapshot).
+                    old_pool = self._pool
+                    self._pool = self._make_pool()
+                    self._batcher.pool = self._pool
+            if old_pool is not None:
+                old_pool.close()
+            generation = (
+                self._cache.invalidate()
+                if result["applied"]
+                else self._cache.generation
+            )
+        with self._counter_lock:
+            self.triples_applied += result["applied"]
+            self.triples_duplicate += result["duplicates"]
+        compacting = self._maybe_start_compaction(result["delta_edges"])
+        return 200, {
+            "ingested": True,
+            "applied": result["applied"],
+            "duplicates": result["duplicates"],
+            "delta_edges": result["delta_edges"],
+            "generation": generation,
+            "compacting": compacting,
+        }
+
+    def compact(self) -> dict:
+        """Fold (base + delta) into a fresh snapshot generation and swap it in.
+
+        The new generation is written to ``<target>.tmp`` and moved into
+        place with one atomic ``os.replace`` — a crash mid-write leaves
+        only ``.tmp`` wreckage, which
+        :func:`~repro.storage.generations.resolve_latest_generation`
+        sweeps on the next start.  After the swap the two newest
+        generations are kept and older ones pruned (never the root).
+        """
+        if self.snapshot_path is None:
+            raise GQBEError(
+                "compaction requires a snapshot-backed server "
+                "(started from --snapshot)"
+            )
+        with self._mutate_lock:
+            graph_store = self._system.graph_store
+            delta_edges = len(graph_store.delta_triples)
+            target = next_generation_path(self.snapshot_path)
+            tmp = target.with_name(target.name + ".tmp")
+            # The compacted generation keeps the store's own layout: a
+            # columnar+interned store flushes to a v3 directory even if
+            # the base was a v1 file (load auto-detects either).
+            fmt = (
+                "v3"
+                if graph_store.columnar and graph_store.intern_entities
+                else "v1"
+            )
+            try:
+                # Held across the save so no query can trigger lazy
+                # section materialization while the writer iterates the
+                # store (writes still serialize via _mutate_lock).
+                with self._exec_lock:
+                    graph_store.save(tmp, format=fmt)
+            # gqbe: ignore[EXC001] -- cleanup-and-reraise: whatever
+            # interrupted the save (including KeyboardInterrupt), the
+            # half-written tmp dir must not survive to be mistaken for
+            # a generation; the exception itself propagates unchanged.
+            except BaseException:
+                if tmp.is_dir():
+                    shutil.rmtree(tmp, ignore_errors=True)
+                elif tmp.exists():
+                    tmp.unlink()
+                raise
+            os.replace(tmp, target)
+            generation = self._load_snapshot_locked(target)
+            prune_generations(target, keep=2)
+        self._count("compactions")
+        self._note_compaction()
+        return {
+            "compacted": True,
+            "snapshot": str(target),
+            "generation": generation,
+            "delta_edges": delta_edges,
+            "format": fmt,
+        }
+
+    def handle_compact(self) -> tuple[int, dict]:
+        """Run :meth:`compact` for ``POST /admin/compact``."""
+        try:
+            return 200, self.compact()
+        except GQBEError as error:
+            self._count("request_errors")
+            return 400, {"error": str(error), "type": type(error).__name__}
+
+    def _note_compaction(self) -> None:
+        """Hook for frontends to observe completed compactions (metrics)."""
+
+    def _maybe_start_compaction(self, delta_edges: int) -> bool:
+        """Kick off a background compaction when the delta is big enough.
+
+        Returns whether a compaction is running (just started or already
+        in flight); at most one background compaction exists at a time.
+        """
+        if (
+            self.compact_threshold is None
+            or self.snapshot_path is None
+            or delta_edges < self.compact_threshold
+        ):
+            return False
+        with self._counter_lock:
+            if self._compact_thread is not None and self._compact_thread.is_alive():
+                return True
+            thread = threading.Thread(
+                target=self._background_compact, name="gqbe-compact", daemon=True
+            )
+            self._compact_thread = thread
+        thread.start()
+        return True
+
+    def _background_compact(self) -> None:
+        try:
+            self.compact()
+        # gqbe: ignore[EXC001] -- a failed background compaction must
+        # not take the serving process down; the delta stays live and
+        # queryable, and a later ingest retries the flush.
+        except Exception:  # noqa: BLE001
+            logger.exception("background compaction failed")
 
     # ------------------------------------------------------------------
     # query execution
@@ -371,6 +596,7 @@ class ServingCore:
             "status": "ok",
             "snapshot": self.snapshot_path,
             "generation": self._cache.generation,
+            "delta_edges": len(self._system.pending_delta),
             "graph": {
                 "nodes": meta.get("num_nodes"),
                 "edges": meta.get("num_edges"),
@@ -391,6 +617,14 @@ class ServingCore:
             "internal_errors": self.internal_errors,
             "cache": self._cache.stats(),
             "batcher": self._batcher.stats(),
+            "ingest": {
+                "requests": self.ingest_requests,
+                "triples_applied": self.triples_applied,
+                "triples_duplicate": self.triples_duplicate,
+                "delta_edges": len(self._system.pending_delta),
+                "compactions": self.compactions,
+                "compact_threshold": self.compact_threshold,
+            },
         }
         if self._pool is not None:
             body["pool"] = self._pool.stats()
@@ -591,6 +825,10 @@ class _Handler(BaseHTTPRequestHandler):
                 status, body = self.app.handle_query(payload)
             elif self.path == "/admin/reload":
                 status, body = self._handle_reload(payload)
+            elif self.path == "/admin/ingest":
+                status, body = self.app.handle_ingest(payload)
+            elif self.path == "/admin/compact":
+                status, body = self.app.handle_compact()
             else:
                 status, body = 404, {"error": f"unknown path {self.path!r}"}
         # gqbe: ignore[EXC001] -- the top-of-request net: any unhandled

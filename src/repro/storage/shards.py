@@ -92,6 +92,7 @@ from os import PathLike
 from pathlib import Path
 
 from repro.exceptions import SnapshotError
+from repro.graph.delta import DeltaKnowledgeGraph
 from repro.graph.mapped import MappedKnowledgeGraph
 from repro.storage.table import ColumnarEdgeTable, _SortedGroupIndex, np
 from repro.storage.vocabulary import MappedVocabulary
@@ -252,6 +253,22 @@ def _graph_csr_arrays(graph, vocabulary) -> tuple[list[str], dict[str, "np.ndarr
             "in_indptr": np.ascontiguousarray(graph.in_indptr, dtype=_DTYPE),
             "in_subjects": np.ascontiguousarray(graph.in_subjects, dtype=_DTYPE),
             "in_labels": np.ascontiguousarray(graph.in_label_ids, dtype=_DTYPE),
+        }
+    if isinstance(graph, DeltaKnowledgeGraph):
+        # Compaction: fold the delta overlay back into CSR columns.  The
+        # merged per-node order (base slice, then delta appends) is the
+        # order every live reader saw, so the compacted generation keeps
+        # answering byte-identically.
+        labels, out_indptr, out_objects, out_labels, in_indptr, in_subjects, in_labels = (
+            graph.csr_lists()
+        )
+        return labels, {
+            "out_indptr": np.array(out_indptr, dtype=_DTYPE),
+            "out_objects": np.array(out_objects, dtype=_DTYPE),
+            "out_labels": np.array(out_labels, dtype=_DTYPE),
+            "in_indptr": np.array(in_indptr, dtype=_DTYPE),
+            "in_subjects": np.array(in_subjects, dtype=_DTYPE),
+            "in_labels": np.array(in_labels, dtype=_DTYPE),
         }
     labels = list(graph.labels)
     label_ids = {label: index for index, label in enumerate(labels)}

@@ -145,6 +145,7 @@ class GraphStore:
         self._reader: ShardedSnapshotReader | None = None
         self._meta: dict | None = None
         self._mapped_vocabulary = None
+        self._delta_triples: list[tuple[str, str, str]] = []
         #: Whether stores materialized from this bundle issue shard
         #: prefetch hints at join-plan time (see ``GQBEConfig.prefetch_shards``).
         self.prefetch_hints = True
@@ -175,6 +176,7 @@ class GraphStore:
         bundle._reader = None
         bundle._meta = meta
         bundle._mapped_vocabulary = None
+        bundle._delta_triples = []
         bundle.prefetch_hints = True
         return bundle
 
@@ -188,6 +190,7 @@ class GraphStore:
         bundle._reader = reader
         bundle._meta = dict(reader.meta)
         bundle._mapped_vocabulary = None
+        bundle._delta_triples = []
         bundle.prefetch_hints = True
         return bundle
 
@@ -343,6 +346,50 @@ class GraphStore:
         }
 
     # ------------------------------------------------------------------
+    # live ingest (delta overlay)
+    # ------------------------------------------------------------------
+    @property
+    def delta_triples(self) -> list[tuple[str, str, str]]:
+        """Triples applied since load, in application order.
+
+        Replaying exactly this list against a fresh load of the same
+        snapshot reproduces this bundle's state (pool workers do).
+        """
+        return list(self._delta_triples)
+
+    def ingest(self, triples) -> dict:
+        """Apply ``triples`` to the live bundle; returns what happened.
+
+        Materializes the three sections, routes them through
+        :func:`repro.storage.ingest.apply_triples`, and adopts the
+        returned graph (a mapped v3 graph gets wrapped in a
+        :class:`~repro.graph.delta.DeltaKnowledgeGraph` union view on
+        the first applied triple).  Returns ``{"applied": n,
+        "duplicates": m, "delta_edges": total}``.
+        """
+        from repro.storage.ingest import apply_triples
+
+        self.materialize()
+        graph = self._graph
+        new_graph, applied, duplicates = apply_triples(
+            graph, self._statistics, self._store, triples
+        )
+        if new_graph is not graph:
+            self._graph = new_graph
+            self._statistics._graph = new_graph
+            self._store._graph = new_graph
+        if applied:
+            self._delta_triples.extend(applied)
+            # Shape counters (num_nodes/num_edges/num_labels) are stale;
+            # meta() recomputes them from the live union graph.
+            self._meta = None
+        return {
+            "applied": len(applied),
+            "duplicates": duplicates,
+            "delta_edges": len(self._delta_triples),
+        }
+
+    # ------------------------------------------------------------------
     def save(self, path: str | PathLike, format: str = "v1") -> int:
         """Serialize the bundle to ``path``; returns the bytes written.
 
@@ -476,7 +523,9 @@ class GraphStore:
                 total += graph_entry["bytes"]
 
             tables = []
-            for index, label in enumerate(store.labels()):
+            # Snapshot the label list first: resolving a lazy table in
+            # store.table() mutates the _tables dict mid-iteration.
+            for index, label in enumerate(list(store.labels())):
                 file_name = f"tables/{index:05d}.shard"
                 entry = write_table_shard(directory / file_name, store.table(label))
                 entry["file"] = file_name

@@ -180,11 +180,34 @@ class VerticalPartitionStore:
             for table in self._tables.values():
                 table.build_indexes()
 
+    def ingest_row(self, label: str, subject_id: int, object_id: int) -> None:
+        """Insert one interned row, creating the label's table if needed.
+
+        The write path for live ingest: an existing table (mapped or
+        owned — ``add_row`` copy-on-write-promotes mapped columns) gets
+        the row appended; a label the snapshot has never seen gets a
+        fresh owned table.  Duplicate rows are table-level no-ops, but
+        callers deduplicate against the *graph* first so vocabulary and
+        statistics never see a duplicate either.
+        """
+        table = self._resolve_table(label)
+        if table is None:
+            table_class = ColumnarEdgeTable if self._columnar else EdgeTable
+            table = table_class(label)
+            self._tables[label] = table
+        table.add_row(subject_id, object_id)
+
+    def _delta_labels(self) -> list[str]:
+        """Labels created by ingest that the shard manifest doesn't know."""
+        if self._lazy_rows is None:
+            return []
+        return [label for label in self._tables if label not in self._lazy_rows]
+
     @property
     def num_tables(self) -> int:
         """Number of per-label tables (== number of distinct labels)."""
         if self._lazy_rows is not None:
-            return len(self._lazy_rows)
+            return len(self._lazy_rows) + len(self._delta_labels())
         return len(self._tables)
 
     @property
@@ -192,18 +215,27 @@ class VerticalPartitionStore:
         """Total number of rows across all tables (== number of edges)."""
         if self._lazy_rows is not None:
             # Loaded tables answer for themselves (they may have been
-            # mutated); unopened labels answer from the manifest.
+            # mutated); unopened labels answer from the manifest; tables
+            # ingest created exist only in ``_tables``.
             return sum(
                 len(self._tables[label])
                 if label in self._tables
                 else manifest_rows
                 for label, manifest_rows in self._lazy_rows.items()
-            )
+            ) + sum(len(self._tables[label]) for label in self._delta_labels())
         return sum(len(table) for table in self._tables.values())
 
     def labels(self) -> Iterator[str]:
-        """Iterate the labels with a table in the store."""
+        """Iterate the labels with a table in the store.
+
+        Manifest (base) labels come first in manifest order, then labels
+        ingest created, in creation order — the same label order the
+        union graph reports.
+        """
         if self._lazy_rows is not None:
+            delta = self._delta_labels()
+            if delta:
+                return iter([*self._lazy_rows, *delta])
             return iter(self._lazy_rows)
         return iter(self._tables)
 

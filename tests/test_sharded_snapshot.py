@@ -540,6 +540,58 @@ class TestCorruptionPaths:
         assert path.name in str(excinfo.value)
 
 
+class TestPartialGenerations:
+    """Corruption matrix extension for compaction generations: a torn
+    generation directory must be skipped by startup resolution and must
+    raise ``SnapshotError`` if loaded directly."""
+
+    def _family(self, snapshot_v3_dir, tmp_path):
+        from repro.storage.generations import generation_path
+
+        root = _copy_snapshot_dir(snapshot_v3_dir, tmp_path / "base.snapdir")
+        return root, generation_path(root, 1)
+
+    def test_manifestless_generation_is_skipped_and_unloadable(
+        self, snapshot_v3_dir, tmp_path
+    ):
+        from repro.storage.generations import resolve_latest_generation
+
+        root, gen1 = self._family(snapshot_v3_dir, tmp_path)
+        gen1.mkdir()  # a compaction that died before any manifest write
+        assert resolve_latest_generation(root) == root
+        with pytest.raises(SnapshotError, match="cannot read") as excinfo:
+            GraphStore.load(gen1)
+        assert MANIFEST_NAME in str(excinfo.value)
+
+    def test_generation_with_truncated_section_fails_closed(
+        self, snapshot_v3_dir, tmp_path
+    ):
+        from repro.storage.generations import resolve_latest_generation
+
+        root, gen1 = self._family(snapshot_v3_dir, tmp_path)
+        _copy_snapshot_dir(snapshot_v3_dir, gen1)
+        section = gen1 / "statistics.section"
+        section.write_bytes(section.read_bytes()[:10])
+        # The manifest is intact, so resolution (manifest-only) accepts
+        # the generation — but materializing the torn section still
+        # fails closed with SnapshotError, never silent garbage.
+        assert resolve_latest_generation(root) == gen1
+        with pytest.raises(SnapshotError, match="statistics.section"):
+            _ = GraphStore.load(gen1).statistics
+
+    def test_generation_with_corrupt_manifest_is_skipped(
+        self, snapshot_v3_dir, tmp_path
+    ):
+        from repro.storage.generations import resolve_latest_generation
+
+        root, gen1 = self._family(snapshot_v3_dir, tmp_path)
+        _copy_snapshot_dir(snapshot_v3_dir, gen1)
+        (gen1 / MANIFEST_NAME).write_text("{not json")
+        assert resolve_latest_generation(root) == root
+        with pytest.raises(SnapshotError, match="not valid JSON"):
+            GraphStore.load(gen1)
+
+
 class TestCLIWorkflow:
     def test_build_index_v2_then_query(self, tmp_path, capsys, figure1_graph):
         triples = tmp_path / "fig1.tsv"
