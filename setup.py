@@ -1,10 +1,23 @@
-"""Setup shim for environments without PEP 660 editable-install support.
+"""Setup shim: extension build plus PEP 660 fallback.
 
-The canonical metadata lives in ``pyproject.toml``; this file only exists so
-``python setup.py develop`` keeps working on machines where the ``wheel``
-package is unavailable (offline build environments).
+The canonical metadata lives in ``pyproject.toml``; this file declares the
+optional native-kernel extension (``repro._kernels._native``) and keeps
+``python setup.py develop`` working on machines where the ``wheel`` package
+is unavailable (offline build environments).
+
+The extension is ``optional``: a missing compiler or failed build must not
+fail the install — the engine falls back to the pure-Python kernels in
+``repro._kernels._pure`` (see docs/native-kernels.md).
 """
 
-from setuptools import setup
+from setuptools import Extension, setup
 
-setup()
+setup(
+    ext_modules=[
+        Extension(
+            "repro._kernels._native",
+            sources=["src/repro/_kernels/_native.c"],
+            optional=True,
+        )
+    ]
+)

@@ -1,0 +1,266 @@
+# gqbe: contract[deterministic]
+"""Pure-Python reference kernels (the fallback backend).
+
+These are the innermost interpreter loops of the engine, factored out of
+``storage/join.py``, ``graph/neighborhood.py``, ``graph/mapped.py`` and
+``lattice/exploration.py`` verbatim so the native extension
+(:mod:`repro._kernels._native`) has a pinned reference to be
+byte-identical against.  This module is the *current code*, not a
+simplification: the adaptive gather/scalar BFS split, the per-probe-row
+``max_rows`` timing and the lazy-deletion threshold heap are preserved
+statement for statement.
+
+Every function here must stay a pure function of its inputs (plus the
+documented in-place dict/list mutations); ``tests/test_native_kernels.py``
+pins each one against the native implementation.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+try:  # numpy is optional: without it only the scalar BFS path runs.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    np = None
+
+#: Below this many frontier nodes the per-node slice loop beats the
+#: vectorized gather's fixed numpy overhead (a handful of array allocs).
+GATHER_MIN_FRONTIER = 16
+
+
+def _gather_frontier(frontier, out_indptr, out_objects, in_indptr, in_subjects):
+    """All neighbors of ``frontier``, in per-node out-then-in slice order.
+
+    One fancy-indexed gather replaces ``2 * len(frontier)`` per-node
+    slice+tolist round trips.  The output is laid out exactly as the
+    scalar loop would visit it — for each frontier node, its out slice
+    then its in slice — so feeding it through the same first-occurrence
+    dedup yields an identical ``distances`` insertion order.
+    """
+    nodes = np.asarray(frontier, dtype=np.int64)
+    out_starts = out_indptr[nodes]
+    out_counts = out_indptr[nodes + 1] - out_starts
+    in_starts = in_indptr[nodes]
+    in_counts = in_indptr[nodes + 1] - in_starts
+    totals = out_counts + in_counts
+    total = int(totals.sum())
+    if total == 0:
+        return []
+    dest_base = np.cumsum(totals) - totals
+    gathered = np.empty(total, dtype=np.int64)
+    out_total = int(out_counts.sum())
+    if out_total:
+        # Positions within each node's run: a global arange minus each
+        # run's starting rank, broadcast per-element via repeat.
+        offsets = np.arange(out_total, dtype=np.int64) - np.repeat(
+            np.cumsum(out_counts) - out_counts, out_counts
+        )
+        source = np.repeat(out_starts, out_counts) + offsets
+        dest = np.repeat(dest_base, out_counts) + offsets
+        gathered[dest] = out_objects[source]
+    if total - out_total:
+        in_total = total - out_total
+        offsets = np.arange(in_total, dtype=np.int64) - np.repeat(
+            np.cumsum(in_counts) - in_counts, in_counts
+        )
+        source = np.repeat(in_starts, in_counts) + offsets
+        dest = np.repeat(dest_base + out_counts, in_counts) + offsets
+        gathered[dest] = in_subjects[source]
+    return gathered.tolist()
+
+
+def bfs_expand(
+    frontier, out_indptr, out_objects, in_indptr, in_subjects, distances, depth
+):
+    """Expand one BFS depth over mapped CSR columns, in place.
+
+    For each frontier node (in order) visits its out slice then its in
+    slice; first-occurrence neighbors are recorded in ``distances`` at
+    ``depth`` and returned as the next frontier.  Wide frontiers expand
+    through one whole-frontier numpy gather instead of per-node slices;
+    the gather emits neighbors in the same order, so the resulting
+    insertion order — and everything derived from it — is identical.
+    """
+    next_frontier: list[int] = []
+    if np is not None and len(frontier) >= GATHER_MIN_FRONTIER:
+        for neighbor in _gather_frontier(
+            frontier, out_indptr, out_objects, in_indptr, in_subjects
+        ):
+            if neighbor not in distances:
+                distances[neighbor] = depth
+                next_frontier.append(neighbor)
+        return next_frontier
+    for node_id in frontier:
+        start = int(out_indptr[node_id])
+        end = int(out_indptr[node_id + 1])
+        for neighbor in out_objects[start:end].tolist():
+            if neighbor not in distances:
+                distances[neighbor] = depth
+                next_frontier.append(neighbor)
+        start = int(in_indptr[node_id])
+        end = int(in_indptr[node_id + 1])
+        for neighbor in in_subjects[start:end].tolist():
+            if neighbor not in distances:
+                distances[neighbor] = depth
+                next_frontier.append(neighbor)
+    return next_frontier
+
+
+def csr_neighbors(node_id, out_indptr, out_objects, in_indptr, in_subjects):
+    """Undirected neighbor ids of one node, out-slice order then in-slice."""
+    start = int(out_indptr[node_id])
+    end = int(out_indptr[node_id + 1])
+    ids = out_objects[start:end].tolist()
+    start = int(in_indptr[node_id])
+    end = int(in_indptr[node_id + 1])
+    ids.extend(in_subjects[start:end].tolist())
+    return ids
+
+
+def probe_tail(rows, buckets, bound_col, injective, max_rows):
+    """The scalar one-sided join-probe tail over dict buckets.
+
+    Probes ``buckets`` with each row's ``bound_col`` value and emits one
+    extended row per match, skipping values already present in the row
+    when ``injective``.  ``max_rows`` is checked after each probe row
+    (``-1`` disables the cap); on overflow the partial output is
+    discarded and ``None`` is returned so the caller can raise its
+    documented error.
+    """
+    out_rows: list[tuple] = []
+    append = out_rows.append
+    for row in rows:
+        matches = buckets.get(row[bound_col])
+        if not matches:
+            continue
+        for value in matches:
+            if injective and value in row:
+                continue
+            append(row + (value,))
+        if max_rows >= 0 and len(out_rows) > max_rows:
+            return None
+    return out_rows
+
+
+def filter_pairs(rows, subject_col, object_col, pairs):
+    """The scalar both-endpoints-bound join filter over a pair set."""
+    return [row for row in rows if (row[subject_col], row[object_col]) in pairs]
+
+
+def accumulate_structure(
+    distinct_answers, excluded, records, mask_structure, mask, on_structure_improved
+):
+    """Fold one lattice node's distinct answers into the score records.
+
+    Every answer gets at least ``(structure=mask_structure, full=
+    mask_structure, content=0.0, mask)``; existing records are max-merged
+    field by field.  ``on_structure_improved`` (may be ``None``) fires
+    whenever an answer's best structure score strictly increases.  The
+    record layout is pinned by ``lattice/exploration.py``
+    (``STRUCTURE, FULL, CONTENT, MASK = range(4)``).
+    """
+    # gqbe: ignore[DET001] -- order-independent: each answer updates
+    # its own record with max-merges; the final records dict content
+    # is identical under any iteration order, and ranking happens
+    # later over the records, not over this loop's side effects.
+    for answer in distinct_answers:
+        if answer in excluded:
+            continue
+        record = records.get(answer)
+        if record is None:
+            records[answer] = [mask_structure, mask_structure, 0.0, mask]
+            if on_structure_improved is not None:
+                on_structure_improved(answer, mask_structure)
+        else:
+            if mask_structure > record[0]:
+                record[0] = mask_structure
+                if on_structure_improved is not None:
+                    on_structure_improved(answer, mask_structure)
+            if mask_structure > record[1]:
+                record[1] = mask_structure
+                record[2] = 0.0
+                record[3] = mask
+
+
+def accumulate_content(matches, records, mask_structure, mask, content_of):
+    """Fold the self-match rows' content scores into the score records.
+
+    ``matches`` is a sequence of ``(answer, signature)`` pairs where
+    ``signature`` is the bitmask of answer columns bound to their own
+    query node.  Distinct signatures repeat heavily within one relation,
+    so ``content_of(signature)`` (the Python scoring callback) runs once
+    per distinct signature and is cached for the rest of the call.
+    Answers without a record were excluded by the structure sweep and
+    are skipped.  The record layout is pinned by
+    ``lattice/exploration.py`` (``STRUCTURE, FULL, CONTENT, MASK``).
+    """
+    content_cache: dict[int, float] = {}
+    for answer, signature in matches:
+        record = records.get(answer)
+        if record is None:
+            continue  # excluded answer (skipped by the structure sweep)
+        content = content_cache.get(signature)
+        if content is None:
+            content = content_of(signature)
+            content_cache[signature] = content
+        full = mask_structure + content
+        if full > record[1]:
+            record[1] = full
+            record[2] = content
+            record[3] = mask
+
+
+class TopKThreshold:
+    """Bounded min-heap of the current top-``k_prime`` per-answer scores.
+
+    The stage-one termination threshold of Theorem 4, maintained
+    incrementally: :meth:`note` records an answer's strictly increased
+    structure score (superseding its live entry, or evicting the current
+    minimum once the heap is full), :meth:`threshold` returns the current
+    k'-th best score (``None`` while fewer than k' answers are live).
+    Superseded entries are lazy-deleted via a stale set.
+    """
+
+    __slots__ = ("k_prime", "_heap", "_credit", "_stale")
+
+    def __init__(self, k_prime):
+        self.k_prime = k_prime
+        self._heap: list[tuple[float, object]] = []
+        self._credit: dict[object, float] = {}
+        self._stale: set[tuple[float, object]] = set()
+
+    def note(self, answer, score):
+        """Record ``answer``'s improved ``score`` (scores only increase)."""
+        heap = self._heap
+        credit = self._credit
+        credited = credit.get(answer)
+        if credited is not None:
+            # Already live: supersede its entry in place.
+            self._stale.add((credited, answer))
+        elif len(credit) >= self.k_prime:
+            # Heap is full: admit only if the score beats the current
+            # k'-th best, evicting that minimum.
+            self._prune_top()
+            if heap and score <= heap[0][0]:
+                return
+            _evicted_score, evicted_answer = heapq.heappop(heap)
+            del credit[evicted_answer]
+        credit[answer] = score
+        heapq.heappush(heap, (score, answer))
+
+    def _prune_top(self):
+        heap = self._heap
+        stale = self._stale
+        while heap and heap[0] in stale:
+            stale.remove(heapq.heappop(heap))
+
+    def threshold(self):
+        """Score of the current k'-th best answer (``None`` if too few)."""
+        if len(self._credit) < self.k_prime:
+            return None
+        self._prune_top()
+        return self._heap[0][0]
+
+    def __len__(self):
+        return len(self._credit)

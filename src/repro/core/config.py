@@ -60,6 +60,19 @@ class GQBEConfig:
         relations with more rows are recomputed instead of memoized, so
         a single hub-heavy prefix cannot pin an arbitrarily large array
         for the lifetime of the batch.  ``None`` caches everything.
+    native_kernels:
+        Backend for the engine's innermost scalar loops (CSR frontier
+        expansion, the scalar join-probe tail, top-k' threshold
+        maintenance, structure-score accumulation).  ``"auto"`` (the
+        default) uses the compiled extension
+        (``repro._kernels._native``) when it imported and falls back to
+        the pure-Python kernels otherwise; ``"on"`` requires the
+        extension (raising if it is unavailable); ``"off"`` forces the
+        pure-Python kernels.  Answers are byte-identical either way
+        (the native-parity equivalence tests pin this).  Environment
+        overrides: ``GQBE_NATIVE_KERNELS`` decides what ``"auto"``
+        means, and ``GQBE_FORCE_PURE=1`` forces the pure kernels
+        unconditionally — even over ``"on"``.
     execution:
         Where :meth:`~repro.core.gqbe.GQBE.query_batch` runs.
         ``"inline"`` (the default) evaluates the batch on the calling
@@ -125,6 +138,7 @@ class GQBEConfig:
     columnar: bool = True
     batch_join_memo: bool = True
     batch_memo_max_rows: int | None = 1_000_000
+    native_kernels: str = "auto"
     execution: str = "inline"
     pool_workers: int | None = None
     prefetch_shards: bool = True
@@ -151,6 +165,11 @@ class GQBEConfig:
         if self.batch_memo_max_rows is not None and self.batch_memo_max_rows < 0:
             raise EvaluationError(
                 f"batch_memo_max_rows must be >= 0, got {self.batch_memo_max_rows}"
+            )
+        if self.native_kernels not in ("auto", "on", "off"):
+            raise EvaluationError(
+                'native_kernels must be "auto", "on" or "off", '
+                f"got {self.native_kernels!r}"
             )
         if self.execution not in ("inline", "pool"):
             raise EvaluationError(

@@ -21,6 +21,7 @@ from collections.abc import Sequence
 from dataclasses import replace
 from os import PathLike
 
+from repro import _kernels
 from repro.core.answer import AnswerTuple, QueryResult
 from repro.core.config import GQBEConfig
 from repro.discovery.merge import merge_maximal_query_graphs
@@ -49,6 +50,10 @@ class GQBE:
         if (graph is None) == (graph_store is None):
             raise QueryError("pass exactly one of graph or graph_store")
         self.config = config or GQBEConfig()
+        # Fail fast on native_kernels="on" without the extension; query
+        # entrypoints re-assert the mode so systems with different modes
+        # can interleave in one process.
+        _kernels.select(self.config.native_kernels)
         #: Where this system was loaded from (set by :meth:`from_snapshot`);
         #: pooled execution hands it to the workers so each opens the same
         #: (ideally memory-mapped v2) snapshot itself.
@@ -155,6 +160,7 @@ class GQBE:
     # ------------------------------------------------------------------
     def discover_query_graph(self, query_tuple: Sequence[str]) -> MaximalQueryGraph:
         """Discover the maximal query graph of one example tuple."""
+        _kernels.select(self.config.native_kernels)
         neighborhood = neighborhood_graph(self.graph, query_tuple, d=self.config.d)
         return discover_maximal_query_graph(
             neighborhood,
@@ -200,6 +206,7 @@ class GQBE:
         ``arena`` optionally shares from-scratch join work with other
         explorations of one batch (see :meth:`query_batch`).
         """
+        _kernels.select(self.config.native_kernels)
         entry = self._space_cache.get(id(mqg))
         if entry is not None and entry[0] is mqg:
             space = entry[1]

@@ -62,6 +62,7 @@ class HarnessConfig:
     worker_seed: int = 17
     workers_per_pair: int = 20
     user_study_pairs: int = 50
+    native_kernels: str = "auto"
 
     def gqbe_config(self) -> GQBEConfig:
         """The GQBE configuration implied by the harness settings."""
@@ -71,6 +72,7 @@ class HarnessConfig:
             k_prime=self.k_prime,
             node_budget=self.node_budget,
             max_join_rows=self.max_join_rows,
+            native_kernels=self.native_kernels,
         )
 
 

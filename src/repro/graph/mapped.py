@@ -32,6 +32,7 @@ from __future__ import annotations
 from collections.abc import Iterator, Sequence
 from typing import TYPE_CHECKING
 
+from repro._kernels import kernels
 from repro.graph.knowledge_graph import Edge, KnowledgeGraph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (storage imports us)
@@ -339,13 +340,13 @@ class MappedKnowledgeGraph:
 
     def neighbor_ids(self, node_id: int) -> list[int]:
         """Undirected neighbor ids, out-slice order then in-slice order."""
-        start = int(self.out_indptr[node_id])
-        end = int(self.out_indptr[node_id + 1])
-        ids = self.out_objects[start:end].tolist()
-        start = int(self.in_indptr[node_id])
-        end = int(self.in_indptr[node_id + 1])
-        ids.extend(self.in_subjects[start:end].tolist())
-        return ids
+        return kernels.csr_neighbors(
+            node_id,
+            self.out_indptr,
+            self.out_objects,
+            self.in_indptr,
+            self.in_subjects,
+        )
 
     # ------------------------------------------------------------------
     # materialization / pickling

@@ -34,6 +34,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._kernels import _pure as _pure_kernels
+from repro._kernels import kernels
 from repro.exceptions import QueryError, UnknownEntityError
 from repro.graph.delta import DeltaKnowledgeGraph
 from repro.graph.knowledge_graph import Edge, KnowledgeGraph
@@ -93,56 +95,12 @@ def _validate_query_tuple(graph: KnowledgeGraph, query_tuple: Sequence[str]) -> 
     return entities
 
 
-# Below this many frontier nodes the per-node slice loop beats the
-# vectorized gather's fixed numpy overhead (a handful of array allocs).
-_GATHER_MIN_FRONTIER = 16
-
-
-def _gather_frontier(
-    frontier: list[int],
-    out_indptr: np.ndarray,
-    out_objects: np.ndarray,
-    in_indptr: np.ndarray,
-    in_subjects: np.ndarray,
-) -> list[int]:
-    """All neighbors of ``frontier``, in per-node out-then-in slice order.
-
-    One fancy-indexed gather replaces ``2 * len(frontier)`` per-node
-    slice+tolist round trips.  The output is laid out exactly as the
-    scalar loop would visit it — for each frontier node, its out slice
-    then its in slice — so feeding it through the same first-occurrence
-    dedup yields an identical ``distances`` insertion order.
-    """
-    nodes = np.asarray(frontier, dtype=np.int64)
-    out_starts = out_indptr[nodes]
-    out_counts = out_indptr[nodes + 1] - out_starts
-    in_starts = in_indptr[nodes]
-    in_counts = in_indptr[nodes + 1] - in_starts
-    totals = out_counts + in_counts
-    total = int(totals.sum())
-    if total == 0:
-        return []
-    dest_base = np.cumsum(totals) - totals
-    gathered = np.empty(total, dtype=np.int64)
-    out_total = int(out_counts.sum())
-    if out_total:
-        # Positions within each node's run: a global arange minus each
-        # run's starting rank, broadcast per-element via repeat.
-        offsets = np.arange(out_total, dtype=np.int64) - np.repeat(
-            np.cumsum(out_counts) - out_counts, out_counts
-        )
-        source = np.repeat(out_starts, out_counts) + offsets
-        dest = np.repeat(dest_base, out_counts) + offsets
-        gathered[dest] = out_objects[source]
-    if total - out_total:
-        in_total = total - out_total
-        offsets = np.arange(in_total, dtype=np.int64) - np.repeat(
-            np.cumsum(in_counts) - in_counts, in_counts
-        )
-        source = np.repeat(in_starts, in_counts) + offsets
-        dest = np.repeat(dest_base + out_counts, in_counts) + offsets
-        gathered[dest] = in_subjects[source]
-    return gathered.tolist()
+# The whole-frontier gather and its adaptive threshold live with the
+# kernels now (repro/_kernels/_pure.py); these aliases keep the
+# historical names importable (ROADMAP and older profiles refer to
+# repro.graph.neighborhood._gather_frontier).
+_GATHER_MIN_FRONTIER = _pure_kernels.GATHER_MIN_FRONTIER
+_gather_frontier = _pure_kernels._gather_frontier
 
 
 def _mapped_distance_ids(
@@ -154,10 +112,11 @@ def _mapped_distance_ids(
 
     Expansion order matches the adjacency-map path exactly (out slice
     then in slice per frontier node), so the returned dict's insertion
-    order — and everything derived from it — is identical.  Wide
-    frontiers expand through one whole-frontier numpy gather instead of
-    per-node slices; the gather emits neighbors in the same order, so
-    the result is unchanged.
+    order — and everything derived from it — is identical.  Each depth
+    expands through one ``kernels.bfs_expand`` call: the compiled
+    kernel when selected, else the pure twin (whose wide frontiers
+    expand through one whole-frontier numpy gather emitting neighbors
+    in the same order, so the result is unchanged).
     """
     entity_ids = [graph.node_id(entity) for entity in entities]
     distances: dict[int, int] = {entity_id: 0 for entity_id in entity_ids}
@@ -167,32 +126,13 @@ def _mapped_distance_ids(
     out_objects = graph.out_objects
     in_indptr = graph.in_indptr
     in_subjects = graph.in_subjects
+    bfs_expand = kernels.bfs_expand
     while frontier and (cutoff is None or depth < cutoff):
         depth += 1
-        next_frontier: list[int] = []
-        if len(frontier) >= _GATHER_MIN_FRONTIER:
-            for neighbor in _gather_frontier(
-                frontier, out_indptr, out_objects, in_indptr, in_subjects
-            ):
-                if neighbor not in distances:
-                    distances[neighbor] = depth
-                    next_frontier.append(neighbor)
-            frontier = next_frontier
-            continue
-        for node_id in frontier:
-            start = int(out_indptr[node_id])
-            end = int(out_indptr[node_id + 1])
-            for neighbor in out_objects[start:end].tolist():
-                if neighbor not in distances:
-                    distances[neighbor] = depth
-                    next_frontier.append(neighbor)
-            start = int(in_indptr[node_id])
-            end = int(in_indptr[node_id + 1])
-            for neighbor in in_subjects[start:end].tolist():
-                if neighbor not in distances:
-                    distances[neighbor] = depth
-                    next_frontier.append(neighbor)
-        frontier = next_frontier
+        frontier = bfs_expand(
+            frontier, out_indptr, out_objects, in_indptr, in_subjects,
+            distances, depth,
+        )
     return distances
 
 

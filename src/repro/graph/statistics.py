@@ -27,6 +27,11 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable
 
+try:  # pragma: no cover - numpy is present everywhere mapped snapshots are
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
 from repro.exceptions import GraphError
 from repro.graph.knowledge_graph import Edge, KnowledgeGraph
 
@@ -160,4 +165,137 @@ class GraphStatistics:
         return (
             f"{type(self).__name__}(edges={self._total_edges}, "
             f"labels={len(self._label_counts)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# mapped statistics (v3 snapshots)
+# ----------------------------------------------------------------------
+class _MappedCountView:
+    """A ``(node, label) -> count`` mapping over mapped int64 columns.
+
+    The v3 snapshot persists each participation-count dict as a pair of
+    columns: sorted composite keys (``node_id * num_labels + label_id``)
+    and their counts.  Reads binary-search the key column; live-ingest
+    writes land in a small overlay dict of absolute values that reads
+    prefer, so :meth:`GraphStatistics.apply_edge`'s read-modify-write
+    works unchanged.  Only the dict operations the statistics code uses
+    are implemented (``get`` / ``__setitem__`` / ``items``).
+    """
+
+    __slots__ = ("_keys", "_counts", "_vocabulary", "_labels", "_label_ids", "_overlay")
+
+    def __init__(self, keys, counts, vocabulary, labels) -> None:
+        self._keys = keys
+        self._counts = counts
+        self._vocabulary = vocabulary
+        self._labels = labels
+        self._label_ids = {label: index for index, label in enumerate(labels)}
+        self._overlay: dict[tuple[str, str], int] = {}
+
+    def _base(self, key: tuple[str, str]) -> int:
+        term, label = key
+        label_id = self._label_ids.get(label)
+        if label_id is None:
+            return 0
+        node_id = self._vocabulary.id_of(term)
+        if node_id is None:
+            return 0
+        composite = node_id * len(self._labels) + label_id
+        index = int(np.searchsorted(self._keys, composite))
+        if index < len(self._keys) and int(self._keys[index]) == composite:
+            return int(self._counts[index])
+        return 0
+
+    def get(self, key: tuple[str, str], default: int = 0):
+        value = self._overlay.get(key)
+        if value is not None:
+            return value
+        base = self._base(key)
+        return base if base else default
+
+    def __setitem__(self, key: tuple[str, str], value: int) -> None:
+        self._overlay[key] = value
+
+    def items(self):
+        """Every ``((term, label), count)`` pair, overlay winning.
+
+        Decoding the mapped columns back to string keys is an O(n)
+        sweep; only resaves and pickling (both already full-copy
+        operations) use it — queries never do.
+        """
+        term_of = self._vocabulary.term_of
+        num_labels = len(self._labels)
+        overlay = self._overlay
+        for index in range(len(self._keys)):
+            composite = int(self._keys[index])
+            key = (term_of(composite // num_labels), self._labels[composite % num_labels])
+            if key not in overlay:
+                yield key, int(self._counts[index])
+        yield from overlay.items()
+
+
+def _restore_plain_statistics(total_edges, label_counts, out_counts, in_counts):
+    """Pickle target: rebuild mapped statistics as a plain-dict instance."""
+    statistics = GraphStatistics.__new__(GraphStatistics)
+    statistics._graph = None
+    statistics._total_edges = total_edges
+    statistics._label_counts = label_counts
+    statistics._out_label_counts = out_counts
+    statistics._in_label_counts = in_counts
+    statistics._base_weight_cache = {}
+    return statistics
+
+
+class MappedGraphStatistics(GraphStatistics):
+    """Statistics whose participation counts live in mapped snapshot columns.
+
+    A v3 snapshot persists the two ``(node, label)`` count dicts — the
+    last per-worker pickle of the format — as sorted composite-key /
+    count int64 column pairs that reopen as zero-copy ``mmap`` views, so
+    N serving workers over one snapshot share their physical pages.  The
+    lookups produce exactly the integers the dict version holds, which
+    keeps every Eq. 2 weight (and therefore every ranked answer)
+    byte-identical.  Live ingest accumulates into per-view overlay
+    dicts; pickling reduces to a plain :class:`GraphStatistics` (resaves
+    re-encode the merged counts instead).
+    """
+
+    def __init__(
+        self,
+        graph,
+        vocabulary,
+        labels: list[str],
+        total_edges: int,
+        label_counts: dict[str, int],
+        out_keys,
+        out_counts,
+        in_keys,
+        in_counts,
+    ) -> None:
+        if total_edges <= 0:
+            raise GraphError("cannot map statistics of an empty graph")
+        self._graph = graph
+        self._total_edges = int(total_edges)
+        self._label_counts = dict(label_counts)
+        self._out_label_counts = _MappedCountView(
+            out_keys, out_counts, vocabulary, labels
+        )
+        self._in_label_counts = _MappedCountView(
+            in_keys, in_counts, vocabulary, labels
+        )
+        self._base_weight_cache = {}
+
+    def __reduce__(self):
+        # A pickled copy cannot carry the mmap-backed columns; it
+        # becomes an equivalent plain-dict GraphStatistics (the v1/v2
+        # save paths and any cross-process handoff hit this).
+        return (
+            _restore_plain_statistics,
+            (
+                self._total_edges,
+                dict(self._label_counts),
+                dict(self._out_label_counts.items()),
+                dict(self._in_label_counts.items()),
+            ),
         )

@@ -56,7 +56,13 @@ from repro.exceptions import LatticeError
 from repro.storage.batch import OVERFLOW
 from repro.lattice.minimal_trees import minimal_query_trees
 from repro.lattice.query_graph import LatticeSpace
-from repro.lattice.scoring import content_score_from_matched, structure_score
+from repro._kernels import kernels
+from repro.lattice.scoring import (
+    accumulate_content_scores,
+    accumulate_structure_scores,
+    content_score_from_matched,
+    structure_score,
+)
 from repro.storage.join import (
     _SCALAR_TAIL_ROWS,
     ColumnarRelation,
@@ -339,51 +345,22 @@ class AnswerAccumulator:
                 if signature:  # 0: shared id at a different column only
                     matches.append((answer_of(row), signature))
 
-        # gqbe: ignore[DET001] -- order-independent: each answer updates
-        # its own record with max-merges; the final records dict content
-        # is identical under any iteration order, and ranking happens
-        # later over the records, not over this loop's side effects.
-        for answer in distinct_answers:
-            if answer in excluded:
-                continue
-            record = records.get(answer)
-            if record is None:
-                records[answer] = [mask_structure, mask_structure, 0.0, mask]
-                if on_structure_improved is not None:
-                    on_structure_improved(answer, mask_structure)
-            else:
-                if mask_structure > record[STRUCTURE]:
-                    record[STRUCTURE] = mask_structure
-                    if on_structure_improved is not None:
-                        on_structure_improved(answer, mask_structure)
-                if mask_structure > record[FULL]:
-                    record[FULL] = mask_structure
-                    record[CONTENT] = 0.0
-                    record[MASK] = mask
+        accumulate_structure_scores(
+            distinct_answers, excluded, records, mask_structure, mask,
+            on_structure_improved,
+        )
 
         if not matches:
             return
         edges = space.edges_of(mask)
-        # Distinct matched-column signatures repeat heavily within one
-        # relation, so the content score is cached per signature bitmask
-        # (cheaper to accumulate and hash than a frozenset of names).
-        content_cache: dict[int, float] = {}
-        for answer, signature in matches:
-            record = records.get(answer)
-            if record is None:
-                continue  # excluded answer (skipped by the sweep above)
-            content = content_cache.get(signature)
-            if content is None:
-                matched = {
-                    name for i, ident, name in checks if signature & (1 << i)
-                }
-                content = content_score_from_matched(space, edges, matched)
-                content_cache[signature] = content
-            full = mask_structure + content
-            if full > record[FULL]:
-                record[FULL] = full
-                record[CONTENT] = content
-                record[MASK] = mask
+
+        def content_of(signature: int) -> float:
+            matched = {name for i, ident, name in checks if signature & (1 << i)}
+            return content_score_from_matched(space, edges, matched)
+
+        accumulate_content_scores(
+            matches, records, mask_structure, mask, content_of
+        )
 
     def decoded_items(self) -> list[tuple[tuple[str, ...], AnswerRecord]]:
         """All ``(decoded entity-string tuple, record)`` pairs, unordered."""
@@ -544,14 +521,11 @@ class BestFirstExplorer(LatticeNodeEvaluator):
         self._lf_heap: list[tuple[float, int, int]] = []
         self._answers = AnswerAccumulator(space, store, excluded_tuples)
         #: Bounded min-heap of the current top-k' structure scores (the
-        #: stage-one threshold of Theorem 4).  ``_threshold_credit`` maps an
-        #: answer to the score of its live heap entry; superseded entries
-        #: are recorded in ``_threshold_stale`` and skipped lazily.  Scores
-        #: only ever increase, so the live entries are always exactly the
-        #: top ``min(len(answers), k')`` per-answer structure scores.
-        self._threshold_heap: list[tuple[float, tuple[EntityId, ...]]] = []
-        self._threshold_credit: dict[tuple[EntityId, ...], float] = {}
-        self._threshold_stale: set[tuple[float, tuple[EntityId, ...]]] = set()
+        #: stage-one threshold of Theorem 4), maintained by the active
+        #: kernel backend.  Scores only ever increase, so the live entries
+        #: are always exactly the top ``min(len(answers), k')`` per-answer
+        #: structure scores.
+        self._threshold_top = kernels.TopKThreshold(self.k_prime)
         self._stats = ExplorationStatistics()
 
     # ------------------------------------------------------------------
@@ -683,35 +657,11 @@ class BestFirstExplorer(LatticeNodeEvaluator):
         self, answer: tuple[EntityId, ...], score: float
     ) -> None:
         """Maintain the bounded top-k' min-heap after a score improvement."""
-        heap = self._threshold_heap
-        credit = self._threshold_credit
-        credited = credit.get(answer)
-        if credited is not None:
-            # Already live: supersede its entry in place.
-            self._threshold_stale.add((credited, answer))
-        elif len(credit) >= self.k_prime:
-            # Heap is full: admit only if the score beats the current
-            # k'-th best, evicting that minimum.
-            self._prune_threshold_top()
-            if heap and score <= heap[0][0]:
-                return
-            evicted_score, evicted_answer = heapq.heappop(heap)
-            del credit[evicted_answer]
-        credit[answer] = score
-        heapq.heappush(heap, (score, answer))
-
-    def _prune_threshold_top(self) -> None:
-        heap = self._threshold_heap
-        stale = self._threshold_stale
-        while heap and heap[0] in stale:
-            stale.remove(heapq.heappop(heap))
+        self._threshold_top.note(answer, score)
 
     def _stage_one_threshold(self) -> float | None:
         """Structure score of the current k'-th best answer (None if too few)."""
-        if len(self._threshold_credit) < self.k_prime:
-            return None
-        self._prune_threshold_top()
-        return self._threshold_heap[0][0]
+        return self._threshold_top.threshold()
 
     def _should_terminate(self) -> bool:
         if not self._lower_frontier:
@@ -757,7 +707,7 @@ class BestFirstExplorer(LatticeNodeEvaluator):
         evaluate = self._evaluate_mask
         identity_info_of = self._answers.identity_info
         record = self._answers.record
-        note_improved = self._note_structure_improved
+        note_improved = self._threshold_top.note
         parents_of = self.space.parents_of
         add_to_frontier = self._add_to_lower_frontier
         should_terminate = self._should_terminate

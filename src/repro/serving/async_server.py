@@ -152,14 +152,18 @@ class AsyncGQBEServer(ServingCore):
         self.deadline_ms = deadline_ms
         self.api_keys = frozenset(api_keys) if api_keys else None
         self._gate = AdmissionGate(high_water)
+        # Loop-confined like the gate: only coroutines touch it, and the
+        # /metrics gauge callback also renders on the loop thread.
+        self._ingest_inflight = 0
         self._limiter = (
             RateLimiter(rate_limit_rps, rate_limit_burst)
             if rate_limit_rps is not None
             else None
         )
-        # The executor only ever holds admitted work, so high_water plus
-        # a slot for /admin/reload and one for /admin/ingest//compact
-        # bounds it exactly; nothing queues here.
+        # The executor only ever holds admitted work (queries and
+        # ingests both consume gate slots), so high_water plus a slot
+        # for /admin/reload and one for /admin/compact bounds it
+        # exactly; nothing queues here.
         self._executor = ThreadPoolExecutor(
             max_workers=high_water + 2, thread_name_prefix="gqbe-async"
         )
@@ -224,6 +228,11 @@ class AsyncGQBEServer(ServingCore):
             "gqbe_queue_depth",
             "Admitted in-flight requests (admission gate depth).",
             callback=lambda: self._gate.depth,
+        )
+        registry.gauge(
+            "gqbe_ingest_inflight",
+            "In-flight /admin/ingest requests (each holds a gate slot).",
+            callback=lambda: self._ingest_inflight,
         )
         registry.gauge(
             "gqbe_queue_high_water",
@@ -685,10 +694,25 @@ class AsyncGQBEServer(ServingCore):
         client_id = self._authenticate(headers)
         self._admit(client_id)
         payload = self._parse_json(body)
+        # Ingest shares the executor with queries, so it must consume an
+        # admission slot too — otherwise a burst of ingests could occupy
+        # every worker thread while the gate still reports capacity.
+        if not self._gate.try_enter():
+            self._m_shed.inc(reason="queue_full")
+            return (
+                429,
+                {"error": "server is at capacity, retry later"},
+                {"Retry-After": retry_after_header(self._gate.retry_after_seconds)},
+            )
+        self._ingest_inflight += 1
         loop = asyncio.get_running_loop()
-        status, response = await loop.run_in_executor(
-            self._executor, lambda: self.handle_ingest(payload)
-        )
+        try:
+            status, response = await loop.run_in_executor(
+                self._executor, lambda: self.handle_ingest(payload)
+            )
+        finally:
+            self._ingest_inflight -= 1
+            self._gate.leave()
         if status == 200:
             self._m_ingest_requests.inc()
             if response["applied"]:

@@ -285,6 +285,10 @@ class ServingCore:
         config = GQBEConfig(
             intern_entities=graph_store.intern_entities,
             columnar=graph_store.columnar,
+            # Engine-selection knobs that are not snapshot properties
+            # survive the reload; everything else re-derives from the
+            # new snapshot's flags.
+            native_kernels=self._system.config.native_kernels,
         )
         system = GQBE(config=config, graph_store=graph_store)
         system._snapshot_path = str(path)

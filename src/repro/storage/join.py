@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from repro._kernels import kernels
 from repro.exceptions import LatticeError
 from repro.graph.knowledge_graph import Edge
 from repro.storage.plan import plan_join_order
@@ -292,12 +293,12 @@ def _extend_columnar_scalar(
     """
     in_rows = relation.to_rows()
     if has_subject and has_object:
-        pairs = table._dedup_set()
-        subject_col = relation.column(subject_var)
-        object_col = relation.column(object_var)
-        out_rows = [
-            row for row in in_rows if (row[subject_col], row[object_col]) in pairs
-        ]
+        out_rows = kernels.filter_pairs(
+            in_rows,
+            relation.column(subject_var),
+            relation.column(object_var),
+            table._dedup_set(),
+        )
         if max_rows is not None and len(out_rows) > max_rows:
             _raise_max_rows(max_rows)
         return ColumnarRelation(
@@ -314,18 +315,12 @@ def _extend_columnar_scalar(
         new_variable = subject_var
     new_variables = relation.variables + (new_variable,)
 
-    out_rows = []
-    append = out_rows.append
-    for row in in_rows:
-        matches = buckets.get(row[bound_col])
-        if not matches:
-            continue
-        for value in matches:
-            if injective and value in row:
-                continue
-            append(row + (value,))
-        if max_rows is not None and len(out_rows) > max_rows:
-            _raise_max_rows(max_rows)
+    out_rows = kernels.probe_tail(
+        in_rows, buckets, bound_col, injective,
+        -1 if max_rows is None else max_rows,
+    )
+    if out_rows is None:
+        _raise_max_rows(max_rows)
     return ColumnarRelation(new_variables, rows=out_rows)
 
 

@@ -239,6 +239,62 @@ def write_vocabulary_shard(path: Path, vocabulary) -> dict:
     return {"terms": len(encoded), **entry}
 
 
+def _encode_count_column(
+    items, vocabulary, label_ids: dict[str, int], num_labels: int
+) -> tuple["np.ndarray", "np.ndarray"]:
+    """Sorted (composite key, count) columns for one participation dict."""
+    pairs = []
+    for (term, label), count in items:
+        node_id = vocabulary.id_of(term)
+        if node_id is None:
+            raise SnapshotError(
+                "cannot write a statistics shard: participation count "
+                f"references entity {term!r}, which is not in the "
+                "vocabulary (the statistics and store do not belong "
+                "together)"
+            )
+        pairs.append((node_id * num_labels + label_ids[label], int(count)))
+    pairs.sort()
+    keys = np.array([key for key, _ in pairs], dtype=np.int64)
+    counts = np.array([count for _, count in pairs], dtype=np.int64)
+    return keys, counts
+
+
+def write_statistics_shard(path: Path, out_counts, in_counts, vocabulary) -> dict:
+    """Write the (node, label) participation counts as mapped columns.
+
+    ``out_counts`` / ``in_counts`` are the statistics' two participation
+    dicts (or mapped views being resaved — anything with ``.items()``
+    over ``((term, label), count)``).  Each becomes a pair of int64
+    columns — composite keys ``node_id * num_labels + label_id`` in
+    sorted order, and the counts — that reopen as zero-copy binary-
+    searchable views; the label list rides in the shard header.
+    """
+    labels = sorted(
+        {label for (_, label), _ in out_counts.items()}
+        | {label for (_, label), _ in in_counts.items()}
+    )
+    label_ids = {label: index for index, label in enumerate(labels)}
+    num_labels = max(len(labels), 1)
+    out_keys, out_values = _encode_count_column(
+        out_counts.items(), vocabulary, label_ids, num_labels
+    )
+    in_keys, in_values = _encode_count_column(
+        in_counts.items(), vocabulary, label_ids, num_labels
+    )
+    entry = _write_shard_file(
+        path,
+        {"kind": "statistics", "labels": labels},
+        {
+            "out_keys": out_keys,
+            "out_counts": out_values,
+            "in_keys": in_keys,
+            "in_counts": in_values,
+        },
+    )
+    return {"entries": int(len(out_keys) + len(in_keys)), **entry}
+
+
 def _graph_csr_arrays(graph, vocabulary) -> tuple[list[str], dict[str, "np.ndarray"]]:
     """CSR adjacency arrays for ``graph`` over ``vocabulary`` ids.
 
@@ -412,6 +468,16 @@ class ShardedSnapshotReader:
     def has_mapped_graph(self) -> bool:
         """Whether this snapshot carries a graph CSR shard (v3)."""
         return "graph" in self.manifest
+
+    @property
+    def has_mapped_statistics(self) -> bool:
+        """Whether this snapshot carries a statistics counts shard.
+
+        v3 snapshots written since the statistics columns landed carry
+        one; older v3 directories pickle the full statistics section and
+        keep loading unchanged.
+        """
+        return "statistics_counts" in self.manifest
 
     def label_rows(self) -> dict[str, int]:
         """Per-label row counts straight from the manifest (no shard I/O)."""
@@ -676,6 +742,60 @@ class ShardedSnapshotReader:
                     "arena: the sort permutation is not in term byte order"
                 )
         return MappedVocabulary(offsets, sorted_ids, blob)
+
+    # ------------------------------------------------------------------
+    def load_statistics_counts(self) -> tuple[list[str], tuple]:
+        """Map the statistics counts shard; returns ``(labels, columns)``.
+
+        ``columns`` is ``(out_keys, out_counts, in_keys, in_counts)`` —
+        zero-copy int64 views ready for
+        :class:`~repro.graph.statistics.MappedGraphStatistics`.
+        """
+        entry = self.manifest.get("statistics_counts")
+        if entry is None:
+            raise SnapshotError(
+                f"snapshot {self.directory!s} has no statistics counts shard"
+            )
+        path, mapped, header, view = self._map_shard(entry)
+        try:
+            result = self._statistics_from_header(path, header, view)
+        except SnapshotError:
+            _close_quietly(mapped)
+            raise
+        self._maps.append(mapped)
+        self.sections_loaded.append("statistics_counts")
+        return result
+
+    def _statistics_from_header(self, path: Path, header: dict, view):
+        if header.get("kind") != "statistics":
+            raise SnapshotError(
+                f"snapshot shard {path!s} is not a statistics counts shard "
+                f"(kind {header.get('kind')!r})"
+            )
+        labels = header.get("labels")
+        if not isinstance(labels, list):
+            raise SnapshotError(
+                f"snapshot shard {path!s} has a malformed statistics header"
+            )
+        columns = []
+        for side in ("out", "in"):
+            keys = view(f"{side}_keys")
+            counts = view(f"{side}_counts")
+            if keys is None or counts is None or len(keys) != len(counts):
+                raise SnapshotError(
+                    f"snapshot shard {path!s} is missing its {side} "
+                    "participation columns"
+                )
+            if len(keys) and (
+                bool((np.diff(keys) <= 0).any()) or int(counts.min()) < 1
+            ):
+                raise SnapshotError(
+                    f"snapshot shard {path!s} has corrupt statistics "
+                    f"columns: {side} keys must be strictly increasing "
+                    "and counts positive"
+                )
+            columns.extend((keys, counts))
+        return labels, tuple(columns)
 
     # ------------------------------------------------------------------
     def load_graph(self, vocabulary: MappedVocabulary) -> MappedKnowledgeGraph:

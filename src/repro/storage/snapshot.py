@@ -97,12 +97,13 @@ from pathlib import Path
 
 from repro.exceptions import SnapshotError
 from repro.graph.knowledge_graph import KnowledgeGraph
-from repro.graph.statistics import GraphStatistics
+from repro.graph.statistics import GraphStatistics, MappedGraphStatistics
 from repro.storage.shards import (
     MANIFEST_MAGIC,
     MANIFEST_NAME,
     ShardedSnapshotReader,
     write_graph_shard,
+    write_statistics_shard,
     write_table_shard,
     write_vocabulary_shard,
 )
@@ -240,12 +241,34 @@ class GraphStore:
 
     @property
     def statistics(self) -> GraphStatistics:
-        """The precomputed graph statistics (materialized on first access)."""
+        """The precomputed graph statistics (materialized on first access).
+
+        From a v3 snapshot with a statistics counts shard the two
+        ``(node, label)`` participation dicts become mapped binary-
+        searchable columns (shared pages) and only the small header —
+        edge total and per-label counts — unpickles per process.
+        """
         if self._statistics is None:
-            statistics = pickle.loads(self._section_bytes("statistics"))
-            # The snapshot strips the graph back-reference to avoid
-            # serializing the graph twice; re-wire it here.
-            statistics._graph = self.graph
+            section = pickle.loads(self._section_bytes("statistics"))
+            if (
+                isinstance(section, dict)
+                and self._reader is not None
+                and self._reader.has_mapped_statistics
+            ):
+                labels, columns = self._reader.load_statistics_counts()
+                statistics = MappedGraphStatistics(
+                    self.graph,
+                    self._vocabulary_from_arena(),
+                    labels,
+                    section["total_edges"],
+                    section["label_counts"],
+                    *columns,
+                )
+            else:
+                statistics = section
+                # The snapshot strips the graph back-reference to avoid
+                # serializing the graph twice; re-wire it here.
+                statistics._graph = self.graph
             self._statistics = statistics
         return self._statistics
 
@@ -472,20 +495,32 @@ class GraphStore:
             skeleton._tables = {}
             skeleton._lazy_loader = None
             skeleton._lazy_rows = None
-            payloads = [
-                (
-                    "statistics",
-                    pickle.dumps(self.statistics, protocol=_PICKLE_PROTOCOL),
-                ),
-            ]
             if version >= 3:
                 # The vocabulary ships as a mapped arena: strip it from
                 # the skeleton so the store section carries only flags.
                 skeleton._vocabulary = None
+                # The participation counts ship as mapped columns (see
+                # write_statistics_shard below); the section keeps only
+                # the small header the mapped statistics need.
+                statistics_header = {
+                    "kind": "mapped-statistics",
+                    "total_edges": self.statistics.total_edges,
+                    "label_counts": dict(self.statistics._label_counts),
+                }
+                payloads = [
+                    (
+                        "statistics",
+                        pickle.dumps(statistics_header, protocol=_PICKLE_PROTOCOL),
+                    ),
+                ]
             else:
-                payloads.insert(
-                    0, ("graph", pickle.dumps(self.graph, protocol=_PICKLE_PROTOCOL))
-                )
+                payloads = [
+                    ("graph", pickle.dumps(self.graph, protocol=_PICKLE_PROTOCOL)),
+                    (
+                        "statistics",
+                        pickle.dumps(self.statistics, protocol=_PICKLE_PROTOCOL),
+                    ),
+                ]
             payloads.append(
                 ("store", pickle.dumps(skeleton, protocol=_PICKLE_PROTOCOL))
             )
@@ -521,6 +556,16 @@ class GraphStore:
                 graph_entry["file"] = "graph.csr"
                 manifest["graph"] = graph_entry
                 total += graph_entry["bytes"]
+
+                statistics_entry = write_statistics_shard(
+                    directory / "statistics.counts",
+                    self.statistics._out_label_counts,
+                    self.statistics._in_label_counts,
+                    store.vocabulary,
+                )
+                statistics_entry["file"] = "statistics.counts"
+                manifest["statistics_counts"] = statistics_entry
+                total += statistics_entry["bytes"]
 
             tables = []
             # Snapshot the label list first: resolving a lazy table in

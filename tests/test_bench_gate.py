@@ -17,18 +17,26 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SCRIPT = REPO_ROOT / "benchmarks" / "check_regression.py"
 
 
-def _results_json(medians: dict[str, float]) -> dict:
-    return {
-        "benchmarks": [
-            {"name": name, "stats": {"median": median}}
-            for name, median in medians.items()
-        ]
-    }
+def _results_json(medians: dict[str, float], mins: dict[str, float] | None = None) -> dict:
+    mins = mins or {}
+    benchmarks = []
+    for name, median in medians.items():
+        stats = {"median": median}
+        if name in mins:
+            stats["min"] = mins[name]
+        benchmarks.append({"name": name, "stats": stats})
+    return {"benchmarks": benchmarks}
 
 
-def _run_gate(tmp_path, results: dict[str, float], baseline: dict[str, float], *args):
+def _run_gate(
+    tmp_path,
+    results: dict[str, float],
+    baseline: dict[str, float],
+    *args,
+    mins: dict[str, float] | None = None,
+):
     results_path = tmp_path / "results.json"
-    results_path.write_text(json.dumps(_results_json(results)))
+    results_path.write_text(json.dumps(_results_json(results, mins)))
     baseline_path = tmp_path / "baseline.json"
     baseline_path.write_text(json.dumps({"meta": {}, "medians": baseline}))
     return subprocess.run(
@@ -88,6 +96,58 @@ class TestGate:
         assert written["medians"] == {"bench_a": 0.005}
 
 
+class TestSpeedupPairs:
+    """The ``--speedup-pair`` gate used by the native-kernel benchmarks."""
+
+    BASE = {"slow": 0.010, "fast": 0.004}
+
+    def test_pair_meeting_ratio_passes(self, tmp_path):
+        run = _run_gate(
+            tmp_path, dict(self.BASE), dict(self.BASE),
+            "--speedup-pair", "slow:fast:2.0",
+        )
+        assert run.returncode == 0, run.stderr
+        assert "ok         slow / fast  speedup  2.50x" in run.stdout
+
+    def test_pair_below_ratio_fails(self, tmp_path):
+        run = _run_gate(
+            tmp_path, dict(self.BASE), dict(self.BASE),
+            "--speedup-pair", "slow:fast:3.0",
+        )
+        assert run.returncode == 1
+        assert "TOO SLOW" in run.stdout
+        assert "slow / fast" in run.stderr
+
+    def test_pair_compares_minima_when_present(self, tmp_path):
+        # Medians alone would fail the 3x gate (2.5x); the noise-robust
+        # minima (0.009 / 0.002 = 4.5x) pass it.
+        run = _run_gate(
+            tmp_path, dict(self.BASE), dict(self.BASE),
+            "--speedup-pair", "slow:fast:3.0",
+            mins={"slow": 0.009, "fast": 0.002},
+        )
+        assert run.returncode == 0, run.stderr
+        assert "speedup  4.50x" in run.stdout
+
+    def test_pair_with_missing_leg_is_skipped(self, tmp_path):
+        # The native leg is absent (e.g. extension not built): the pair
+        # is reported as skipped, and the same invocation still passes.
+        run = _run_gate(
+            tmp_path, {"slow": 0.010}, {"slow": 0.010},
+            "--speedup-pair", "slow:fast:2.0",
+        )
+        assert run.returncode == 0, run.stderr
+        assert "SKIPPED" in run.stdout
+
+    def test_malformed_pair_spec_is_rejected(self, tmp_path):
+        run = _run_gate(
+            tmp_path, dict(self.BASE), dict(self.BASE),
+            "--speedup-pair", "slow:fast",
+        )
+        assert run.returncode == 2
+        assert "expected SLOW:FAST:RATIO" in run.stderr
+
+
 class TestCommittedBaseline:
     def test_baseline_exists_and_covers_core_benchmarks(self):
         baseline = json.loads((REPO_ROOT / "benchmarks" / "baseline.json").read_text())
@@ -98,5 +158,7 @@ class TestCommittedBaseline:
             "test_bench_offline_precomputation",
             "test_bench_snapshot_warm_start",
             "test_bench_cold_start_from_triples",
+            "test_fig14_kernel_hot_paths_python",
+            "test_fig14_kernel_hot_paths_native",
         ):
             assert required in medians

@@ -362,6 +362,68 @@ class TestAsyncIngest:
             == 1
         )
 
+    def test_ingest_counts_against_admission_gate(self, figure1_graph, tmp_path):
+        """An in-flight ingest holds a gate slot and shows on /metrics.
+
+        Ingest shares the executor with queries, so it must consume an
+        admission slot: with ``high_water=1`` a stalled ingest causes a
+        concurrent ingest to be shed with 429, and the
+        ``gqbe_ingest_inflight`` gauge reports it while it runs.
+        """
+        path = _snapshot(figure1_graph, tmp_path)
+        server = AsyncGQBEServer(
+            GQBE.from_snapshot(path), snapshot_path=path, port=0, high_water=1
+        ).start()
+        release = threading.Event()
+        original = server.handle_ingest
+
+        def slow_ingest(payload):
+            release.wait(timeout=30)
+            return original(payload)
+
+        server.handle_ingest = slow_ingest
+        result = {}
+
+        def do_ingest():
+            result["first"] = _post(server, "/admin/ingest", {"triples": BURSTS[0]})
+
+        thread = threading.Thread(target=do_ingest)
+        try:
+            thread.start()
+            deadline = time.monotonic() + 30
+            while server._gate.depth < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert server._gate.depth == 1
+
+            _status, text = _get(server, "/metrics")
+            samples = parse_prometheus_text(text)
+            assert samples[("gqbe_ingest_inflight", ())] == 1
+            assert samples[("gqbe_queue_depth", ())] == 1
+
+            status, body = _post(server, "/admin/ingest", {"triples": BURSTS[1]})
+            assert status == 429
+            assert "capacity" in body["error"]
+        finally:
+            release.set()
+            thread.join(timeout=30)
+            server.handle_ingest = original
+
+        try:
+            status, body = result["first"]
+            assert status == 200 and body["applied"] == len(BURSTS[0])
+            _status, text = _get(server, "/metrics")
+            samples = parse_prometheus_text(text)
+            assert samples[("gqbe_ingest_inflight", ())] == 0
+            assert samples[("gqbe_queue_depth", ())] == 0
+            assert (
+                samples[("gqbe_http_shed_total", (("reason", "queue_full"),))] == 1
+            )
+            # The freed slot admits the next ingest.
+            status, body = _post(server, "/admin/ingest", {"triples": BURSTS[1]})
+            assert status == 200 and body["applied"] == len(BURSTS[1])
+        finally:
+            server.stop()
+
     def test_ingest_requires_api_key_when_configured(
         self, figure1_graph, tmp_path
     ):

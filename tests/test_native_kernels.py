@@ -1,0 +1,419 @@
+"""Native kernels must be byte-identical to the pure-Python fallback.
+
+The C extension (``repro._kernels._native``) reimplements the engine's
+innermost loops; its acceptance contract is *pinned equivalence* with the
+pure reference (``repro._kernels._pure``):
+
+* per-kernel parity — each kernel, fed identical inputs (including the
+  documented in-place dict/list mutations and callback firing order),
+  produces identical outputs on both backends;
+* end-to-end parity — ranked answers are identical across the whole
+  v1 / v2 / v3 × inline / pooled matrix with ``native_kernels="on"``
+  versus ``"off"`` (the same matrix ``test_pool_execution.py`` pins);
+* the fallback contract — ``GQBE_FORCE_PURE=1`` forces the pure backend
+  in a fresh interpreter even under ``native_kernels="on"``, and
+  ``GQBEConfig.native_kernels`` validates its three modes.
+
+Per-kernel parity tests skip when the extension is not built (the CI
+fallback leg); the selection and config tests run everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import _kernels
+from repro._kernels import _pure
+from repro.core.config import GQBEConfig
+from repro.core.gqbe import GQBE
+from repro.datasets.workloads import build_freebase_workload
+from repro.exceptions import EvaluationError
+from repro.storage.snapshot import GraphStore
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+native = _kernels._probe_native()
+needs_native = pytest.mark.skipif(
+    native is None, reason="native extension not built (pip install -e .)"
+)
+
+_CONFIG = dict(mqg_size=8, k_prime=20, node_budget=500, max_join_rows=50_000)
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Leave the process-wide kernel binding as the session had it."""
+    backend = _kernels.kernels.backend
+    yield
+    _kernels.select("on" if backend == "native" else "off")
+
+
+# ----------------------------------------------------------------------
+# per-kernel parity
+# ----------------------------------------------------------------------
+def _random_csr(rng, num_nodes, num_edges):
+    """A random mapped graph as the four CSR int64 columns."""
+    subjects = np.array(
+        sorted(rng.randrange(num_nodes) for _ in range(num_edges)), dtype=np.int64
+    )
+    objects = np.array(
+        [rng.randrange(num_nodes) for _ in range(num_edges)], dtype=np.int64
+    )
+    out_indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.add.at(out_indptr, subjects + 1, 1)
+    out_indptr = np.cumsum(out_indptr, dtype=np.int64)
+    # The in-CSR re-sorts the same edges by object.
+    order = np.argsort(objects, kind="stable")
+    in_subjects = subjects[order]
+    in_objects = objects[order]
+    in_indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.add.at(in_indptr, in_objects + 1, 1)
+    in_indptr = np.cumsum(in_indptr, dtype=np.int64)
+    return out_indptr, objects, in_indptr, in_subjects
+
+
+@needs_native
+class TestBFSKernels:
+    @pytest.mark.parametrize("frontier_size", [1, 3, 40])
+    def test_bfs_expand_parity(self, frontier_size):
+        # 40 >= GATHER_MIN_FRONTIER exercises the pure gather path
+        # against the native scalar loop; both must preserve the
+        # per-node out-then-in first-occurrence insertion order.
+        rng = random.Random(frontier_size)
+        columns = _random_csr(rng, num_nodes=200, num_edges=900)
+        frontier = rng.sample(range(200), frontier_size)
+        pure_distances = {node: 0 for node in frontier}
+        native_distances = dict(pure_distances)
+        pure_next = _pure.bfs_expand(frontier, *columns, pure_distances, 1)
+        native_next = native.bfs_expand(frontier, *columns, native_distances, 1)
+        assert native_next == pure_next
+        assert native_distances == pure_distances
+        assert list(native_distances) == list(pure_distances)  # insertion order
+
+    def test_bfs_expand_multi_depth_parity(self):
+        rng = random.Random(99)
+        columns = _random_csr(rng, num_nodes=300, num_edges=1200)
+        pure_distances = {7: 0}
+        native_distances = {7: 0}
+        pure_frontier, native_frontier = [7], [7]
+        for depth in (1, 2, 3):
+            pure_frontier = _pure.bfs_expand(
+                pure_frontier, *columns, pure_distances, depth
+            )
+            native_frontier = native.bfs_expand(
+                native_frontier, *columns, native_distances, depth
+            )
+            assert native_frontier == pure_frontier, depth
+        assert native_distances == pure_distances
+
+    def test_csr_neighbors_parity(self):
+        rng = random.Random(5)
+        columns = _random_csr(rng, num_nodes=50, num_edges=400)
+        for node in range(50):
+            assert native.csr_neighbors(node, *columns) == _pure.csr_neighbors(
+                node, *columns
+            ), node
+
+
+@needs_native
+class TestProbeTailKernel:
+    def _rows_and_buckets(self, rng, *, values):
+        rows = [
+            tuple(rng.choice(values) for _ in range(rng.randrange(1, 6)))
+            for _ in range(80)
+        ]
+        buckets = {
+            value: [rng.choice(values) for _ in range(rng.randrange(0, 4))]
+            for value in values
+        }
+        return rows, buckets
+
+    @pytest.mark.parametrize("injective", [True, False])
+    @pytest.mark.parametrize("kind", ["ints", "strings", "mixed"])
+    def test_probe_tail_parity(self, injective, kind):
+        rng = random.Random(hash((injective, kind)) & 0xFFFF)
+        values = {
+            "ints": list(range(30)),
+            "strings": [f"node{i}" for i in range(30)],
+            # bools and big ints defeat the native int64 fast path;
+            # parity must hold on the object-scan fallback too.
+            "mixed": [0, 1, True, False, 2**70, -(2**70), "x", 3.5] + list(range(10)),
+        }[kind]
+        rows, buckets = self._rows_and_buckets(rng, values=values)
+        bound_col = 0
+        assert native.probe_tail(
+            rows, buckets, bound_col, injective, -1
+        ) == _pure.probe_tail(rows, buckets, bound_col, injective, -1)
+
+    def test_probe_tail_overflow_returns_none(self):
+        rows = [(1,)] * 10
+        buckets = {1: [2, 3]}
+        assert _pure.probe_tail(rows, buckets, 0, False, 5) is None
+        assert native.probe_tail(rows, buckets, 0, False, 5) is None
+        # At exactly the cap the output survives on both backends.
+        assert native.probe_tail(rows, buckets, 0, False, 20) == _pure.probe_tail(
+            rows, buckets, 0, False, 20
+        )
+
+    def test_probe_tail_empty_and_missing_buckets(self):
+        rows = [(1, 2), (9, 9), (3, 1)]
+        buckets = {1: [], 3: [7]}
+        assert native.probe_tail(rows, buckets, 0, True, -1) == _pure.probe_tail(
+            rows, buckets, 0, True, -1
+        )
+
+    def test_filter_pairs_parity(self):
+        rng = random.Random(11)
+        rows = [
+            (rng.randrange(10), rng.randrange(10), rng.randrange(10))
+            for _ in range(200)
+        ]
+        pairs = {(rng.randrange(10), rng.randrange(10)) for _ in range(30)}
+        assert native.filter_pairs(rows, 0, 2, pairs) == _pure.filter_pairs(
+            rows, 0, 2, pairs
+        )
+
+
+@needs_native
+class TestAccumulateKernels:
+    def test_accumulate_structure_parity_and_callback_order(self):
+        rng = random.Random(21)
+        answers = [f"a{i}" for i in range(40)]
+        excluded = {"a3", "a17"}
+        pure_records, native_records = {}, {}
+        pure_calls, native_calls = [], []
+        for step in range(6):
+            batch = rng.sample(answers, 15)
+            mask_structure = rng.random() * 10
+            mask = rng.randrange(1 << 8)
+            _pure.accumulate_structure(
+                batch, excluded, pure_records, mask_structure, mask,
+                lambda a, s: pure_calls.append((a, s)),
+            )
+            native.accumulate_structure(
+                batch, excluded, native_records, mask_structure, mask,
+                lambda a, s: native_calls.append((a, s)),
+            )
+        assert native_records == pure_records
+        assert native_calls == pure_calls
+
+    def test_accumulate_structure_without_callback(self):
+        pure_records, native_records = {}, {}
+        for records, kernel in (
+            (pure_records, _pure.accumulate_structure),
+            (native_records, native.accumulate_structure),
+        ):
+            kernel(["x", "y"], set(), records, 2.5, 3, None)
+            kernel(["y", "z"], set(), records, 4.0, 5, None)
+        assert native_records == pure_records
+
+    def test_accumulate_content_parity_and_cache(self):
+        rng = random.Random(34)
+        answers = [f"a{i}" for i in range(20)]
+        signatures = [rng.randrange(1 << 6) for _ in range(50)]
+        matches = [(rng.choice(answers), rng.choice(signatures)) for _ in range(120)]
+
+        def fresh_records():
+            return {
+                answer: [1.0, 1.5, 0.5, 7]
+                for answer in answers
+                if answer not in ("a4", "a9")  # records absent → skipped
+            }
+
+        pure_records, native_records = fresh_records(), fresh_records()
+        pure_calls, native_calls = [], []
+
+        def content_of(calls):
+            def inner(signature):
+                calls.append(signature)
+                return signature * 0.01
+
+            return inner
+
+        _pure.accumulate_content(
+            matches, pure_records, 3.0, 11, content_of(pure_calls)
+        )
+        native.accumulate_content(
+            matches, native_records, 3.0, 11, content_of(native_calls)
+        )
+        assert native_records == pure_records
+        # The per-call signature cache is part of the contract: the
+        # Python callback runs once per distinct signature, in first-
+        # occurrence order, on both backends.
+        assert native_calls == pure_calls
+        assert len(native_calls) == len(set(native_calls))
+
+
+@needs_native
+class TestTopKThresholdKernel:
+    @pytest.mark.parametrize("k_prime", [1, 3, 25])
+    def test_threshold_sequence_parity(self, k_prime):
+        rng = random.Random(k_prime)
+        pure_topk = _pure.TopKThreshold(k_prime)
+        native_topk = native.TopKThreshold(k_prime)
+        best: dict[str, float] = {}
+        for _ in range(400):
+            answer = f"a{rng.randrange(40)}"
+            # Scores only increase per answer (the kernel's precondition).
+            score = best.get(answer, 0.0) + rng.random()
+            best[answer] = score
+            pure_topk.note(answer, score)
+            native_topk.note(answer, score)
+            assert native_topk.threshold() == pure_topk.threshold()
+            assert len(native_topk) == len(pure_topk)
+
+    def test_threshold_none_below_k_prime(self):
+        topk = native.TopKThreshold(3)
+        topk.note("a", 1.0)
+        topk.note("b", 2.0)
+        assert topk.threshold() is None
+        topk.note("c", 0.5)
+        assert topk.threshold() == 0.5
+
+
+# ----------------------------------------------------------------------
+# end-to-end: the v1/v2/v3 × inline/pooled matrix, native vs fallback
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def workload():
+    return build_freebase_workload(seed=7, scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def snapshots(workload, tmp_path_factory):
+    root = tmp_path_factory.mktemp("kernels")
+    paths = {}
+    for fmt, name in (("v1", "g.snap"), ("v2", "g.snapdir"), ("v3", "g.snapdir3")):
+        path = root / name
+        GraphStore.build(workload.dataset.graph).save(path, format=fmt)
+        paths[fmt] = path
+    return paths
+
+
+def _answer_key(result):
+    return [
+        (a.rank, a.entities, a.score, a.structure_score, a.content_score)
+        for a in result.answers
+    ]
+
+
+@needs_native
+def test_native_matches_fallback_across_formats_and_execution(
+    workload, snapshots
+):
+    """native_kernels="on" ≡ "off" over v1/v2/v3 × inline/pooled."""
+    tuples = [query.query_tuple for query in workload.queries[:6]]
+    reference = None
+    for fmt in ("v1", "v2", "v3"):
+        for execution in ("inline", "pool"):
+            if execution == "pool" and fmt == "v1":
+                continue  # pooled workers require a mapped snapshot
+            by_mode = {}
+            for mode in ("off", "on"):
+                config = GQBEConfig(
+                    **_CONFIG,
+                    native_kernels=mode,
+                    execution=execution,
+                    pool_workers=2 if execution == "pool" else None,
+                )
+                system = GQBE.from_snapshot(snapshots[fmt], config=config)
+                try:
+                    results = system.query_batch(tuples, k=5)
+                    by_mode[mode] = [_answer_key(r) for r in results]
+                finally:
+                    system.close()
+            cell = f"{fmt}/{execution}"
+            assert by_mode["on"] == by_mode["off"], cell
+            if reference is None:
+                reference = by_mode["off"]
+            assert by_mode["off"] == reference, cell
+
+
+# ----------------------------------------------------------------------
+# backend selection + config surface
+# ----------------------------------------------------------------------
+class TestBackendSelection:
+    @needs_native
+    def test_modes_resolve(self, monkeypatch):
+        monkeypatch.delenv("GQBE_FORCE_PURE", raising=False)
+        monkeypatch.delenv("GQBE_NATIVE_KERNELS", raising=False)
+        assert _kernels.resolve_backend("off") == "pure"
+        assert _kernels.resolve_backend("on") == "native"
+        assert _kernels.resolve_backend("auto") == "native"
+
+    @needs_native
+    def test_env_auto_override(self, monkeypatch):
+        monkeypatch.delenv("GQBE_FORCE_PURE", raising=False)
+        monkeypatch.setenv("GQBE_NATIVE_KERNELS", "off")
+        assert _kernels.resolve_backend("auto") == "pure"
+        # Explicit modes are not overridden by the auto-resolution env.
+        assert _kernels.resolve_backend("on") == "native"
+
+    def test_force_pure_wins_over_on(self, monkeypatch):
+        monkeypatch.setenv("GQBE_FORCE_PURE", "1")
+        assert _kernels.resolve_backend("on") == "pure"
+        assert _kernels.select("on") == "pure"
+        assert _kernels.kernels.backend == "pure"
+        assert _kernels.kernels.probe_tail is _pure.probe_tail
+
+    @needs_native
+    def test_select_rebinds_namespace(self, monkeypatch):
+        monkeypatch.delenv("GQBE_FORCE_PURE", raising=False)
+        assert _kernels.select("on") == "native"
+        assert _kernels.kernels.probe_tail is native.probe_tail
+        assert _kernels.select("off") == "pure"
+        assert _kernels.kernels.probe_tail is _pure.probe_tail
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(EvaluationError, match="native_kernels"):
+            _kernels.resolve_backend("fast")
+
+    def test_config_validates_native_kernels(self):
+        assert GQBEConfig().native_kernels == "auto"
+        assert GQBEConfig(native_kernels="on").native_kernels == "on"
+        assert GQBEConfig(native_kernels="off").native_kernels == "off"
+        with pytest.raises(EvaluationError, match="native_kernels"):
+            GQBEConfig(native_kernels="never")
+
+    def test_force_pure_subprocess_runs_whole_query_on_fallback(
+        self, figure1_graph
+    ):
+        """GQBE_FORCE_PURE=1 in a fresh interpreter: the CI seam."""
+        script = (
+            "from repro import _kernels\n"
+            "from repro.core.config import GQBEConfig\n"
+            "from repro.core.gqbe import GQBE\n"
+            "from repro.datasets.example_graph import figure1_excerpt\n"
+            "assert _kernels.resolve_backend('on') == 'pure'\n"
+            "system = GQBE(figure1_excerpt(),"
+            " config=GQBEConfig(native_kernels='on'))\n"
+            "result = system.query(('Jerry Yang', 'Yahoo!'), k=3)\n"
+            "assert _kernels.kernels.backend == 'pure'\n"
+            "print([tuple(a.entities) for a in result.answers])\n"
+        )
+        env = dict(os.environ, GQBE_FORCE_PURE="1")
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        run = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        assert run.returncode == 0, run.stderr
+        # The forced-pure answers equal this process's (native) answers.
+        result = GQBE(figure1_graph, config=GQBEConfig(native_kernels="on")).query(
+            ("Jerry Yang", "Yahoo!"), k=3
+        )
+        assert run.stdout.strip() == str(
+            [tuple(a.entities) for a in result.answers]
+        )
