@@ -106,7 +106,64 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _peak_rss_bytes() -> int | None:
+    """This process's peak RSS so far (None where rusage is unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms only
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def _build_index_footer(rows: int, seconds: float) -> str:
+    """The shared throughput / peak-RSS report line of ``build-index``."""
+    throughput = rows / seconds if seconds > 0 else 0.0
+    peak = _peak_rss_bytes()
+    rss = f"  peak RSS {peak / 1e6:.1f} MB" if peak is not None else ""
+    return f"throughput {throughput:,.0f} rows/s{rss}"
+
+
 def _cmd_build_index(args: argparse.Namespace) -> int:
+    say = (lambda *_: None) if args.quiet else print
+    kind = "sharded directory" if args.format in ("v2", "v3") else "file"
+    if args.streaming:
+        if args.rows:
+            print(
+                "--streaming builds the columnar engine; it cannot be "
+                "combined with --rows",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.storage.build import build_streaming_snapshot
+
+        report = build_streaming_snapshot(
+            args.graph,
+            args.output,
+            snapshot_format=args.format,
+            workers=args.build_workers,
+            memory_budget_mb=args.memory_budget_mb,
+        )
+        say(
+            f"indexed {report['edges']} edges ({report['nodes']} nodes, "
+            f"{report['labels']} labels) to {args.output} "
+            f"({args.format} {kind}, {report['bytes_written']} bytes, streaming)"
+        )
+        if report["streaming"]:
+            say(
+                f"pass1 {report['pass1_seconds']:.3f}s  "
+                f"pass2 {report['pass2_seconds']:.3f}s  "
+                f"finalize {report['finalize_labels_seconds'] + report['finalize_shards_seconds']:.3f}s  "
+                f"({report['duplicates']} duplicates, "
+                f"{report['spill_runs']} spill runs, "
+                f"{report['workers']} workers, "
+                f"budget {report['memory_budget_mb']} MB)"
+            )
+        say(_build_index_footer(report["triples_read"], report["total_seconds"]))
+        return 0
+
+    overall = time.perf_counter()
     started = time.perf_counter()
     graph = load_graph(args.graph)
     load_seconds = time.perf_counter() - started
@@ -118,14 +175,14 @@ def _cmd_build_index(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     size = graph_store.save(args.output, format=args.format)
     save_seconds = time.perf_counter() - started
-    kind = "sharded directory" if args.format in ("v2", "v3") else "file"
-    print(
+    say(
         f"indexed {graph.num_edges} edges ({graph.num_nodes} nodes, "
         f"{graph.num_labels} labels) to {args.output} "
         f"({args.format} {kind}, {size} bytes)\n"
         f"load {load_seconds:.3f}s  build {build_seconds:.3f}s  "
         f"save {save_seconds:.3f}s"
     )
+    say(_build_index_footer(graph.num_edges, time.perf_counter() - overall))
     return 0
 
 
@@ -563,7 +620,10 @@ def build_parser() -> argparse.ArgumentParser:
         "build-index",
         help="run the offline build once and save it as an index snapshot",
     )
-    build_index.add_argument("graph", help="path to a TSV or NT triple file")
+    build_index.add_argument(
+        "graph",
+        help="path to a TSV, NT or CSV-export triple file (.gz accepted)",
+    )
     build_index.add_argument("output", help="output snapshot path")
     build_index.add_argument(
         "--rows",
@@ -579,6 +639,36 @@ def build_parser() -> argparse.ArgumentParser:
         "page sharing across serve workers); v3: v2 plus a mapped "
         "vocabulary string arena and a graph CSR shard, so serve workers "
         "share those pages too",
+    )
+    build_index.add_argument(
+        "--streaming",
+        action="store_true",
+        help="build out-of-core: stream the dump in bounded chunks, "
+        "external-sort the vocabulary and per-label rows through disk "
+        "spill runs, and write the v3 shards incrementally — same bytes "
+        "as the in-memory build, without holding the graph in memory "
+        "(v1/v2 accept the flag but still materialize; see docs/building.md)",
+    )
+    build_index.add_argument(
+        "--build-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the per-label shard writers out over N processes "
+        "(streaming only; each worker owns disjoint labels)",
+    )
+    build_index.add_argument(
+        "--memory-budget-mb",
+        type=int,
+        default=256,
+        metavar="M",
+        help="bound the streaming build's chunk and spill buffers to "
+        "roughly M megabytes (streaming only; smaller budgets spill more)",
+    )
+    build_index.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the progress/timing report (CI use)",
     )
     build_index.set_defaults(func=_cmd_build_index)
 

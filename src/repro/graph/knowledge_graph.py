@@ -63,7 +63,12 @@ class KnowledgeGraph:
     def __init__(self, edges: Iterable[Edge | tuple[str, str, str]] = ()) -> None:
         self._out: dict[str, list[Edge]] = {}
         self._in: dict[str, list[Edge]] = {}
-        self._edges: set[Edge] = set()
+        # Insertion-ordered so edge iteration is a deterministic function of
+        # the triple stream (never a hash-seed-dependent set order): the
+        # offline build derives shard row order from it, and the streaming
+        # build pipeline must reproduce those bytes from a re-read of the
+        # same stream.
+        self._edges: dict[Edge, None] = {}
         self._label_counts: dict[str, int] = {}
         for edge in edges:
             self.add_edge(*edge)
@@ -91,7 +96,7 @@ class KnowledgeGraph:
             return edge
         self.add_node(subject)
         self.add_node(object)
-        self._edges.add(edge)
+        self._edges[edge] = None
         self._out[subject].append(edge)
         self._in[object].append(edge)
         self._label_counts[label] = self._label_counts.get(label, 0) + 1
@@ -114,7 +119,7 @@ class KnowledgeGraph:
         if edge.object not in out:
             out[edge.object] = []
             incoming[edge.object] = []
-        self._edges.add(edge)
+        self._edges[edge] = None
         out[edge.subject].append(edge)
         incoming[edge.object].append(edge)
         self._label_counts[edge.label] = self._label_counts.get(edge.label, 0) + 1
@@ -135,7 +140,7 @@ class KnowledgeGraph:
 
     @property
     def edges(self) -> Iterator[Edge]:
-        """Iterate over all edges (in no particular order)."""
+        """Iterate over all edges in insertion (first-seen) order."""
         return iter(self._edges)
 
     @property

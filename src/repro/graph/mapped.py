@@ -74,7 +74,7 @@ def _knowledge_graph_from_csr(
             )
             edge = edge_cache.setdefault(edge, edge)
             bucket.append(edge)
-            edges.add(edge)
+            edges[edge] = None
             label = edge.label
             label_counts[label] = label_counts.get(label, 0) + 1
     for node_id, term in enumerate(terms):

@@ -1,19 +1,29 @@
 """Triple (RDF-style) parsing and serialization.
 
 GQBE stores knowledge graphs as sets of ``(subject, property, object)``
-triples (Sec. V-A of the paper).  This module supports two plain-text
+triples (Sec. V-A of the paper).  This module supports three plain-text
 formats:
 
 * **TSV** — one triple per line, tab-separated: ``subject<TAB>label<TAB>object``.
 * **NT-like** — a simplified N-Triples syntax:
   ``<subject> <label> <object> .`` with angle-bracketed terms.
+* **CSV** — relationship exports in the shape Neo4j / Apache AGE tooling
+  produces: a header row naming start/type/end columns (``:START_ID``,
+  ``:TYPE``, ``:END_ID``; ``_start``, ``_type``, ``_end``; or plain
+  ``subject,predicate,object`` spellings), then one relationship per row.
 
-Both readers skip blank lines and ``#`` comments and report precise line
+Files whose name ends in ``.gz`` are decompressed transparently by every
+path-taking entry point (``read_triples``, ``load_graph``,
+``iter_triples_chunked``, ``write_triples``).
+
+All readers skip blank lines and ``#`` comments and report precise line
 numbers on malformed input via :class:`~repro.exceptions.TripleParseError`.
 """
 
 from __future__ import annotations
 
+import csv
+import gzip
 import io
 from collections.abc import Iterable, Iterator
 from pathlib import Path
@@ -64,12 +74,88 @@ def _detect_format(first_line: str) -> str:
     return "nt" if first_line.lstrip().startswith("<") else "tsv"
 
 
+#: Recognized header spellings for the CSV relationship-export adapter,
+#: after normalization (lowercased, ``:`` / ``_`` / quotes stripped).
+_CSV_SUBJECT_NAMES = frozenset(
+    {"startid", "start", "startnodeid", "subject", "source", "from", "s"}
+)
+_CSV_LABEL_NAMES = frozenset(
+    {"type", "reltype", "relationshiptype", "label", "predicate", "relationship", "p"}
+)
+_CSV_OBJECT_NAMES = frozenset(
+    {"endid", "end", "endnodeid", "object", "target", "to", "o"}
+)
+
+
+def _normalize_csv_header_cell(cell: str) -> str:
+    return cell.strip().strip('"').replace(":", "").replace("_", "").lower()
+
+
+def _resolve_csv_columns(header: list[str], line_number: int, line: str) -> tuple[int, int, int]:
+    """Map a relationship-export header row to (subject, label, object) columns."""
+    subject = label = obj = None
+    for index, cell in enumerate(header):
+        name = _normalize_csv_header_cell(cell)
+        if name in _CSV_SUBJECT_NAMES and subject is None:
+            subject = index
+        elif name in _CSV_LABEL_NAMES and label is None:
+            label = index
+        elif name in _CSV_OBJECT_NAMES and obj is None:
+            obj = index
+    if subject is not None and label is not None and obj is not None:
+        return subject, label, obj
+    if subject is None and label is None and obj is None and len(header) == 3:
+        # Headerless positional export: treat the columns as
+        # subject,label,object and the first row as data.
+        return -1, -1, -1
+    raise TripleParseError(
+        line_number,
+        line,
+        "unrecognized CSV export header (need start/type/end or "
+        "subject/predicate/object columns)",
+    )
+
+
+def _iter_csv_triples(lines: Iterable[str]) -> Iterator[Triple]:
+    """Parse a Neo4j/AGE-style relationship CSV export into triples."""
+    columns: tuple[int, int, int] | None = None
+    for line_number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            row = next(csv.reader([stripped]))
+        except csv.Error as exc:
+            raise TripleParseError(line_number, line, f"bad CSV row: {exc}") from exc
+        if columns is None:
+            columns = _resolve_csv_columns(row, line_number, line)
+            if columns != (-1, -1, -1):
+                continue  # header row consumed
+            columns = (0, 1, 2)  # headerless: this row is data
+        s_col, l_col, o_col = columns
+        width = max(s_col, l_col, o_col) + 1
+        if len(row) < width:
+            raise TripleParseError(
+                line_number, line, f"expected at least {width} CSV fields"
+            )
+        subject = row[s_col].strip()
+        label = row[l_col].strip()
+        obj = row[o_col].strip()
+        if not subject or not label or not obj:
+            raise TripleParseError(line_number, line, "empty field")
+        yield Triple(subject, label, obj)
+
+
 def iter_triples(lines: Iterable[str], fmt: str = "auto") -> Iterator[Triple]:
     """Yield triples parsed from an iterable of text lines.
 
-    ``fmt`` is one of ``"tsv"``, ``"nt"`` or ``"auto"`` (detected from the
-    first non-comment line).
+    ``fmt`` is one of ``"tsv"``, ``"nt"``, ``"csv"`` or ``"auto"`` (detected
+    from the first non-comment line; CSV is never auto-detected from content
+    — pass ``fmt="csv"`` or use a ``.csv`` / ``.csv.gz`` path).
     """
+    if fmt == "csv":
+        yield from _iter_csv_triples(lines)
+        return
     parser = None
     if fmt == "tsv":
         parser = _parse_tsv_line
@@ -92,10 +178,59 @@ def triples_from_strings(text: str, fmt: str = "auto") -> list[Triple]:
     return list(iter_triples(io.StringIO(text), fmt=fmt))
 
 
+def _open_text(path: str | Path, mode: str = "r") -> io.TextIOBase:
+    """Open a triple file for text I/O, decompressing ``.gz`` transparently."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def resolve_path_format(path: str | Path, fmt: str = "auto") -> str:
+    """Resolve ``fmt="auto"`` from the file name where the suffix decides.
+
+    ``.csv`` / ``.csv.gz`` files parse as CSV relationship exports (their
+    content is ambiguous with TSV, so the extension is authoritative);
+    everything else keeps content sniffing (``auto``).
+    """
+    if fmt != "auto":
+        return fmt
+    name = str(path)
+    if name.endswith(".gz"):
+        name = name[: -len(".gz")]
+    if name.endswith(".csv"):
+        return "csv"
+    return "auto"
+
+
 def read_triples(path: str | Path, fmt: str = "auto") -> list[Triple]:
-    """Read all triples from a file."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return list(iter_triples(handle, fmt=fmt))
+    """Read all triples from a file (``.gz`` paths are decompressed)."""
+    with _open_text(path) as handle:
+        return list(iter_triples(handle, fmt=resolve_path_format(path, fmt)))
+
+
+def iter_triples_chunked(
+    path: str | Path, fmt: str = "auto", chunk_size: int = 65536
+) -> Iterator[list[Triple]]:
+    """Yield triples from a file in bounded-size lists.
+
+    The streaming build reads dumps through this so at most ``chunk_size``
+    parsed triples are resident at a time, whatever the file size.  Formats,
+    ``.gz`` handling, comment/blank skipping and the line-number discipline
+    of :exc:`~repro.exceptions.TripleParseError` all match
+    :func:`read_triples`; the concatenation of the yielded chunks is exactly
+    its return value.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    with _open_text(path) as handle:
+        chunk: list[Triple] = []
+        for triple in iter_triples(handle, fmt=resolve_path_format(path, fmt)):
+            chunk.append(triple)
+            if len(chunk) >= chunk_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
 
 
 def load_graph(path: str | Path, fmt: str = "auto") -> KnowledgeGraph:
@@ -106,9 +241,13 @@ def load_graph(path: str | Path, fmt: str = "auto") -> KnowledgeGraph:
 def write_triples(
     triples: Iterable[Triple], path: str | Path, fmt: str = "tsv"
 ) -> int:
-    """Write triples to ``path`` in the requested format; return the count."""
+    """Write triples to ``path`` in the requested format; return the count.
+
+    A ``.gz`` path writes a gzip-compressed file readable back through
+    :func:`read_triples`.
+    """
     count = 0
-    with open(path, "w", encoding="utf-8") as handle:
+    with _open_text(path, "w") as handle:
         for triple in triples:
             handle.write(format_triple(triple, fmt=fmt))
             handle.write("\n")

@@ -87,7 +87,7 @@ import hashlib
 import json
 import mmap
 import struct
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from os import PathLike
 from pathlib import Path
 
@@ -132,6 +132,119 @@ def _align(offset: int) -> int:
 # ----------------------------------------------------------------------
 # writing
 # ----------------------------------------------------------------------
+class ShardStreamWriter:
+    """Incrementally write one binary shard without materializing it.
+
+    The array catalog — ``(name, count, dtype)`` per array, in file order —
+    must be declared up front (the header JSON embeds every offset), but the
+    array *contents* are then appended chunk by chunk, so peak memory is one
+    chunk rather than one shard.  The byte layout (header struct, catalog
+    JSON, 64-byte-aligned zero-padded arrays) is identical to what the
+    one-shot :func:`_write_shard_file` produced historically; that function
+    is now a thin wrapper over this class, which is what pins the streaming
+    build's shards byte-identical to the in-memory build's.
+
+    Chunks must arrive in catalog order; ``close`` verifies every declared
+    element was written and returns the manifest entry.  A shard left behind
+    by a crash is harmless — the snapshot manifest is always written last.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        header_fields: dict,
+        array_specs: Sequence[tuple[str, int, str]],
+    ) -> None:
+        catalog: dict[str, dict] = {}
+        relative = 0
+        for name, count, dtype in array_specs:
+            if dtype not in _ITEMSIZES:
+                raise SnapshotError(f"unknown shard array dtype {dtype!r}")
+            if name in catalog:
+                raise SnapshotError(f"duplicate shard array name {name!r}")
+            relative = _align(relative)
+            catalog[name] = {
+                "offset": relative,
+                "count": int(count),
+                "dtype": dtype,
+            }
+            relative += int(count) * _ITEMSIZES[dtype]
+        header_bytes = json.dumps(
+            {**header_fields, "arrays": catalog}, sort_keys=True
+        ).encode("utf-8")
+        self._base = _align(_SHARD_HEADER.size + len(header_bytes))
+        self._total = self._base + relative
+        self._catalog = catalog
+        self._order = [name for name, _, _ in array_specs]
+        self._cursor = 0  # index into _order
+        self._written = 0  # elements written into the current array
+        self._digest = hashlib.sha256()
+        self._position = 0
+        self._handle = open(path, "wb")
+        prefix = bytearray(self._base)
+        _SHARD_HEADER.pack_into(
+            prefix, 0, SHARD_MAGIC, SHARD_VERSION, len(header_bytes)
+        )
+        prefix[_SHARD_HEADER.size : _SHARD_HEADER.size + len(header_bytes)] = (
+            header_bytes
+        )
+        self._emit(bytes(prefix))
+
+    def _emit(self, data: bytes) -> None:
+        self._handle.write(data)
+        self._digest.update(data)
+        self._position += len(data)
+
+    def _pad_to(self, target: int) -> None:
+        if target > self._position:
+            self._emit(bytes(target - self._position))
+
+    def _finish_current(self) -> None:
+        """Assert the current array is complete and advance past it."""
+        name = self._order[self._cursor]
+        expected = self._catalog[name]["count"]
+        if self._written != expected:
+            raise SnapshotError(
+                f"shard array {name!r} is incomplete: declared {expected} "
+                f"elements, got {self._written}"
+            )
+        self._cursor += 1
+        self._written = 0
+
+    def append(self, name: str, data: "np.ndarray") -> None:
+        """Append a chunk of array ``name`` (arrays strictly in catalog order)."""
+        while self._cursor < len(self._order) and self._order[self._cursor] != name:
+            self._finish_current()
+        if self._cursor >= len(self._order):
+            raise SnapshotError(f"shard array {name!r} is not in the catalog")
+        entry = self._catalog[name]
+        itemsize = _ITEMSIZES[entry["dtype"]]
+        chunk = np.ascontiguousarray(
+            data, dtype=np.uint8 if itemsize == 1 else np.int64
+        )
+        if self._written == 0:
+            self._pad_to(self._base + entry["offset"])
+        if self._written + len(chunk) > entry["count"]:
+            raise SnapshotError(
+                f"shard array {name!r} overflows its declared count "
+                f"({entry['count']})"
+            )
+        self._emit(chunk.tobytes())
+        self._written += len(chunk)
+
+    def close(self) -> dict:
+        """Finish the shard; returns ``{"bytes", "sha256"}`` for the manifest."""
+        while self._cursor < len(self._order):
+            self._finish_current()
+        self._pad_to(self._total)
+        self._handle.close()
+        return {"bytes": self._total, "sha256": self._digest.hexdigest()}
+
+    def abort(self) -> None:
+        """Close the file handle without completeness checks (error paths)."""
+        self._handle.close()
+
+
 def _write_shard_file(
     path: Path, header_fields: dict, arrays: dict[str, "np.ndarray"]
 ) -> dict:
@@ -141,34 +254,21 @@ def _write_shard_file(
     a 64-byte-aligned offset and is cataloged in the header JSON with its
     dtype, so readers never guess a layout.
     """
-    catalog: dict[str, dict] = {}
-    relative = 0
-    for name, data in arrays.items():
-        dtype = _BYTE_DTYPE if data.dtype.itemsize == 1 else _DTYPE
-        relative = _align(relative)
-        catalog[name] = {
-            "offset": relative,
-            "count": int(len(data)),
-            "dtype": dtype,
-        }
-        relative += len(data) * _ITEMSIZES[dtype]
-    header_bytes = json.dumps(
-        {**header_fields, "arrays": catalog}, sort_keys=True
-    ).encode("utf-8")
-    base = _align(_SHARD_HEADER.size + len(header_bytes))
-    total = base + relative
-    buffer = bytearray(total)
-    _SHARD_HEADER.pack_into(buffer, 0, SHARD_MAGIC, SHARD_VERSION, len(header_bytes))
-    buffer[_SHARD_HEADER.size : _SHARD_HEADER.size + len(header_bytes)] = header_bytes
-    for name, data in arrays.items():
-        entry = catalog[name]
-        start = base + entry["offset"]
-        size = entry["count"] * _ITEMSIZES[entry["dtype"]]
-        buffer[start : start + size] = data.tobytes()
-    # Hash and write the bytearray directly — converting to bytes would
-    # hold up to three shard-sized buffers at once on the largest label.
-    path.write_bytes(buffer)
-    return {"bytes": total, "sha256": hashlib.sha256(buffer).hexdigest()}
+    specs = [
+        (name, len(data), _BYTE_DTYPE if data.dtype.itemsize == 1 else _DTYPE)
+        for name, data in arrays.items()
+    ]
+    writer = ShardStreamWriter(path, header_fields, specs)
+    try:
+        for name, data in arrays.items():
+            writer.append(name, data)
+    # gqbe: ignore[EXC001] -- last-resort net: whatever append raises
+    # (I/O failure, bad array shape), the half-written shard file must be
+    # closed before the error propagates; the exception itself is re-raised.
+    except Exception:
+        writer.abort()
+        raise
+    return writer.close()
 
 
 def _table_arrays(table: ColumnarEdgeTable) -> tuple[dict[str, "np.ndarray"], int]:

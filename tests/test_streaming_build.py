@@ -1,0 +1,277 @@
+"""Streaming (out-of-core) build equivalence and crash-safety tests.
+
+The contract under test: ``build_streaming_snapshot`` produces output that
+is **byte-identical** to building the same dump in memory via
+``GraphStore.build(load_graph(dump)).save(...)`` — shard for shard, for
+every snapshot format — while reading the dump in bounded chunks and
+spilling intermediate state to disk.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro.datasets.synthetic import DBpediaLikeGenerator, FreebaseLikeGenerator
+from repro.exceptions import GraphError, SnapshotError, TripleParseError
+from repro.graph.triples import load_graph, write_triples
+from repro.storage.build import BuildPlan, build_streaming_snapshot
+from repro.storage.snapshot import GraphStore
+
+
+def _write_dump(tmp_path, seed=3, scale=0.2, duplicates=100, generator=None, name="dump.tsv"):
+    """Write a synthetic dump (with injected duplicate lines) and return its path."""
+    generator = generator or FreebaseLikeGenerator(seed=seed, scale=scale)
+    graph = generator.generate().graph
+    edges = list(graph.edges)
+    path = tmp_path / name
+    lines = [f"{e.subject}\t{e.label}\t{e.object}" for e in edges]
+    # Re-emit a deterministic slice of edges as duplicates, interleaved with
+    # comments/blank lines, so dedup and seq-ordering both get exercised.
+    for i in range(min(duplicates, len(edges))):
+        e = edges[(i * 7) % len(edges)]
+        lines.append(f"{e.subject}\t{e.label}\t{e.object}")
+    text = "# synthetic dump\n" + "\n".join(lines) + "\n\n"
+    if name.endswith(".gz"):
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        path.write_text(text, encoding="utf-8")
+    return path
+
+
+def _build_in_memory(dump, output, fmt):
+    store = GraphStore.build(load_graph(dump), columnar=True)
+    store.save(output, format=fmt)
+    return output
+
+
+def _snapshot_files(root):
+    if root.is_file():
+        return {"<single-file snapshot>": root.read_bytes()}
+    return {
+        str(p.relative_to(root)): p.read_bytes()
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+def _assert_identical(streamed, reference):
+    left = _snapshot_files(streamed)
+    right = _snapshot_files(reference)
+    assert sorted(left) == sorted(right), "snapshot file sets differ"
+    for name in sorted(left):
+        assert left[name] == right[name], f"shard {name} differs byte-for-byte"
+
+
+class TestByteIdentity:
+    def test_v3_freebase_with_duplicates_and_spills(self, tmp_path):
+        dump = _write_dump(tmp_path, duplicates=150)
+        report = build_streaming_snapshot(
+            dump, tmp_path / "streamed", snapshot_format="v3", memory_budget_mb=1
+        )
+        _build_in_memory(dump, tmp_path / "reference", "v3")
+        _assert_identical(tmp_path / "streamed", tmp_path / "reference")
+        # A 1 MB budget on this dump must actually exercise the external
+        # sort, otherwise the test silently degrades to the trivial path.
+        assert report["spill_runs"] > 1
+        assert report["duplicates"] == 150
+        assert report["edges"] == report["triples_read"] - 150
+
+    def test_v3_lookup_cache_eviction(self, tmp_path):
+        # Enough distinct terms to overflow the pass-2 lookup cache at the
+        # 1 MB floor (cap 1024 entries): eviction while one row's object
+        # resolves must not lose the row's already-resolved subject.
+        dump = _write_dump(
+            tmp_path, generator=FreebaseLikeGenerator(seed=2, scale=2.0), duplicates=80
+        )
+        report = build_streaming_snapshot(
+            dump, tmp_path / "streamed", snapshot_format="v3", memory_budget_mb=1
+        )
+        assert report["nodes"] > 1024  # the eviction path really ran
+        _build_in_memory(dump, tmp_path / "reference", "v3")
+        _assert_identical(tmp_path / "streamed", tmp_path / "reference")
+
+    def test_v3_dbpedia_domain(self, tmp_path):
+        dump = _write_dump(
+            tmp_path, generator=DBpediaLikeGenerator(seed=9, scale=0.2), duplicates=40
+        )
+        build_streaming_snapshot(
+            dump, tmp_path / "streamed", snapshot_format="v3", memory_budget_mb=2
+        )
+        _build_in_memory(dump, tmp_path / "reference", "v3")
+        _assert_identical(tmp_path / "streamed", tmp_path / "reference")
+
+    def test_v3_parallel_workers_match_serial(self, tmp_path):
+        dump = _write_dump(tmp_path, seed=5, duplicates=60)
+        build_streaming_snapshot(
+            dump, tmp_path / "serial", snapshot_format="v3", memory_budget_mb=2
+        )
+        build_streaming_snapshot(
+            dump,
+            tmp_path / "parallel",
+            snapshot_format="v3",
+            workers=2,
+            memory_budget_mb=2,
+        )
+        _assert_identical(tmp_path / "parallel", tmp_path / "serial")
+
+    @pytest.mark.parametrize("fmt", ["v1", "v2"])
+    def test_v1_v2_degrade_gracefully(self, tmp_path, fmt):
+        dump = _write_dump(tmp_path, duplicates=20)
+        report = build_streaming_snapshot(
+            dump, tmp_path / "streamed", snapshot_format=fmt, memory_budget_mb=4
+        )
+        _build_in_memory(dump, tmp_path / "reference", fmt)
+        _assert_identical(tmp_path / "streamed", tmp_path / "reference")
+        assert report["streaming"] is False
+        assert report["spill_runs"] == 0
+
+    def test_gzip_dump_matches_plain(self, tmp_path):
+        plain = _write_dump(tmp_path, seed=7, duplicates=30, name="dump.tsv")
+        gz = _write_dump(tmp_path, seed=7, duplicates=30, name="dump.tsv.gz")
+        build_streaming_snapshot(
+            gz, tmp_path / "from_gz", snapshot_format="v3", memory_budget_mb=2
+        )
+        _build_in_memory(plain, tmp_path / "reference", "v3")
+        _assert_identical(tmp_path / "from_gz", tmp_path / "reference")
+
+    def test_streamed_snapshot_loads_and_answers(self, tmp_path):
+        dump = _write_dump(tmp_path, duplicates=10)
+        build_streaming_snapshot(
+            dump, tmp_path / "streamed", snapshot_format="v3", memory_budget_mb=2
+        )
+        store = GraphStore.load(tmp_path / "streamed")
+        graph = load_graph(dump)
+        assert store.graph.num_edges == graph.num_edges
+        assert sorted(store.graph.edges) == sorted(graph.edges)
+
+
+class TestFailureModes:
+    def test_malformed_line_raises_with_line_number(self, tmp_path):
+        dump = tmp_path / "bad.tsv"
+        dump.write_text("a\tr\tb\nnot a triple\n", encoding="utf-8")
+        with pytest.raises(TripleParseError) as info:
+            build_streaming_snapshot(dump, tmp_path / "out", snapshot_format="v3")
+        assert info.value.line_number == 2
+
+    def test_empty_dump_raises_graph_error(self, tmp_path):
+        dump = tmp_path / "empty.tsv"
+        dump.write_text("# nothing but comments\n\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            build_streaming_snapshot(dump, tmp_path / "out", snapshot_format="v3")
+
+    def test_bad_budget_and_format_rejected(self, tmp_path):
+        dump = _write_dump(tmp_path, duplicates=0)
+        with pytest.raises(SnapshotError):
+            build_streaming_snapshot(
+                dump, tmp_path / "out", snapshot_format="v3", memory_budget_mb=0
+            )
+        with pytest.raises(SnapshotError):
+            build_streaming_snapshot(dump, tmp_path / "out", snapshot_format="v9")
+        with pytest.raises(SnapshotError):
+            BuildPlan(-1)
+
+    def test_crash_mid_build_leaves_no_manifest(self, tmp_path, monkeypatch):
+        """A crash before completion must not leave a loadable torn snapshot."""
+        import repro.storage.build as build_module
+
+        dump = _write_dump(tmp_path, duplicates=25)
+        output = tmp_path / "out"
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(build_module, "_write_graph_shard_streaming", boom)
+        with pytest.raises(SnapshotError):
+            build_streaming_snapshot(
+                dump, output, snapshot_format="v3", memory_budget_mb=2
+            )
+        # The manifest is written last: a torn build has partial shards but
+        # no MANIFEST.json, so loading reports a clean, explicit failure.
+        assert not (output / "MANIFEST.json").exists()
+        with pytest.raises(SnapshotError):
+            GraphStore.load(output)
+        # No scratch directories may leak next to the output.
+        assert not list(tmp_path.glob("gqbe-build-*"))
+
+        # A rebuild over the partial output succeeds and is byte-identical.
+        monkeypatch.undo()
+        build_streaming_snapshot(
+            dump, output, snapshot_format="v3", memory_budget_mb=2
+        )
+        _build_in_memory(dump, tmp_path / "reference", "v3")
+        _assert_identical(output, tmp_path / "reference")
+
+    def test_manifest_is_canonical_json(self, tmp_path):
+        dump = _write_dump(tmp_path, duplicates=5)
+        build_streaming_snapshot(
+            dump, tmp_path / "out", snapshot_format="v3", memory_budget_mb=2
+        )
+        raw = (tmp_path / "out" / "MANIFEST.json").read_text(encoding="utf-8")
+        manifest = json.loads(raw)
+        assert raw == json.dumps(manifest, indent=1, sort_keys=True)
+        assert manifest["format_version"] == 3
+
+
+class TestCLI:
+    def test_build_index_streaming_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        dump = _write_dump(tmp_path, duplicates=15)
+        code = main(
+            [
+                "build-index",
+                str(dump),
+                str(tmp_path / "streamed"),
+                "--format",
+                "v3",
+                "--streaming",
+                "--memory-budget-mb",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streaming" in out
+        assert "rows/s" in out
+        assert "spill runs" in out
+        _build_in_memory(dump, tmp_path / "reference", "v3")
+        _assert_identical(tmp_path / "streamed", tmp_path / "reference")
+
+    def test_build_index_quiet_suppresses_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        dump = _write_dump(tmp_path, duplicates=0)
+        code = main(
+            ["build-index", str(dump), str(tmp_path / "out"), "--streaming", "--quiet"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == ""
+
+    def test_build_index_rows_conflicts_with_streaming(self, tmp_path, capsys):
+        from repro.cli import main
+
+        dump = _write_dump(tmp_path, duplicates=0)
+        code = main(
+            ["build-index", str(dump), str(tmp_path / "out"), "--streaming", "--rows"]
+        )
+        assert code == 2
+        assert "--rows" in capsys.readouterr().err
+
+
+class TestBuildPlan:
+    def test_budgets_scale_monotonically(self):
+        small, large = BuildPlan(8), BuildPlan(1024)
+        assert small.chunk_triples <= large.chunk_triples
+        assert small.term_buffer <= large.term_buffer
+        assert small.row_buffer <= large.row_buffer
+        assert small.io_elements <= large.io_elements
+
+    def test_floors_keep_tiny_budgets_usable(self):
+        plan = BuildPlan(1)
+        assert plan.chunk_triples >= 1024
+        assert plan.term_buffer >= 1024
+        assert plan.row_buffer >= 1024

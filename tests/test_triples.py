@@ -9,8 +9,10 @@ from repro.graph.triples import (
     Triple,
     format_triple,
     graph_to_triples,
+    iter_triples_chunked,
     load_graph,
     read_triples,
+    resolve_path_format,
     triples_from_strings,
     write_triples,
 )
@@ -103,3 +105,104 @@ class TestRoundTrip:
         triples = graph_to_triples(graph)
         assert triples == sorted(triples)
         assert len(triples) == 2
+
+
+class TestGzipTransparency:
+    def test_write_and_read_gz_roundtrip(self, tmp_path):
+        path = tmp_path / "graph.tsv.gz"
+        triples = [Triple("a", "r", "b"), Triple("b", "s", "c")]
+        assert write_triples(triples, path, fmt="tsv") == 2
+        import gzip
+
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert handle.readline() == "a\tr\tb\n"
+        assert read_triples(path) == triples
+
+    def test_load_graph_from_gz(self, tmp_path):
+        path = tmp_path / "graph.nt.gz"
+        write_triples([Triple("a", "r", "b")], path, fmt="nt")
+        assert load_graph(path).has_edge("a", "r", "b")
+
+
+class TestChunkedReader:
+    def test_chunks_concatenate_to_read_triples(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        triples = [Triple(f"n{i}", f"r{i % 3}", f"n{i + 1}") for i in range(25)]
+        write_triples(triples, path)
+        chunks = list(iter_triples_chunked(path, chunk_size=7))
+        assert all(len(chunk) <= 7 for chunk in chunks)
+        assert [len(chunk) for chunk in chunks[:-1]] == [7, 7, 7]
+        flat = [triple for chunk in chunks for triple in chunk]
+        assert flat == read_triples(path)
+
+    def test_chunked_reads_gz(self, tmp_path):
+        path = tmp_path / "graph.tsv.gz"
+        triples = [Triple("a", "r", "b"), Triple("b", "s", "c")]
+        write_triples(triples, path)
+        flat = [t for chunk in iter_triples_chunked(path, chunk_size=1) for t in chunk]
+        assert flat == triples
+
+    def test_bad_chunk_size_rejected(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        write_triples([Triple("a", "r", "b")], path)
+        with pytest.raises(ValueError):
+            list(iter_triples_chunked(path, chunk_size=0))
+
+    def test_malformed_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("a\tr\tb\nbroken line\n", encoding="utf-8")
+        with pytest.raises(TripleParseError) as info:
+            list(iter_triples_chunked(path))
+        assert info.value.line_number == 2
+
+
+class TestCSVAdapter:
+    def test_neo4j_export_header(self):
+        text = ':START_ID,:TYPE,:END_ID\nn1,KNOWS,n2\nn2,LIKES,n3\n'
+        triples = triples_from_strings(text, fmt="csv")
+        assert triples == [Triple("n1", "KNOWS", "n2"), Triple("n2", "LIKES", "n3")]
+
+    def test_age_export_header(self):
+        text = "_start,_type,_end\nn1,KNOWS,n2\n"
+        assert triples_from_strings(text, fmt="csv") == [Triple("n1", "KNOWS", "n2")]
+
+    def test_spo_header_and_extra_columns(self):
+        text = "weight,subject,predicate,object\n0.5,a,r,b\n"
+        assert triples_from_strings(text, fmt="csv") == [Triple("a", "r", "b")]
+
+    def test_headerless_positional(self):
+        text = "n1,KNOWS,n2\nn2,LIKES,n3\n"
+        triples = triples_from_strings(text, fmt="csv")
+        assert triples == [Triple("n1", "KNOWS", "n2"), Triple("n2", "LIKES", "n3")]
+
+    def test_quoted_fields_with_commas(self):
+        text = ':START_ID,:TYPE,:END_ID\n"Benioff, Marc",founded,Salesforce\n'
+        assert triples_from_strings(text, fmt="csv") == [
+            Triple("Benioff, Marc", "founded", "Salesforce")
+        ]
+
+    def test_unrecognized_header_raises(self):
+        with pytest.raises(TripleParseError) as info:
+            triples_from_strings("colour,shape,size,extra\nred,round,big,x\n", fmt="csv")
+        assert "unrecognized CSV export header" in info.value.reason
+
+    def test_short_row_raises(self):
+        with pytest.raises(TripleParseError):
+            triples_from_strings(":START_ID,:TYPE,:END_ID\nn1,KNOWS\n", fmt="csv")
+
+    def test_empty_field_raises(self):
+        with pytest.raises(TripleParseError):
+            triples_from_strings(":START_ID,:TYPE,:END_ID\nn1,,n2\n", fmt="csv")
+
+    def test_csv_suffix_selects_csv(self, tmp_path):
+        path = tmp_path / "rels.csv"
+        path.write_text(":START_ID,:TYPE,:END_ID\nn1,KNOWS,n2\n", encoding="utf-8")
+        assert resolve_path_format(path) == "csv"
+        assert resolve_path_format(tmp_path / "rels.csv.gz") == "csv"
+        assert resolve_path_format(tmp_path / "rels.tsv") == "auto"
+        assert read_triples(path) == [Triple("n1", "KNOWS", "n2")]
+
+    def test_csv_never_autodetected_from_content(self):
+        # Without fmt="csv" or a .csv path, comma rows are not TSV/NT.
+        with pytest.raises(TripleParseError):
+            triples_from_strings("n1,KNOWS,n2\n")
